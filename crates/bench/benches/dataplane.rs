@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the data plane substrate: packet
+//! processing and the hash engines.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netpkt::CacheOp;
+use p4rp_ctl::Controller;
+use p4rp_progs::sources;
+use rmt_sim::hash::{CRC16_BUYPASS, CRC32};
+use std::hint::black_box;
+
+fn bench_crc(c: &mut Criterion) {
+    let data = [0u8; 13]; // five-tuple width
+    let mut group = c.benchmark_group("hash");
+    group.throughput(Throughput::Bytes(13));
+    group.bench_function("crc16_buypass_5tuple", |b| {
+        b.iter(|| CRC16_BUYPASS.compute(black_box(&data)))
+    });
+    group.bench_function("crc32_5tuple", |b| b.iter(|| CRC32.compute(black_box(&data))));
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    // End-to-end frame processing through the provisioned P4runpro data
+    // plane with the cache program linked.
+    let mut ctl = Controller::with_defaults().unwrap();
+    let src = sources::cache("cache", "<hdr.udp.dst_port, 7777, 0xffff>", 1024, &[(0x8888, 512)]);
+    ctl.deploy(&src).unwrap();
+    let flows = traffic::make_flows(5, 1, 0.0);
+    let hit = traffic::netcache_frame(&flows[0].tuple, CacheOp::Read, 0x8888, 0);
+    let miss = traffic::netcache_frame(&flows[0].tuple, CacheOp::Read, 0x9999, 0);
+    let plain = traffic::frame_for(&flows[0].tuple, 64);
+
+    let mut group = c.benchmark_group("switch/process_frame");
+    group.bench_function("cache_hit", |b| b.iter(|| ctl.inject(0, black_box(&hit)).unwrap()));
+    group.bench_function("cache_miss", |b| b.iter(|| ctl.inject(0, black_box(&miss)).unwrap()));
+    group.bench_function("no_program", |b| b.iter(|| ctl.inject(0, black_box(&plain)).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_crc, bench_pipeline);
+criterion_main!(benches);

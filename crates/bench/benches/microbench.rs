@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the runtime-compilation pipeline: the
+//! per-stage costs behind Figure 7's deployment delay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p4rp_compiler::alloc::{allocate, AllocConfig, AllocView, Objective};
+use p4rp_compiler::ir::{lower, MemDecl};
+use p4rp_ctl::Controller;
+use p4rp_lang::parse;
+use p4rp_progs::{catalog_all, sources};
+use std::hint::black_box;
+
+fn cache_src() -> String {
+    sources::cache("cache", "<hdr.udp.dst_port, 7777, 0xffff>", 1024, &[(0x8888, 512)])
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = cache_src();
+    c.bench_function("lang/parse_cache", |b| b.iter(|| parse(black_box(&src)).unwrap()));
+
+    let hll = sources::hll("hll", "<hdr.ipv4.src, 10.0.0.0, 0xffff0000>", 256);
+    c.bench_function("lang/parse_hll", |b| b.iter(|| parse(black_box(&hll)).unwrap()));
+
+    let unit = parse(&src).unwrap();
+    let mems: Vec<MemDecl> = unit
+        .annotations
+        .iter()
+        .map(|a| MemDecl { name: a.name.clone(), size: a.size as u32 })
+        .collect();
+    c.bench_function("compiler/lower_cache", |b| {
+        b.iter(|| lower(black_box(&unit.programs[0]), black_box(&mems)).unwrap())
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let src = cache_src();
+    let unit = parse(&src).unwrap();
+    let mems: Vec<MemDecl> = unit
+        .annotations
+        .iter()
+        .map(|a| MemDecl { name: a.name.clone(), size: a.size as u32 })
+        .collect();
+    let ir = lower(&unit.programs[0], &mems).unwrap();
+    let view = AllocView::unconstrained(2048, 65_536);
+    let mut group = c.benchmark_group("alloc/objectives");
+    for (name, obj) in [
+        ("f1", Objective::paper_default()),
+        ("f2", Objective::LastOnly),
+        ("f3", Objective::Ratio),
+        ("hier", Objective::Hierarchical),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &obj, |b, obj| {
+            let cfg = AllocConfig { objective: *obj, ..Default::default() };
+            b.iter(|| allocate(black_box(&ir), black_box(&view), &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_deploy(c: &mut Criterion) {
+    // Full deploy+revoke round trips per program family.
+    let mut group = c.benchmark_group("ctl/deploy_revoke");
+    group.sample_size(20);
+    for spec in catalog_all().into_iter().take(4) {
+        group.bench_function(spec.name, |b| {
+            let mut ctl = Controller::with_defaults().unwrap();
+            b.iter(|| {
+                let r = ctl.deploy(black_box(&spec.source)).unwrap();
+                ctl.revoke(&r[0].name).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_allocator, bench_deploy);
+criterion_main!(benches);

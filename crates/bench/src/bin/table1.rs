@@ -1,0 +1,53 @@
+//! Table 1: LoC comparison and update delay for the 15 programs.
+//!
+//! For each program: our P4runpro LoC vs the paper's P4 control-block
+//! LoC, and the measured data plane update delay averaged over repeated
+//! deploy→revoke cycles (the paper averages 50 updates), alongside the
+//! paper's own numbers and the prior systems' (`*` ActiveRMT,
+//! `**` FlyMon).
+
+use bench::{mean, print_table, scaled};
+use p4rp_ctl::Controller;
+use p4rp_lang::count_loc;
+use p4rp_progs::{catalog_all, PriorSystem};
+
+fn main() {
+    let repeats = scaled(50);
+    println!("Table 1: P4 programs implemented by P4runpro and update delay");
+    println!("(update delay averaged over {repeats} repeated deployments)\n");
+
+    let mut rows = Vec::new();
+    for spec in catalog_all() {
+        let mut ctl = Controller::with_defaults().unwrap();
+        let mut delays = Vec::new();
+        for i in 0..repeats {
+            let reports = ctl
+                .deploy(&spec.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            delays.push(reports[0].update_delay.as_millis_f64());
+            if i + 1 < repeats {
+                ctl.revoke(reports[0].name.as_str()).unwrap();
+            }
+        }
+        let ours_loc = count_loc(&spec.source);
+        let other = match spec.prior {
+            Some((PriorSystem::ActiveRmt, ms)) => format!("{ms:.2}*"),
+            Some((PriorSystem::FlyMon, ms)) => format!("{ms:.2}**"),
+            None => "-".to_string(),
+        };
+        rows.push(vec![
+            spec.name.to_string(),
+            ours_loc.to_string(),
+            spec.p4_loc.to_string(),
+            format!("{:.2}", mean(&delays)),
+            format!("{:.2}", spec.paper_delay_ms),
+            other,
+        ]);
+    }
+    print_table(
+        &["Program", "LoC ours", "LoC P4", "Update ms (ours)", "Update ms (paper)", "Others ms"],
+        &rows,
+    );
+    println!("\n*  ActiveRMT update delay (paper Table 1)");
+    println!("** FlyMon update delay (paper Table 1)");
+}

@@ -1,0 +1,36 @@
+//! Table 2: pipeline latency (clock cycles), worst-case power, and the
+//! power-budget traffic-limit load, for P4runpro vs ActiveRMT vs FlyMon.
+
+use bench::print_table;
+use p4rp_dataplane::provision;
+use rmt_sim::power::PowerModel;
+use rmt_sim::switch::SwitchConfig;
+
+fn main() {
+    println!("Table 2: latency / worst-case power / traffic limit load\n");
+    let model = PowerModel::default();
+
+    let (_, dp) = provision(SwitchConfig::default()).unwrap();
+    let ours = model.estimate(&dp.report);
+    let armt = model.estimate(&baselines::activermt::build_profile().unwrap());
+    let fm = model.estimate(&baselines::flymon::build_profile().unwrap());
+
+    let mut rows = Vec::new();
+    for (name, e, paper) in [
+        ("P4runpro", ours, "306/316/622  19.32/21.42/40.74  98%"),
+        ("ActiveRMT", armt, "312/308/620  23.36/20.34/43.70  91%"),
+        ("FlyMon", fm, "54/282/336   0/34.05/34.05      100%"),
+    ] {
+        rows.push(vec![
+            name.to_string(),
+            format!("{}/{}/{}", e.ingress_cycles, e.egress_cycles, e.total_cycles),
+            format!("{:.2}/{:.2}/{:.2}", e.ingress_watts, e.egress_watts, e.total_watts),
+            format!("{:.0}%", e.traffic_limit_load * 100.0),
+            paper.to_string(),
+        ]);
+    }
+    print_table(
+        &["System", "Latency cyc (ig/eg/total)", "Power W (ig/eg/total)", "Load", "Paper (cyc  W  load)"],
+        &rows,
+    );
+}

@@ -1,0 +1,254 @@
+//! Shared experiment harness for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's per-experiment index) and prints
+//! the same rows/series the paper reports. `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison.
+
+use baselines::{ActiveDemand, ActiveRmtAllocator};
+use p4rp_ctl::Controller;
+use p4rp_progs::{Workload, WorkloadParams};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Duration;
+
+/// Scale factor for long experiments: `P4RP_SCALE=quick` trims epoch
+/// counts for smoke runs; anything else runs the paper-sized experiment.
+pub fn scale() -> f64 {
+    match std::env::var("P4RP_SCALE").as_deref() {
+        Ok("quick") => 0.1,
+        _ => 1.0,
+    }
+}
+
+/// Scale an epoch count.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64 * scale()).round() as usize).max(10)
+}
+
+/// One deployment epoch's record.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochRecord {
+    /// Epoch.
+    pub epoch: usize,
+    /// Allocation-scheme computation, milliseconds (0 on failure, matching
+    /// the paper's plotting convention).
+    pub alloc_ms: f64,
+    /// Simulated data plane update, milliseconds.
+    pub update_ms: f64,
+    /// Ok.
+    pub ok: bool,
+    /// Mem util.
+    pub mem_util: f64,
+    /// Te util.
+    pub te_util: f64,
+}
+
+/// Deploy `epochs` programs of `workload` sequentially (the §6.2.1
+/// methodology). Stops early only at `stop_on_failure`.
+pub fn run_deploy_stream(
+    ctl: &mut Controller,
+    workload: Workload,
+    params: WorkloadParams,
+    epochs: usize,
+    seed: u64,
+    stop_on_failure: bool,
+) -> Vec<EpochRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records = Vec::new();
+    for epoch in 0..epochs {
+        let src = workload.program(epoch, rng.random::<u32>() as usize, params);
+        let rec = match ctl.deploy(&src) {
+            Ok(reports) => EpochRecord {
+                epoch,
+                alloc_ms: reports[0].alloc_wall.as_secs_f64() * 1e3,
+                update_ms: reports[0].update_delay.as_millis_f64(),
+                ok: true,
+                mem_util: ctl.resources().memory_utilization(),
+                te_util: ctl.resources().entry_utilization(),
+            },
+            Err(_) => EpochRecord {
+                epoch,
+                alloc_ms: 0.0,
+                update_ms: 0.0,
+                ok: false,
+                mem_util: ctl.resources().memory_utilization(),
+                te_util: ctl.resources().entry_utilization(),
+            },
+        };
+        let failed = !rec.ok;
+        records.push(rec);
+        if failed && stop_on_failure {
+            break;
+        }
+    }
+    records
+}
+
+/// The ActiveRMT demand equivalent of a workload program (same memory,
+/// its access count from the program's structure).
+pub fn activermt_demand(workload: Workload, params: WorkloadParams, pick: usize) -> ActiveDemand {
+    let accesses = match workload {
+        Workload::Cache => 1,
+        Workload::Lb => 2,
+        Workload::Hh => 4,
+        Workload::Nc => 3,
+        Workload::Mixed => [1, 2, 4][pick % 3],
+        Workload::AllMixed => 1 + pick % 4,
+    };
+    ActiveDemand { mem: params.mem.max(16) * accesses as u32, accesses, elastic: true }
+}
+
+/// Run the ActiveRMT side of a deployment stream.
+pub fn run_activermt_stream(
+    alloc: &mut ActiveRmtAllocator,
+    workload: Workload,
+    params: WorkloadParams,
+    epochs: usize,
+    seed: u64,
+    stop_on_failure: bool,
+) -> Vec<EpochRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records = Vec::new();
+    for epoch in 0..epochs {
+        let demand = activermt_demand(workload, params, rng.random::<u32>() as usize);
+        let rec = match alloc.allocate(demand) {
+            Some(r) => EpochRecord {
+                epoch,
+                alloc_ms: r.alloc_wall.as_secs_f64() * 1e3,
+                update_ms: r.update_delay.as_millis_f64(),
+                ok: true,
+                mem_util: alloc.memory_utilization(),
+                te_util: 0.0,
+            },
+            None => EpochRecord {
+                epoch,
+                alloc_ms: 0.0,
+                update_ms: 0.0,
+                ok: false,
+                mem_util: alloc.memory_utilization(),
+                te_util: 0.0,
+            },
+        };
+        let failed = !rec.ok;
+        records.push(rec);
+        if failed && stop_on_failure {
+            break;
+        }
+    }
+    records
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Mean over the successful epochs' allocation delays.
+pub fn mean_alloc_ms(records: &[EpochRecord]) -> f64 {
+    let xs: Vec<f64> = records.iter().filter(|r| r.ok).map(|r| r.alloc_ms).collect();
+    mean(&xs)
+}
+
+/// Simple fixed-width table printer.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Sparse text rendering of a series: `label: v v v …` downsampled to
+/// `points` values (for the figure binaries' series output).
+pub fn print_series(label: &str, xs: &[f64], points: usize) {
+    if xs.is_empty() {
+        println!("{label}: (empty)");
+        return;
+    }
+    let step = (xs.len() as f64 / points as f64).max(1.0);
+    let mut out = String::new();
+    let mut i = 0.0;
+    while (i as usize) < xs.len() {
+        out.push_str(&format!("{:.2} ", xs[i as usize]));
+        i += step;
+    }
+    println!("{label}: {}", out.trim_end());
+}
+
+/// Duration → ms helper.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_stream_records_success_and_utilization() {
+        let mut ctl = Controller::with_defaults().unwrap();
+        let recs =
+            run_deploy_stream(&mut ctl, Workload::Lb, WorkloadParams::default(), 12, 7, true);
+        assert_eq!(recs.len(), 12);
+        assert!(recs.iter().all(|r| r.ok));
+        assert!(recs.last().unwrap().te_util > recs[0].te_util);
+        assert!(mean_alloc_ms(&recs) > 0.0);
+    }
+
+    #[test]
+    fn activermt_stream_eventually_fails() {
+        let mut a = ActiveRmtAllocator::new(4096);
+        let params = WorkloadParams { mem: 16384, elastic: 2 };
+        let recs = run_activermt_stream(&mut a, Workload::Hh, params, 10_000, 3, true);
+        assert!(!recs.last().unwrap().ok, "must hit capacity");
+        assert!(recs.len() > 5);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!(scaled(100) >= 10);
+    }
+}
+
+#[cfg(test)]
+mod capacity_probe {
+    use super::*;
+
+    #[test]
+    fn activermt_cache_capacity_bounded() {
+        let mut a = ActiveRmtAllocator::default();
+        let recs = run_activermt_stream(
+            &mut a,
+            p4rp_progs::Workload::Cache,
+            p4rp_progs::WorkloadParams::default(),
+            100_000,
+            11,
+            true,
+        );
+        let ok = recs.iter().filter(|r| r.ok).count();
+        println!("capacity {ok}, util {:.3}", a.memory_utilization());
+        assert!(ok <= 5120, "cap exceeded: {ok}");
+    }
+}

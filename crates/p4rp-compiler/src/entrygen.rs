@@ -1,0 +1,301 @@
+//! Entry generation: resolve a lowered, allocated program into the
+//! concrete table entries it installs.
+//!
+//! Inputs: the [`ProgramIr`], the [`Allocation`] (logical RPB per level),
+//! the physical memory offsets the resource manager granted, the assigned
+//! program id, and the provisioned field universe. Output: a
+//! [`ProgramImage`] — everything needed to install, monitor, and later
+//! revoke the program.
+
+use crate::alloc::Allocation;
+use crate::errors::{CompileError, CompileResult};
+use crate::ir::{IrOp, ProgramIr};
+use p4rp_dataplane::LogicalRpb;
+use p4rp_dataplane::{init, FilterEntrySpec, P4rpFields, RpbEntrySpec, RpbId, RpbOp};
+use std::collections::HashMap;
+
+/// A granted physical memory region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRegion {
+    /// Human-readable name.
+    pub name: String,
+    /// Rpb.
+    pub rpb: RpbId,
+    /// First bucket of the region.
+    pub offset: u32,
+    /// Buckets.
+    pub size: u32,
+}
+
+/// The installable image of one program.
+#[derive(Debug, Clone)]
+pub struct ProgramImage {
+    /// Prog id.
+    pub prog_id: u16,
+    /// Human-readable name.
+    pub name: String,
+    /// RPB entries: `(physical RPB, entry spec)`.
+    pub rpb_entries: Vec<(RpbId, RpbEntrySpec)>,
+    /// The initialization-block filter entry.
+    pub filter: FilterEntrySpec,
+    /// Recirculation-block entries to install (`recirc_id` values).
+    pub recirc_ids: Vec<u8>,
+    /// Granted memory regions.
+    pub mem_regions: Vec<MemRegion>,
+    /// Pipeline passes the program needs.
+    pub passes: u8,
+}
+
+impl ProgramImage {
+    /// Total data plane entries (for update-delay accounting, Table 1).
+    pub fn entry_count(&self) -> usize {
+        self.rpb_entries.len() + 1 + self.recirc_ids.len()
+    }
+}
+
+/// Generate the image of an allocated program.
+pub fn generate(
+    ir: &ProgramIr,
+    alloc: &Allocation,
+    offsets: &HashMap<String, (RpbId, u32)>,
+    prog_id: u16,
+    fields: &P4rpFields,
+    ft_universe: &rmt_sim::phv::FieldTable,
+) -> CompileResult<ProgramImage> {
+    let sizes: HashMap<&str, u32> =
+        ir.memories.iter().map(|m| (m.name.as_str(), m.size)).collect();
+
+    let mut rpb_entries = Vec::new();
+    for (level_idx, level) in ir.levels.iter().enumerate() {
+        let logical = LogicalRpb::from_index(alloc.x[level_idx]);
+        let rpb = logical.rpb();
+        let pass = logical.pass();
+        for placed in level {
+            let op = match resolve_op(&placed.op, offsets, &sizes, fields)? {
+                Some(op) => op,
+                None => continue, // NOP padding installs nothing
+            };
+            rpb_entries.push((
+                rpb,
+                RpbEntrySpec {
+                    prog_id,
+                    branch: placed.branch,
+                    recirc_id: pass,
+                    regs: placed.regs,
+                    priority: placed.priority,
+                    op,
+                },
+            ));
+        }
+    }
+
+    // The program's filter entry for the unified initialization table.
+    let mut conds = Vec::new();
+    let mut required_bitmap = 0u16;
+    for (name, value, mask) in &ir.filters {
+        if !init::supports_field(ft_universe, fields, name) {
+            return Err(CompileError::UnknownField(format!(
+                "filter field `{name}` is not in the initialization table key"
+            )));
+        }
+        let id = fields
+            .lookup(name)
+            .ok_or_else(|| CompileError::UnknownField(name.clone()))?;
+        required_bitmap |= init::required_bits(name);
+        conds.push((id, *value, *mask));
+    }
+    let filter = FilterEntrySpec { prog_id, required_bitmap, conds, priority: 0 };
+
+    let mem_regions = ir
+        .memories
+        .iter()
+        .map(|m| {
+            offsets
+                .get(&m.name)
+                .map(|(rpb, off)| MemRegion {
+                    name: m.name.clone(),
+                    rpb: *rpb,
+                    offset: *off,
+                    size: m.size,
+                })
+                .ok_or_else(|| CompileError::UnknownMemory(m.name.clone()))
+        })
+        .collect::<CompileResult<Vec<_>>>()?;
+
+    Ok(ProgramImage {
+        prog_id,
+        name: ir.name.clone(),
+        rpb_entries,
+        filter,
+        recirc_ids: (0..alloc.passes.saturating_sub(1)).collect(),
+        mem_regions,
+        passes: alloc.passes,
+    })
+}
+
+/// Resolve one IR op into a concrete RPB operation. `None` for NOPs.
+fn resolve_op(
+    op: &IrOp,
+    offsets: &HashMap<String, (RpbId, u32)>,
+    sizes: &HashMap<&str, u32>,
+    fields: &P4rpFields,
+) -> CompileResult<Option<RpbOp>> {
+    let field = |name: &str| {
+        fields
+            .lookup(name)
+            .ok_or_else(|| CompileError::UnknownField(name.to_string()))
+    };
+    let offset_of = |mem: &str| {
+        offsets
+            .get(mem)
+            .map(|(_, off)| *off)
+            .ok_or_else(|| CompileError::UnknownMemory(mem.to_string()))
+    };
+    // The mask step truncates the hash output to the virtual memory's
+    // width: `size − 1` (size is a power of two, checked upstream).
+    let mask_of = |mem: &str| {
+        sizes
+            .get(mem)
+            .map(|s| s - 1)
+            .ok_or_else(|| CompileError::UnknownMemory(mem.to_string()))
+    };
+    Ok(Some(match op {
+        IrOp::Extract { field: f, reg } => RpbOp::extract(field(f)?, *reg),
+        IrOp::Modify { field: f, reg } => RpbOp::modify(field(f)?, *reg),
+        IrOp::HashHar => RpbOp::hash_har(),
+        IrOp::Hash5Tuple => RpbOp::hash_5_tuple(),
+        IrOp::HashHarMem { mem } => RpbOp::hash_har_mem(mask_of(mem)?),
+        IrOp::Hash5TupleMem { mem } => RpbOp::hash_5_tuple_mem(mask_of(mem)?),
+        IrOp::SetBranch { bits } => RpbOp::set_branch(*bits),
+        IrOp::MemOffset { mem, kind } => RpbOp::mem_offset(offset_of(mem)?, kind.pair().1),
+        IrOp::MemAccess { kind, .. } => RpbOp::mem(*kind),
+        IrOp::LoadI { reg, imm } => RpbOp::loadi(*reg, *imm),
+        IrOp::AluRR { op, a, b } => RpbOp::alu_rr(*op, *a, *b),
+        IrOp::Backup { reg, .. } => RpbOp::backup(*reg),
+        IrOp::Restore { reg, .. } => RpbOp::restore(*reg),
+        IrOp::Forward { port } => RpbOp::forward(*port),
+        IrOp::Multicast { group } => RpbOp::multicast(*group),
+        IrOp::Drop => RpbOp::drop(),
+        IrOp::Return => RpbOp::return_(),
+        IrOp::Report => RpbOp::report(),
+        IrOp::Nop => return Ok(None),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{allocate, AllocConfig, AllocView};
+    use crate::ir::{lower, MemDecl};
+    use p4rp_dataplane::{AtomicAction, RPB_MEM_SIZE, RPB_TABLE_SIZE};
+    use p4rp_lang::parse;
+
+    fn build_image(src: &str) -> (ProgramIr, Allocation, ProgramImage) {
+        let (ft, _, fields) = p4rp_dataplane::fields::build().unwrap();
+        let unit = parse(src).unwrap();
+        let mems: Vec<MemDecl> = unit
+            .annotations
+            .iter()
+            .map(|a| MemDecl { name: a.name.clone(), size: a.size as u32 })
+            .collect();
+        let ir = lower(&unit.programs[0], &mems).unwrap();
+        let view = AllocView::unconstrained(RPB_TABLE_SIZE, RPB_MEM_SIZE);
+        let alloc = allocate(&ir, &view, &AllocConfig::default()).unwrap();
+        // Grant offsets: each vmem at bucket 4096 of its chosen RPB.
+        let offsets: HashMap<String, (RpbId, u32)> = alloc
+            .mem_rpb
+            .iter()
+            .map(|(n, r)| (n.clone(), (*r, 4096u32)))
+            .collect();
+        let image = generate(&ir, &alloc, &offsets, 7, &fields, &ft).unwrap();
+        (ir, alloc, image)
+    }
+
+    const LB: &str = r#"
+@ dip_pool 1024
+@ port_pool 16
+program lb(<hdr.ipv4.dst, 10.0.0.0, 0xffff0000>) {
+    HASH_5_TUPLE_MEM(port_pool);
+    MEMREAD(port_pool);
+    BRANCH:
+    case(<sar, 0, 0xffffffff>) {
+        FORWARD(0);
+    };
+    case(<sar, 1, 0xffffffff>) {
+        FORWARD(1);
+    };
+    MEMREAD(dip_pool);
+    MODIFY(hdr.ipv4.dst, sar);
+}
+"#;
+
+    #[test]
+    fn lb_image_shape() {
+        let (ir, alloc, image) = build_image(LB);
+        assert_eq!(image.prog_id, 7);
+        assert_eq!(image.rpb_entries.len(), ir.rpb_entry_count());
+        // ipv4 filter requires the eth + ipv4 parse-path bits.
+        assert_eq!(
+            image.filter.required_bitmap,
+            init::required_bits("hdr.ipv4.dst")
+        );
+        assert_eq!(image.mem_regions.len(), 2);
+        assert_eq!(u32::from(image.passes), u32::from(alloc.passes));
+        // No recirculation needed → no recirc entries.
+        if image.passes == 1 {
+            assert!(image.recirc_ids.is_empty());
+        }
+        // Hash-to-memory entries carry the size-derived mask.
+        let hash = image
+            .rpb_entries
+            .iter()
+            .find(|(_, e)| e.op.action == AtomicAction::Hash5TupleMem)
+            .expect("hash op present");
+        assert!(hash.1.op.data == vec![1023] || hash.1.op.data == vec![15]);
+        // Offset steps carry the granted physical offset.
+        let off = image
+            .rpb_entries
+            .iter()
+            .find(|(_, e)| e.op.action == AtomicAction::MemOffset)
+            .unwrap();
+        assert_eq!(off.1.op.data[0], 4096);
+    }
+
+    #[test]
+    fn entry_count_matches_components() {
+        let (_, _, image) = build_image(LB);
+        assert_eq!(
+            image.entry_count(),
+            image.rpb_entries.len() + 1 + image.recirc_ids.len()
+        );
+    }
+
+    #[test]
+    fn multipass_program_gets_recirc_entries() {
+        let src = r#"
+@ m 256
+program p(<hdr.ipv4.dst, 1, 1>) {
+    LOADI(mar, 0);
+    MEMREAD(m);
+    LOADI(mar, 1);
+    MEMWRITE(m);
+}
+"#;
+        let (_, alloc, image) = build_image(src);
+        assert_eq!(alloc.passes, 2);
+        assert_eq!(image.recirc_ids, vec![0]);
+        // Second-pass entries carry recirc_id 1.
+        assert!(image.rpb_entries.iter().any(|(_, e)| e.recirc_id == 1));
+    }
+
+    #[test]
+    fn unsupported_filter_field_rejected() {
+        let (ft, _, fields) = p4rp_dataplane::fields::build().unwrap();
+        let unit = parse("program p(<hdr.ipv4.ttl, 1, 0xff>) { DROP; }").unwrap();
+        let ir = lower(&unit.programs[0], &[]).unwrap();
+        let view = AllocView::unconstrained(RPB_TABLE_SIZE, RPB_MEM_SIZE);
+        let alloc = allocate(&ir, &view, &AllocConfig::default()).unwrap();
+        let err = generate(&ir, &alloc, &HashMap::new(), 1, &fields, &ft).unwrap_err();
+        assert!(matches!(err, CompileError::UnknownField(_)));
+    }
+}

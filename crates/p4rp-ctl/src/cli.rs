@@ -1,0 +1,213 @@
+//! A runtime command-line interface over the controller — the analogue of
+//! the prototype's runtime CLI (§5 "We implement a runtime CLI to interact
+//! with the P4runpro data plane").
+//!
+//! Commands (one per line):
+//!
+//! ```text
+//! deploy <inline source…>      link a program (source until end of line;
+//!                              use \n escapes or `deploy-file` in shells)
+//! revoke <name>                unlink a program
+//! update <name> <source…>      incremental update: revoke + redeploy
+//! programs                     list deployed programs
+//! status                       resource-manager summary
+//! mem <program> <memory>       dump a program's virtual memory (non-zero)
+//! memwrite <prog> <mem> <addr> <value>
+//! help                         this text
+//! ```
+//!
+//! Every command returns its output as a `String`, so the CLI is equally
+//! usable from a REPL binary, tests, or scripts.
+
+use crate::controller::{Controller, CtlResult};
+
+/// The command interpreter.
+pub struct Cli {
+    /// Ctl.
+    pub ctl: Controller,
+}
+
+impl Cli {
+    /// Construct with defaults appropriate to the type.
+    pub fn new(ctl: Controller) -> Cli {
+        Cli { ctl }
+    }
+
+    /// Execute one command line.
+    pub fn exec(&mut self, line: &str) -> String {
+        let line = line.trim();
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        let result: CtlResult<String> = match cmd {
+            "" | "help" => Ok(HELP.to_string()),
+            "deploy" => self.deploy(rest),
+            "revoke" => self.ctl.revoke(rest).map(|r| {
+                format!("revoked `{}` in {:.2} ms", r.name, r.update_delay.as_millis_f64())
+            }),
+            "update" => self.update(rest),
+            "programs" => Ok(self.programs()),
+            "status" => Ok(self.status()),
+            "mem" => self.mem(rest),
+            "memwrite" => self.memwrite(rest),
+            other => Ok(format!("unknown command `{other}` — try `help`")),
+        };
+        result.unwrap_or_else(|e| format!("error: {e}"))
+    }
+
+    fn deploy(&mut self, source: &str) -> CtlResult<String> {
+        let source = source.replace("\\n", "\n");
+        let reports = self.ctl.deploy(&source)?;
+        Ok(reports
+            .iter()
+            .map(|r| {
+                format!(
+                    "linked `{}` (id {}): {} entries, depth {}, {} pass(es), alloc {:.2} ms, update {:.2} ms",
+                    r.name,
+                    r.prog_id,
+                    r.entries_installed,
+                    r.depth,
+                    r.passes,
+                    r.alloc_wall.as_secs_f64() * 1e3,
+                    r.update_delay.as_millis_f64()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+
+    fn update(&mut self, rest: &str) -> CtlResult<String> {
+        let (name, source) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| crate::controller::CtlError::NoSuchProgram(rest.to_string()))?;
+        let source = source.replace("\\n", "\n");
+        let r = self.ctl.update(name, &source)?;
+        Ok(format!(
+            "updated `{}` → `{}` in {:.2} ms total",
+            name,
+            r.name,
+            r.update_delay.as_millis_f64()
+        ))
+    }
+
+    fn programs(&self) -> String {
+        let mut rows: Vec<String> = self
+            .ctl
+            .deployed_programs()
+            .map(|(name, p)| {
+                format!(
+                    "  {name:<16} id {:<5} entries {:<4} passes {} memories {}",
+                    p.image.prog_id,
+                    p.image.entry_count(),
+                    p.image.passes,
+                    p.image.mem_regions.len()
+                )
+            })
+            .collect();
+        rows.sort();
+        if rows.is_empty() {
+            "no programs deployed".to_string()
+        } else {
+            format!("{} program(s):\n{}", rows.len(), rows.join("\n"))
+        }
+    }
+
+    fn status(&self) -> String {
+        let rm = self.ctl.resources();
+        format!(
+            "memory: {:.1}% used | rpb entries: {:.1}% used | init filters: {} | programs: {}",
+            rm.memory_utilization() * 100.0,
+            rm.entry_utilization() * 100.0,
+            rm.init_entries_used(),
+            self.ctl.deployed_programs().count()
+        )
+    }
+
+    fn mem(&mut self, rest: &str) -> CtlResult<String> {
+        let mut it = rest.split_whitespace();
+        let (prog, mem) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+        let values = self.ctl.read_memory(prog, mem)?;
+        let nonzero: Vec<String> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != 0)
+            .take(32)
+            .map(|(i, v)| format!("[{i}]={v}"))
+            .collect();
+        Ok(format!(
+            "{}/{} buckets non-zero: {}",
+            values.iter().filter(|v| **v != 0).count(),
+            values.len(),
+            nonzero.join(" ")
+        ))
+    }
+
+    fn memwrite(&mut self, rest: &str) -> CtlResult<String> {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        if parts.len() != 4 {
+            return Ok("usage: memwrite <program> <memory> <addr> <value>".into());
+        }
+        let addr: u32 = parts[2].parse().unwrap_or(u32::MAX);
+        let value: u32 = parts[3].parse().unwrap_or(0);
+        self.ctl.write_memory(parts[0], parts[1], addr, value)?;
+        Ok(format!("{}:{}[{addr}] = {value}", parts[0], parts[1]))
+    }
+}
+
+const HELP: &str = "commands: deploy <src> | revoke <name> | update <name> <src> | programs | status | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | help";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "program p(<hdr.ipv4.dst, 10.0.0.1, 0xffffffff>) { FORWARD(3); }";
+
+    fn cli() -> Cli {
+        Cli::new(Controller::with_defaults().unwrap())
+    }
+
+    #[test]
+    fn deploy_list_revoke_cycle() {
+        let mut cli = cli();
+        let out = cli.exec(&format!("deploy {SRC}"));
+        assert!(out.contains("linked `p`"), "{out}");
+        let out = cli.exec("programs");
+        assert!(out.contains("1 program(s)"), "{out}");
+        let out = cli.exec("status");
+        assert!(out.contains("programs: 1"), "{out}");
+        let out = cli.exec("revoke p");
+        assert!(out.contains("revoked `p`"), "{out}");
+        assert!(cli.exec("programs").contains("no programs"));
+    }
+
+    #[test]
+    fn update_replaces_program() {
+        let mut cli = cli();
+        cli.exec(&format!("deploy {SRC}"));
+        let new_src = SRC.replace("FORWARD(3)", "FORWARD(9)");
+        let out = cli.exec(&format!("update p {new_src}"));
+        assert!(out.contains("updated `p`"), "{out}");
+        assert_eq!(cli.ctl.deployed_programs().count(), 1);
+    }
+
+    #[test]
+    fn memory_commands() {
+        let mut cli = cli();
+        cli.exec("deploy @ m 64\\nprogram q(<hdr.ipv4.dst, 10.0.0.1, 0xffffffff>) { LOADI(mar, 5); MEMREAD(m); }");
+        let out = cli.exec("memwrite q m 5 42");
+        assert!(out.contains("= 42"), "{out}");
+        let out = cli.exec("mem q m");
+        assert!(out.contains("[5]=42"), "{out}");
+        assert!(cli.exec("mem q ghost").starts_with("error:"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut cli = cli();
+        assert!(cli.exec("revoke nope").starts_with("error:"));
+        assert!(cli.exec("deploy BOGUS").starts_with("error:"));
+        assert!(cli.exec("frobnicate").contains("unknown command"));
+        assert!(cli.exec("help").contains("deploy"));
+    }
+}

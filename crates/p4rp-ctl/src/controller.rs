@@ -1,0 +1,455 @@
+//! The P4runpro controller: the deploy / revoke / monitor lifecycle
+//! (§3.1, §3.2).
+//!
+//! `deploy` runs the full runtime-compilation pipeline — parse, semantic
+//! check, lowering, constraint-based allocation against the live resource
+//! state, memory granting, entry generation, and the consistent two-batch
+//! install of Figure 6 — then records everything needed to later revoke
+//! the program. Timings are split the way the paper reports them: parse
+//! and allocation are measured wall-clock (real computation, Figure 7);
+//! the data plane update advances the simulated `bfrt`-calibrated control
+//! channel (Table 1).
+
+use crate::resman::ResourceManager;
+use p4rp_compiler::alloc::{allocate, AllocConfig, Allocation};
+use p4rp_compiler::consistency::{plan_install, plan_remove, InstalledHandles};
+use p4rp_compiler::entrygen::{generate, ProgramImage};
+use p4rp_compiler::ir::{lower, MemDecl};
+use p4rp_compiler::CompileError;
+use p4rp_dataplane::{provision, Dataplane, RpbId, RPB_MEM_SIZE};
+use p4rp_lang::{check, parse, CheckContext};
+use rmt_sim::clock::Nanos;
+use rmt_sim::control::{ControlChannel, LatencyModel};
+use rmt_sim::error::SimError;
+use rmt_sim::switch::{ControlOp, OpResult, ProcessOutcome, Switch, SwitchConfig, TableRef};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Controller errors.
+#[derive(Debug)]
+pub enum CtlError {
+    /// Compile.
+    Compile(CompileError),
+    /// Sim.
+    Sim(SimError),
+    /// DuplicateProgram.
+    DuplicateProgram(String),
+    /// NoSuchProgram.
+    NoSuchProgram(String),
+    /// NoSuchMemory.
+    NoSuchMemory { program: String, memory: String },
+    /// AddressOutOfRange.
+    AddressOutOfRange { memory: String, addr: u32, size: u32 },
+}
+
+impl core::fmt::Display for CtlError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CtlError::Compile(e) => write!(f, "compile error: {e}"),
+            CtlError::Sim(e) => write!(f, "data plane error: {e}"),
+            CtlError::DuplicateProgram(n) => write!(f, "program `{n}` is already deployed"),
+            CtlError::NoSuchProgram(n) => write!(f, "no deployed program `{n}`"),
+            CtlError::NoSuchMemory { program, memory } => {
+                write!(f, "program `{program}` has no memory `{memory}`")
+            }
+            CtlError::AddressOutOfRange { memory, addr, size } => {
+                write!(f, "address {addr} out of range for `{memory}` (size {size})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtlError {}
+
+impl From<CompileError> for CtlError {
+    fn from(e: CompileError) -> Self {
+        CtlError::Compile(e)
+    }
+}
+
+impl From<SimError> for CtlError {
+    fn from(e: SimError) -> Self {
+        CtlError::Sim(e)
+    }
+}
+
+/// CtlResult.
+pub type CtlResult<T> = Result<T, CtlError>;
+
+/// A deployed program's full record.
+#[derive(Debug, Clone)]
+pub struct InstalledProgram {
+    /// Image.
+    pub image: ProgramImage,
+    /// Handles.
+    pub handles: InstalledHandles,
+    /// Allocation.
+    pub allocation: Allocation,
+}
+
+/// What `deploy` reports per program (the Figure 7 / Table 1 quantities).
+#[derive(Debug, Clone)]
+pub struct DeployReport {
+    /// Human-readable name.
+    pub name: String,
+    /// Prog id.
+    pub prog_id: u16,
+    /// Wall-clock parse + check time (≈2 ms in the paper, negligible).
+    pub parse_wall: Duration,
+    /// Wall-clock allocation-scheme computation (Figure 7).
+    pub alloc_wall: Duration,
+    /// Alloc nodes.
+    pub alloc_nodes: u64,
+    /// Simulated data plane update latency (Table 1).
+    pub update_delay: Nanos,
+    /// Entries installed.
+    pub entries_installed: usize,
+    /// Depth.
+    pub depth: usize,
+    /// Passes.
+    pub passes: u8,
+}
+
+/// What `revoke` reports.
+#[derive(Debug, Clone)]
+pub struct RevokeReport {
+    /// Human-readable name.
+    pub name: String,
+    /// Update delay.
+    pub update_delay: Nanos,
+}
+
+/// The assembled control plane.
+pub struct Controller {
+    switch: Switch,
+    dp: Dataplane,
+    channel: ControlChannel,
+    resman: ResourceManager,
+    programs: HashMap<String, InstalledProgram>,
+    next_prog_id: u16,
+    free_ids: Vec<u16>,
+    alloc_cfg: AllocConfig,
+    check_ctx: CheckContext,
+}
+
+impl Controller {
+    /// Provision the P4runpro data plane and initialize the control plane.
+    pub fn new(switch_cfg: SwitchConfig, alloc_cfg: AllocConfig) -> CtlResult<Controller> {
+        let (switch, dp) = provision(switch_cfg)?;
+        let mut check_ctx = CheckContext::with_fields(dp.fields.field_names());
+        check_ctx.max_memory = u64::from(RPB_MEM_SIZE);
+        Ok(Controller {
+            switch,
+            dp,
+            channel: ControlChannel::new(LatencyModel::default()),
+            resman: ResourceManager::new(),
+            programs: HashMap::new(),
+            next_prog_id: 1,
+            free_ids: Vec::new(),
+            alloc_cfg,
+            check_ctx,
+        })
+    }
+
+    /// Provision with the paper's default configuration (R = 1, f1 with
+    /// α = 0.7 / β = 0.3).
+    pub fn with_defaults() -> CtlResult<Controller> {
+        Controller::new(SwitchConfig::default(), AllocConfig::default())
+    }
+
+    /// Switch.
+    pub fn switch(&self) -> &Switch {
+        &self.switch
+    }
+
+    /// Switch mut.
+    pub fn switch_mut(&mut self) -> &mut Switch {
+        &mut self.switch
+    }
+
+    /// Dataplane.
+    pub fn dataplane(&self) -> &Dataplane {
+        &self.dp
+    }
+
+    /// Resources.
+    pub fn resources(&self) -> &ResourceManager {
+        &self.resman
+    }
+
+    /// Channel.
+    pub fn channel(&self) -> &ControlChannel {
+        &self.channel
+    }
+
+    /// Alloc config.
+    pub fn alloc_config(&self) -> &AllocConfig {
+        &self.alloc_cfg
+    }
+
+    /// Set alloc config.
+    pub fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc_cfg = cfg;
+    }
+
+    /// Deployed programs.
+    pub fn deployed_programs(&self) -> impl Iterator<Item = (&String, &InstalledProgram)> {
+        self.programs.iter()
+    }
+
+    /// Program.
+    pub fn program(&self, name: &str) -> Option<&InstalledProgram> {
+        self.programs.get(name)
+    }
+
+    fn take_prog_id(&mut self) -> CtlResult<u16> {
+        if let Some(id) = self.free_ids.pop() {
+            return Ok(id);
+        }
+        if self.next_prog_id == u16::MAX {
+            return Err(CtlError::Compile(CompileError::ProgramIdsExhausted));
+        }
+        let id = self.next_prog_id;
+        self.next_prog_id += 1;
+        Ok(id)
+    }
+
+    /// Deploy every program in a P4runpro source string.
+    ///
+    /// Programs are deployed sequentially, best-effort: an error aborts at
+    /// the failing program, leaving earlier ones installed (first-come-
+    /// first-serve, §4.3).
+    pub fn deploy(&mut self, source: &str) -> CtlResult<Vec<DeployReport>> {
+        let t0 = Instant::now();
+        let unit = parse(source).map_err(CompileError::from)?;
+        check(&unit, &self.check_ctx).map_err(CompileError::from)?;
+        let parse_wall = t0.elapsed();
+        let mems: Vec<MemDecl> = unit
+            .annotations
+            .iter()
+            .map(|a| MemDecl { name: a.name.clone(), size: a.size as u32 })
+            .collect();
+
+        let mut reports = Vec::new();
+        for prog in &unit.programs {
+            if self.programs.contains_key(&prog.name) {
+                return Err(CtlError::DuplicateProgram(prog.name.clone()));
+            }
+            let ir = lower(prog, &mems)?;
+
+            // Allocation against the live resource view (Figure 7 timing).
+            let t_alloc = Instant::now();
+            let view = self.resman.alloc_view();
+            let allocation = allocate(&ir, &view, &self.alloc_cfg)?;
+            let alloc_wall = t_alloc.elapsed();
+
+            // Grant physical memory where the solver placed each vmem.
+            let mut offsets: HashMap<String, (RpbId, u32)> = HashMap::new();
+            let mut granted: Vec<(RpbId, u32, u32)> = Vec::new();
+            for m in &ir.memories {
+                let rpb = allocation.mem_rpb[&m.name];
+                match self.resman.grant_memory(rpb, m.size) {
+                    Some(off) => {
+                        offsets.insert(m.name.clone(), (rpb, off));
+                        granted.push((rpb, off, m.size));
+                    }
+                    None => {
+                        for (r, o, s) in granted {
+                            self.resman.unlock_memory(r, o, s);
+                        }
+                        return Err(CtlError::Compile(CompileError::AllocationFailed {
+                            reason: format!("memory grant for `{}` failed", m.name),
+                        }));
+                    }
+                }
+            }
+
+            let prog_id = self.take_prog_id()?;
+            let image = match generate(
+                &ir,
+                &allocation,
+                &offsets,
+                prog_id,
+                &self.dp.fields,
+                self.switch.field_table(),
+            ) {
+                Ok(i) => i,
+                Err(e) => {
+                    for (r, o, s) in granted {
+                        self.resman.unlock_memory(r, o, s);
+                    }
+                    self.free_ids.push(prog_id);
+                    return Err(e.into());
+                }
+            };
+
+            // Charge entry budgets: RPBs (validated by the solver),
+            // initialization paths, and the recirculation block.
+            let mut per_rpb: HashMap<RpbId, usize> = HashMap::new();
+            for (rpb, _) in &image.rpb_entries {
+                *per_rpb.entry(*rpb).or_insert(0) += 1;
+            }
+            let init_ok = self.resman.charge_init(1);
+            if !init_ok || !self.resman.charge_recirc(image.recirc_ids.len()) {
+                if init_ok {
+                    self.resman.refund_init(1);
+                }
+                for (r, o, s) in granted {
+                    self.resman.unlock_memory(r, o, s);
+                }
+                self.free_ids.push(prog_id);
+                return Err(CtlError::Compile(CompileError::InitTableFull {
+                    path: "initialization/recirculation block".into(),
+                }));
+            }
+            for (rpb, n) in &per_rpb {
+                // Solver-validated; charge unconditionally.
+                let ok = self.resman.charge_entries(*rpb, *n);
+                debug_assert!(ok, "solver and resource manager disagree");
+            }
+
+            // Consistent install: program components first, filters last.
+            let batches = plan_install(&image, &self.dp, self.switch.field_table())?;
+            let mut update_delay = Nanos::ZERO;
+            let mut handles = InstalledHandles {
+                mem_regions: image.mem_regions.clone(),
+                ..Default::default()
+            };
+            for (bi, batch) in batches.iter().enumerate() {
+                let (results, cost) = self.channel.apply_batch(&mut self.switch, &batch.ops)?;
+                update_delay += cost;
+                for (op, res) in batch.ops.iter().zip(&results) {
+                    if let (ControlOp::InsertEntry { table, .. }, OpResult::Inserted(h)) = (op, res)
+                    {
+                        let rec: &mut Vec<(TableRef, _)> = if bi == 0 {
+                            &mut handles.body_handles
+                        } else {
+                            &mut handles.filter_handles
+                        };
+                        rec.push((*table, *h));
+                    }
+                }
+            }
+
+            reports.push(DeployReport {
+                name: prog.name.clone(),
+                prog_id,
+                parse_wall,
+                alloc_wall,
+                alloc_nodes: allocation.nodes_explored,
+                update_delay,
+                entries_installed: image.entry_count(),
+                depth: ir.depth(),
+                passes: image.passes,
+            });
+            self.programs
+                .insert(prog.name.clone(), InstalledProgram { image, handles, allocation });
+        }
+        Ok(reports)
+    }
+
+    /// Revoke a deployed program (Figure 6 left half): filters first, then
+    /// components, then lock + reset + release its memory.
+    pub fn revoke(&mut self, name: &str) -> CtlResult<RevokeReport> {
+        let installed = self
+            .programs
+            .remove(name)
+            .ok_or_else(|| CtlError::NoSuchProgram(name.to_string()))?;
+
+        // Lock regions before the reset batch touches them.
+        for r in &installed.handles.mem_regions {
+            self.resman.lock_memory(r.rpb, r.offset, r.size);
+        }
+
+        let batches = plan_remove(&installed.handles);
+        let mut update_delay = Nanos::ZERO;
+        for batch in &batches {
+            let (_, cost) = self.channel.apply_batch(&mut self.switch, &batch.ops)?;
+            update_delay += cost;
+        }
+
+        // Reset complete → return memory to the free lists.
+        for r in &installed.handles.mem_regions {
+            self.resman.unlock_memory(r.rpb, r.offset, r.size);
+        }
+        // Refund entry budgets.
+        let mut per_rpb: HashMap<RpbId, usize> = HashMap::new();
+        for (rpb, _) in &installed.image.rpb_entries {
+            *per_rpb.entry(*rpb).or_insert(0) += 1;
+        }
+        for (rpb, n) in per_rpb {
+            self.resman.refund_entries(rpb, n);
+        }
+        self.resman.refund_init(1);
+        self.resman.refund_recirc(installed.image.recirc_ids.len());
+        self.free_ids.push(installed.image.prog_id);
+
+        Ok(RevokeReport { name: name.to_string(), update_delay })
+    }
+
+    /// Incremental update of a running program (§7 "Incremental Update"):
+    /// implemented the way the prototype does it — revoke the old program
+    /// and allocate the new one through the compiler. Returns the combined
+    /// deploy report with the revocation's update delay folded in.
+    pub fn update(&mut self, name: &str, new_source: &str) -> CtlResult<DeployReport> {
+        let revoke = self.revoke(name)?;
+        let mut reports = self.deploy(new_source)?;
+        let mut report = reports.remove(0);
+        report.update_delay += revoke.update_delay;
+        Ok(report)
+    }
+
+    /// Read a program's virtual memory through the monitoring path
+    /// (virtual → physical address translation, §3.2).
+    pub fn read_memory(&mut self, program: &str, memory: &str) -> CtlResult<Vec<u32>> {
+        let region = self.find_region(program, memory)?;
+        let op = ControlOp::ReadRegRange {
+            array: region.0.array_ref(),
+            start: region.1,
+            len: region.2,
+        };
+        let (mut results, _) = self.channel.apply_batch(&mut self.switch, &[op])?;
+        match results.pop() {
+            Some(OpResult::ReadRange(v)) => Ok(v),
+            _ => unreachable!("read returns a range"),
+        }
+    }
+
+    /// Write one bucket of a program's virtual memory (raw-API bucket
+    /// updates, e.g. filling the load balancer's DIP pool, Appendix B.2).
+    pub fn write_memory(&mut self, program: &str, memory: &str, vaddr: u32, value: u32) -> CtlResult<()> {
+        let (rpb, offset, size) = self.find_region(program, memory)?;
+        if vaddr >= size {
+            return Err(CtlError::AddressOutOfRange { memory: memory.into(), addr: vaddr, size });
+        }
+        let op = ControlOp::WriteReg { array: rpb.array_ref(), addr: offset + vaddr, value };
+        self.channel.apply_batch(&mut self.switch, &[op])?;
+        Ok(())
+    }
+
+    fn find_region(&self, program: &str, memory: &str) -> CtlResult<(RpbId, u32, u32)> {
+        let p = self
+            .programs
+            .get(program)
+            .ok_or_else(|| CtlError::NoSuchProgram(program.to_string()))?;
+        p.image
+            .mem_regions
+            .iter()
+            .find(|r| r.name == memory)
+            .map(|r| (r.rpb, r.offset, r.size))
+            .ok_or_else(|| CtlError::NoSuchMemory {
+                program: program.to_string(),
+                memory: memory.to_string(),
+            })
+    }
+
+    /// Configure a traffic-manager multicast group (§7 extension).
+    pub fn set_multicast_group(&mut self, group: u16, ports: Vec<u16>) -> CtlResult<()> {
+        Ok(self.switch.set_multicast_group(group, ports)?)
+    }
+
+    /// Process one frame through the switch (traffic path).
+    pub fn inject(&mut self, port: u16, frame: &[u8]) -> CtlResult<ProcessOutcome> {
+        Ok(self.switch.process_frame(port, frame)?)
+    }
+}

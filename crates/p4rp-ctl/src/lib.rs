@@ -1,0 +1,17 @@
+//! # p4rp-ctl — the P4runpro control plane (§3.1)
+//!
+//! * [`resman`] — dynamic resource tracking: per-RPB free-memory partition
+//!   lists (contiguous, first-fit), table-entry budgets for RPBs /
+//!   initialization paths / recirculation block, and the lock-until-reset
+//!   discipline of Figure 6;
+//! * [`controller`] — the deploy / revoke / monitor lifecycle, tying
+//!   together the language front end, the runtime compiler, the resource
+//!   manager, and the `bfrt`-calibrated control channel.
+
+pub mod cli;
+pub mod controller;
+pub mod resman;
+
+pub use cli::Cli;
+pub use controller::{Controller, CtlError, CtlResult, DeployReport, InstalledProgram, RevokeReport};
+pub use resman::ResourceManager;

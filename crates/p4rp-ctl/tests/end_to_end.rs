@@ -1,0 +1,213 @@
+//! End-to-end tests: the Figure 2 in-network cache deployed at runtime and
+//! exercised with real packets through the full parser → RPB → traffic
+//! manager → deparser path.
+
+use netpkt::{CacheOp, EtherType, EthernetRepr, IpProtocol, Ipv4Repr, Mac, NetCacheRepr, ParsedPacket, UdpRepr};
+use p4rp_ctl::Controller;
+use std::net::Ipv4Addr;
+
+/// The paper's running example (Figure 2), with the key halves arranged so
+/// the low word lands in `sar` (the case blocks test `sar == 0x8888`).
+const CACHE_SRC: &str = r#"
+@ mem1 1024
+program cache(
+    /*filtering traffic*/
+    <hdr.udp.dst_port, 7777, 0xffff>) {
+    EXTRACT(hdr.nc.op, har);   //get opcode
+    EXTRACT(hdr.nc.key2, sar); //get key[0:31]
+    EXTRACT(hdr.nc.key1, mar); //get key[32:63]
+    BRANCH:
+    /*cache hit and cache read*/
+    case(<har, 0, 0xffffffff>, <sar, 0x8888, 0xffffffff>, <mar, 0, 0xffffffff>) { /*elastic*/
+        RETURN;                    //return to client
+        LOADI(mar, 512);           //load address
+        MEMREAD(mem1);             //read cache
+        MODIFY(hdr.nc.value, sar); //write value to header
+    };
+    /*cache hit and cache write*/
+    case(<har, 1, 0xffffffff>, <sar, 0x8888, 0xffffffff>, <mar, 0, 0xffffffff>) { /*elastic*/
+        DROP;                      //drop the packet
+        LOADI(mar, 512);           //load address
+        EXTRACT(hdr.nc.value, sar);//get value
+        MEMWRITE(mem1);            //write cache
+    };
+    FORWARD(32); //cache miss
+}
+"#;
+
+fn cache_packet(op: CacheOp, key: u64, value: u32) -> Vec<u8> {
+    ParsedPacket {
+        ethernet: EthernetRepr {
+            dst: Mac::from_host_id(1),
+            src: Mac::from_host_id(2),
+            ethertype: EtherType::Ipv4,
+        },
+        ipv4: Some(Ipv4Repr {
+            src_addr: Ipv4Addr::new(10, 0, 0, 1),
+            dst_addr: Ipv4Addr::new(10, 0, 0, 2),
+            protocol: IpProtocol::Udp,
+            ttl: 64,
+            dscp: 0,
+            ecn: 0,
+        }),
+        udp: Some(UdpRepr { src_port: 40000, dst_port: netpkt::NETCACHE_PORT }),
+        tcp: None,
+        netcache: Some(NetCacheRepr { op, key, value }),
+        payload_len: 0,
+    }
+    .emit()
+}
+
+#[test]
+fn cache_read_write_miss_cycle() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    let reports = ctl.deploy(CACHE_SRC).unwrap();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert_eq!(r.name, "cache");
+    assert_eq!(r.depth, 10, "Figure 5: the translated cache program is 10 deep");
+    assert!(r.entries_installed > 10);
+    assert!(r.update_delay.as_millis_f64() > 0.5, "update delay is nonzero");
+
+    // 1. Cache write: server fills key 0x8888 with value 4242. The packet
+    //    is dropped (consumed by the switch) and the value is stored.
+    let out = ctl.inject(0, &cache_packet(CacheOp::Write, 0x8888, 4242)).unwrap();
+    assert!(out.dropped, "cache-write packets are consumed");
+    let mem = ctl.read_memory("cache", "mem1").unwrap();
+    assert_eq!(mem[512], 4242, "MEMWRITE stored the value at virtual bucket 512");
+
+    // 2. Cache read: client asks for key 0x8888; the switch answers
+    //    directly, reflecting the packet out its ingress port with the
+    //    value embedded.
+    let out = ctl.inject(3, &cache_packet(CacheOp::Read, 0x8888, 0)).unwrap();
+    assert!(!out.dropped);
+    assert_eq!(out.emitted.len(), 1);
+    let (port, frame) = &out.emitted[0];
+    assert_eq!(*port, 3, "RETURN reflects out the ingress port");
+    let reply = ParsedPacket::parse(frame).unwrap();
+    assert_eq!(reply.netcache.unwrap().value, 4242, "cache value embedded in the reply");
+
+    // 3. Cache miss: unknown key → forwarded to the server behind port 32.
+    let out = ctl.inject(3, &cache_packet(CacheOp::Read, 0x9999, 0)).unwrap();
+    assert!(!out.dropped);
+    assert_eq!(out.emitted[0].0, 32, "miss forwarded to the server port");
+    let fwd = ParsedPacket::parse(&out.emitted[0].1).unwrap();
+    assert_eq!(fwd.netcache.unwrap().value, 0, "miss leaves the packet unmodified");
+
+    // 4. Unrelated traffic (different UDP port) never matches the program:
+    //    no program id, no egress spec → dropped by the fabric, and no
+    //    state is touched.
+    let mut stray = cache_packet(CacheOp::Write, 0x8888, 1); // dst port below
+    // Rewrite the UDP destination port to 9999 (offset 14+20+2).
+    stray[14 + 20 + 2..14 + 20 + 4].copy_from_slice(&9999u16.to_be_bytes());
+    let out = ctl.inject(0, &stray).unwrap();
+    assert!(out.dropped);
+    assert_eq!(ctl.read_memory("cache", "mem1").unwrap()[512], 4242);
+}
+
+#[test]
+fn revoke_deactivates_and_resets() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.deploy(CACHE_SRC).unwrap();
+    ctl.inject(0, &cache_packet(CacheOp::Write, 0x8888, 7)).unwrap();
+    assert_eq!(ctl.read_memory("cache", "mem1").unwrap()[512], 7);
+
+    let baseline_mem = ctl.resources().memory_utilization();
+    assert!(baseline_mem > 0.0);
+
+    let report = ctl.revoke("cache").unwrap();
+    assert!(report.update_delay.as_millis_f64() > 0.0);
+    assert!(ctl.program("cache").is_none());
+    assert_eq!(ctl.resources().memory_utilization(), 0.0, "memory fully returned");
+    assert_eq!(ctl.resources().entry_utilization(), 0.0, "entries fully refunded");
+
+    // Packets no longer match: even well-formed cache traffic is inert.
+    let out = ctl.inject(0, &cache_packet(CacheOp::Read, 0x8888, 0)).unwrap();
+    assert!(out.dropped);
+
+    // Redeploying works and sees zeroed memory (the Figure 6 reset).
+    ctl.deploy(CACHE_SRC).unwrap();
+    assert_eq!(ctl.read_memory("cache", "mem1").unwrap()[512], 0);
+}
+
+#[test]
+fn duplicate_deploy_rejected() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.deploy(CACHE_SRC).unwrap();
+    assert!(matches!(
+        ctl.deploy(CACHE_SRC),
+        Err(p4rp_ctl::CtlError::DuplicateProgram(_))
+    ));
+}
+
+#[test]
+fn control_memory_write_translates_addresses() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.deploy(CACHE_SRC).unwrap();
+    // Pre-load the cache from the control plane instead of a write packet.
+    ctl.write_memory("cache", "mem1", 512, 31337).unwrap();
+    let out = ctl.inject(1, &cache_packet(CacheOp::Read, 0x8888, 0)).unwrap();
+    let reply = ParsedPacket::parse(&out.emitted[0].1).unwrap();
+    assert_eq!(reply.netcache.unwrap().value, 31337);
+    // Out-of-range virtual addresses are rejected at the translation step.
+    assert!(ctl.write_memory("cache", "mem1", 1024, 1).is_err());
+    assert!(ctl.read_memory("cache", "nope").is_err());
+    assert!(ctl.write_memory("ghost", "mem1", 0, 1).is_err());
+}
+
+#[test]
+fn concurrent_programs_are_isolated() {
+    // Two instances of the cache logic, isolated at flow granularity
+    // (§4.1.1) by the destination address: both serve the cache port, but
+    // cache answers for 10.0.0.2 and cache2 for 10.0.0.3. Their keys and
+    // memories differ; neither may observe the other's state.
+    let mut ctl = Controller::with_defaults().unwrap();
+    const PORT_FILTER: &str = "<hdr.udp.dst_port, 7777, 0xffff>";
+    let first = CACHE_SRC.replace(
+        PORT_FILTER,
+        "<hdr.udp.dst_port, 7777, 0xffff>, <hdr.ipv4.dst, 10.0.0.2, 0xffffffff>",
+    );
+    ctl.deploy(&first).unwrap();
+
+    let second = CACHE_SRC
+        .replace(
+            PORT_FILTER,
+            "<hdr.udp.dst_port, 7777, 0xffff>, <hdr.ipv4.dst, 10.0.0.3, 0xffffffff>",
+        )
+        .replace("program cache(", "program cache2(")
+        .replace("mem1", "memB")
+        .replace("0x8888", "0x1111");
+    ctl.deploy(&second).unwrap();
+
+    // Rewrite the IPv4 destination to 10.0.0.3 (offset 14+16), fixing the
+    // header checksum (offset 14+10).
+    let to_7778 = |op, key, value| {
+        let mut f: Vec<u8> = cache_packet(op, key, value);
+        f[14 + 19] = 3;
+        f[14 + 10] = 0;
+        f[14 + 11] = 0;
+        let c = netpkt::checksum::checksum(&f[14..34]);
+        f[14 + 10..14 + 12].copy_from_slice(&c.to_be_bytes());
+        f
+    };
+
+    // Write into both programs' caches.
+    ctl.inject(0, &cache_packet(CacheOp::Write, 0x8888, 100)).unwrap();
+    ctl.inject(0, &to_7778(CacheOp::Write, 0x1111, 200)).unwrap();
+
+    assert_eq!(ctl.read_memory("cache", "mem1").unwrap()[512], 100);
+    assert_eq!(ctl.read_memory("cache2", "memB").unwrap()[512], 200);
+
+    // Reads hit the right program.
+    let out = ctl.inject(0, &cache_packet(CacheOp::Read, 0x8888, 0)).unwrap();
+    assert_eq!(ParsedPacket::parse(&out.emitted[0].1).unwrap().netcache.unwrap().value, 100);
+    let out = ctl.inject(0, &to_7778(CacheOp::Read, 0x1111, 0)).unwrap();
+    assert_eq!(ParsedPacket::parse(&out.emitted[0].1).unwrap().netcache.unwrap().value, 200);
+
+    // Revoking one leaves the other running.
+    ctl.revoke("cache").unwrap();
+    let out = ctl.inject(0, &to_7778(CacheOp::Read, 0x1111, 0)).unwrap();
+    assert_eq!(ParsedPacket::parse(&out.emitted[0].1).unwrap().netcache.unwrap().value, 200);
+    let out = ctl.inject(0, &cache_packet(CacheOp::Read, 0x8888, 0)).unwrap();
+    assert!(out.dropped, "revoked program's traffic no longer matches");
+}

@@ -1,0 +1,535 @@
+//! Recursive-descent parser for the Figure 15 grammar.
+//!
+//! ```text
+//! start      ::= annotation* program+
+//! annotation ::= @ IDENTIFIER INT
+//! program    ::= program IDENTIFIER ( filter , filter* ) { primitive* }
+//! filter     ::= < FIELD , VALUE , MASK >
+//! primitive  ::= BRANCH : case+ ;
+//!              | PRIMITIVE_WITH_ARG ( argument , argument* ) ;
+//!              | OTHER_PRIMITIVE ;
+//! case       ::= case ( condition+ ) { primitive* } ;?
+//! condition  ::= < VALUE , MASK > | < REGISTER , VALUE , MASK >
+//! ```
+//!
+//! Conditions support both the positional form of the grammar (`<value,
+//! mask>` in har/sar/mar order) and the named form the paper's example
+//! programs use (`<sar, 0, 0xffffffff>`, Figures 16/17).
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parse a full source unit.
+pub fn parse(src: &str) -> Result<SourceUnit, LangError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.source_unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, LangError> {
+        let t = self.peek().clone();
+        if &t.kind == kind {
+            Ok(self.advance())
+        } else {
+            Err(LangError::parse(
+                format!("expected {}, found {}", kind.describe(), t.kind.describe()),
+                t.line,
+                t.col,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, u32, u32), LangError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok((name, t.line, t.col))
+            }
+            other => Err(LangError::parse(
+                format!("expected identifier, found {}", other.describe()),
+                t.line,
+                t.col,
+            )),
+        }
+    }
+
+    /// An integer or IPv4-address literal, as a u64.
+    fn expect_value(&mut self) -> Result<u64, LangError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(v)
+            }
+            TokenKind::IpAddr(v) => {
+                self.advance();
+                Ok(u64::from(v))
+            }
+            other => Err(LangError::parse(
+                format!("expected value, found {}", other.describe()),
+                t.line,
+                t.col,
+            )),
+        }
+    }
+
+    fn source_unit(&mut self) -> Result<SourceUnit, LangError> {
+        let mut unit = SourceUnit::default();
+        while self.peek().kind == TokenKind::At {
+            unit.annotations.push(self.annotation()?);
+        }
+        while self.peek().kind == TokenKind::KwProgram {
+            unit.programs.push(self.program()?);
+        }
+        if unit.programs.is_empty() {
+            let t = self.peek();
+            return Err(LangError::parse("expected at least one `program`", t.line, t.col));
+        }
+        self.expect(&TokenKind::Eof)?;
+        Ok(unit)
+    }
+
+    fn annotation(&mut self) -> Result<Annotation, LangError> {
+        let at = self.expect(&TokenKind::At)?;
+        let (name, ..) = self.expect_ident()?;
+        let size = self.expect_value()?;
+        Ok(Annotation { name, size, line: at.line })
+    }
+
+    fn program(&mut self) -> Result<ProgramDecl, LangError> {
+        let kw = self.expect(&TokenKind::KwProgram)?;
+        let (name, ..) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut filters = vec![self.filter()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.advance();
+            filters.push(self.filter()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+        let body = self.primitive_list()?;
+        self.expect(&TokenKind::RBrace)?;
+        Ok(ProgramDecl { name, filters, body, line: kw.line })
+    }
+
+    fn filter(&mut self) -> Result<Filter, LangError> {
+        self.expect(&TokenKind::Lt)?;
+        let (field, ..) = self.expect_ident()?;
+        self.expect(&TokenKind::Comma)?;
+        let value = self.expect_value()?;
+        self.expect(&TokenKind::Comma)?;
+        let mask = self.expect_value()?;
+        self.expect(&TokenKind::Gt)?;
+        Ok(Filter { field, value, mask })
+    }
+
+    fn primitive_list(&mut self) -> Result<Vec<Primitive>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace | TokenKind::Eof => break,
+                // Stray semicolons between primitives are tolerated (the
+                // example programs end case lists with `};`).
+                TokenKind::Semi => {
+                    self.advance();
+                }
+                _ => out.push(self.primitive()?),
+            }
+        }
+        Ok(out)
+    }
+
+    fn primitive(&mut self) -> Result<Primitive, LangError> {
+        let (name, line, col) = self.expect_ident()?;
+        let kind = match name.as_str() {
+            "BRANCH" => {
+                self.expect(&TokenKind::Colon)?;
+                let mut cases = Vec::new();
+                while self.peek().kind == TokenKind::KwCase {
+                    cases.push(self.case()?);
+                    if self.peek().kind == TokenKind::Semi {
+                        self.advance();
+                    }
+                }
+                if cases.is_empty() {
+                    return Err(LangError::parse("BRANCH requires at least one case", line, col));
+                }
+                PrimitiveKind::Branch { cases }
+            }
+            "DROP" => self.bare(PrimitiveKind::Drop)?,
+            "RETURN" => self.bare(PrimitiveKind::Return)?,
+            "REPORT" => self.bare(PrimitiveKind::Report)?,
+            "HASH_5_TUPLE" => self.bare(PrimitiveKind::Hash5Tuple)?,
+            "HASH" => self.bare(PrimitiveKind::Hash)?,
+            "NOP" => self.bare(PrimitiveKind::Nop)?,
+            "EXTRACT" | "MODIFY" => {
+                let (args_line, args_col) = (line, col);
+                self.expect(&TokenKind::LParen)?;
+                let (field, ..) = self.expect_ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let reg = self.reg()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                if name == "EXTRACT" {
+                    PrimitiveKind::Extract { field, reg }
+                } else {
+                    let _ = (args_line, args_col);
+                    PrimitiveKind::Modify { field, reg }
+                }
+            }
+            "HASH_5_TUPLE_MEM" | "HASH_MEM" | "MEMADD" | "MEMSUB" | "MEMAND" | "MEMOR"
+            | "MEMREAD" | "MEMWRITE" | "MEMMAX" => {
+                self.expect(&TokenKind::LParen)?;
+                let (mem, ..) = self.expect_ident()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                match name.as_str() {
+                    "HASH_5_TUPLE_MEM" => PrimitiveKind::Hash5TupleMem { mem },
+                    "HASH_MEM" => PrimitiveKind::HashMem { mem },
+                    "MEMADD" => PrimitiveKind::MemAdd { mem },
+                    "MEMSUB" => PrimitiveKind::MemSub { mem },
+                    "MEMAND" => PrimitiveKind::MemAnd { mem },
+                    "MEMOR" => PrimitiveKind::MemOr { mem },
+                    "MEMREAD" => PrimitiveKind::MemRead { mem },
+                    "MEMWRITE" => PrimitiveKind::MemWrite { mem },
+                    "MEMMAX" => PrimitiveKind::MemMax { mem },
+                    _ => unreachable!(),
+                }
+            }
+            "LOADI" | "ADDI" | "ANDI" | "XORI" | "SUBI" => {
+                self.expect(&TokenKind::LParen)?;
+                let reg = self.reg()?;
+                self.expect(&TokenKind::Comma)?;
+                let imm64 = self.expect_value()?;
+                let imm = u32::try_from(imm64).map_err(|_| {
+                    LangError::parse(format!("immediate {imm64} exceeds 32 bits"), line, col)
+                })?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                match name.as_str() {
+                    "LOADI" => PrimitiveKind::LoadI { reg, imm },
+                    "ADDI" => PrimitiveKind::AddI { reg, imm },
+                    "ANDI" => PrimitiveKind::AndI { reg, imm },
+                    "XORI" => PrimitiveKind::XorI { reg, imm },
+                    "SUBI" => PrimitiveKind::SubI { reg, imm },
+                    _ => unreachable!(),
+                }
+            }
+            "ADD" | "AND" | "OR" | "MAX" | "MIN" | "XOR" | "MOVE" | "SUB" | "EQUAL" | "SGT"
+            | "SLT" => {
+                self.expect(&TokenKind::LParen)?;
+                let a = self.reg()?;
+                self.expect(&TokenKind::Comma)?;
+                let b = self.reg()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                match name.as_str() {
+                    "ADD" => PrimitiveKind::Add { a, b },
+                    "AND" => PrimitiveKind::And { a, b },
+                    "OR" => PrimitiveKind::Or { a, b },
+                    "MAX" => PrimitiveKind::Max { a, b },
+                    "MIN" => PrimitiveKind::Min { a, b },
+                    "XOR" => PrimitiveKind::Xor { a, b },
+                    "MOVE" => PrimitiveKind::Move { a, b },
+                    "SUB" => PrimitiveKind::Sub { a, b },
+                    "EQUAL" => PrimitiveKind::Equal { a, b },
+                    "SGT" => PrimitiveKind::Sgt { a, b },
+                    "SLT" => PrimitiveKind::Slt { a, b },
+                    _ => unreachable!(),
+                }
+            }
+            "NOT" => {
+                self.expect(&TokenKind::LParen)?;
+                let reg = self.reg()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                PrimitiveKind::Not { reg }
+            }
+            "FORWARD" | "MULTICAST" => {
+                self.expect(&TokenKind::LParen)?;
+                let v64 = self.expect_value()?;
+                let v = u16::try_from(v64).map_err(|_| {
+                    LangError::parse(format!("value {v64} exceeds 16 bits"), line, col)
+                })?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                if name == "FORWARD" {
+                    PrimitiveKind::Forward { port: v }
+                } else {
+                    if v == 0 {
+                        return Err(LangError::parse("multicast group 0 is reserved", line, col));
+                    }
+                    PrimitiveKind::Multicast { group: v }
+                }
+            }
+            other => {
+                return Err(LangError::parse(format!("unknown primitive `{other}`"), line, col));
+            }
+        };
+        Ok(Primitive { kind, line })
+    }
+
+    /// A primitive with no arguments followed by `;`.
+    fn bare(&mut self, kind: PrimitiveKind) -> Result<PrimitiveKind, LangError> {
+        self.expect(&TokenKind::Semi)?;
+        Ok(kind)
+    }
+
+    fn reg(&mut self) -> Result<Reg, LangError> {
+        let (name, line, col) = self.expect_ident()?;
+        Reg::from_name(&name).ok_or_else(|| {
+            LangError::parse(format!("expected register (har/sar/mar), found `{name}`"), line, col)
+        })
+    }
+
+    fn case(&mut self) -> Result<Case, LangError> {
+        let kw = self.expect(&TokenKind::KwCase)?;
+        self.expect(&TokenKind::LParen)?;
+        let mut conds = RegConds::default();
+        let mut positional_idx = 0usize;
+        loop {
+            self.condition(&mut conds, &mut positional_idx)?;
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+        let body = self.primitive_list()?;
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Case { conds, body, line: kw.line })
+    }
+
+    /// Parse one `<…>` condition in named or positional form.
+    fn condition(&mut self, conds: &mut RegConds, positional_idx: &mut usize) -> Result<(), LangError> {
+        let lt = self.expect(&TokenKind::Lt)?;
+        // Named form starts with a register identifier.
+        let reg = if let TokenKind::Ident(name) = &self.peek().kind {
+            let name = name.clone();
+            let t = self.peek().clone();
+            let Some(r) = Reg::from_name(&name) else {
+                return Err(LangError::parse(
+                    format!("expected register or value in condition, found `{name}`"),
+                    t.line,
+                    t.col,
+                ));
+            };
+            self.advance();
+            self.expect(&TokenKind::Comma)?;
+            r
+        } else {
+            let r = *Reg::ALL.get(*positional_idx).ok_or_else(|| {
+                LangError::parse("too many positional conditions (max 3)", lt.line, lt.col)
+            })?;
+            *positional_idx += 1;
+            r
+        };
+        let value = self.expect_value()? as u32;
+        self.expect(&TokenKind::Comma)?;
+        let mask = self.expect_value()? as u32;
+        self.expect(&TokenKind::Gt)?;
+        if conds.get(reg).is_some() {
+            return Err(LangError::parse(
+                format!("duplicate condition on register `{}`", reg.name()),
+                lt.line,
+                lt.col,
+            ));
+        }
+        conds.set(reg, value, mask);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CACHE_SRC: &str = r#"
+@ mem1 1024
+
+program cache(
+    /*filtering traffic*/
+    <hdr.udp.dst_port, 7777, 0xffff>) {
+    EXTRACT(hdr.nc.op, har);   //get opcode
+    EXTRACT(hdr.nc.key1, sar); //get key[0:31]
+    EXTRACT(hdr.nc.key2, mar); //get key[32:63]
+    BRANCH:
+    /*cache hit and cache read*/
+    case(<har, 0, 0xffffffff>,
+         <sar, 0x8888, 0xffffffff>,
+         <mar, 0, 0xffffffff>) {
+        RETURN;
+        LOADI(mar, 512);
+        MEMREAD(mem1);
+        MODIFY(hdr.nc.value, sar);
+    };
+    /*cache hit and cache write*/
+    case(<har, 1, 0xffffffff>,
+         <sar, 0x8888, 0xffffffff>,
+         <mar, 0, 0xffffffff>) {
+        DROP;
+        LOADI(mar, 512);
+        EXTRACT(hdr.nc.value, sar);
+        MEMWRITE(mem1);
+    };
+    FORWARD(32); //cache miss
+}
+"#;
+
+    #[test]
+    fn parses_figure2_cache_program() {
+        let unit = parse(CACHE_SRC).unwrap();
+        assert_eq!(unit.annotations.len(), 1);
+        assert_eq!(unit.annotations[0].name, "mem1");
+        assert_eq!(unit.annotations[0].size, 1024);
+        assert_eq!(unit.programs.len(), 1);
+        let prog = &unit.programs[0];
+        assert_eq!(prog.name, "cache");
+        assert_eq!(prog.filters.len(), 1);
+        assert_eq!(prog.filters[0].field, "hdr.udp.dst_port");
+        assert_eq!(prog.filters[0].value, 7777);
+        assert_eq!(prog.filters[0].mask, 0xffff);
+        // 3 EXTRACTs, BRANCH, FORWARD.
+        assert_eq!(prog.body.len(), 5);
+        let PrimitiveKind::Branch { cases } = &prog.body[3].kind else {
+            panic!("4th primitive must be BRANCH");
+        };
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].conds.har, Some((0, 0xffffffff)));
+        assert_eq!(cases[0].conds.sar, Some((0x8888, 0xffffffff)));
+        assert_eq!(cases[0].body.len(), 4);
+        assert_eq!(prog.body[4].kind, PrimitiveKind::Forward { port: 32 });
+    }
+
+    #[test]
+    fn positional_conditions_fill_in_register_order() {
+        let src = r#"
+program p(<hdr.ipv4.dst, 10.0.0.0, 0xffff0000>) {
+    BRANCH:
+    case(<1, 0xff>, <2, 0xff>) { DROP; };
+}
+"#;
+        let unit = parse(src).unwrap();
+        let PrimitiveKind::Branch { cases } = &unit.programs[0].body[0].kind else {
+            panic!()
+        };
+        assert_eq!(cases[0].conds.har, Some((1, 0xff)));
+        assert_eq!(cases[0].conds.sar, Some((2, 0xff)));
+        assert_eq!(cases[0].conds.mar, None);
+    }
+
+    #[test]
+    fn ip_filter_value_normalized() {
+        let src = "program p(<hdr.ipv4.dst, 10.0.0.0, 0xffff0000>) { DROP; }";
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.programs[0].filters[0].value, 0x0a000000);
+    }
+
+    #[test]
+    fn multiple_filters() {
+        let src = "program p(<a, 1, 0xff>, <b, 2, 0xff>) { DROP; }";
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.programs[0].filters.len(), 2);
+    }
+
+    #[test]
+    fn nested_branch_parses() {
+        let src = r#"
+program p(<a, 1, 1>) {
+    BRANCH:
+    case(<sar, 0, 0xffffffff>) {
+        BRANCH:
+        case(<har, 1, 0xffffffff>) { REPORT; };
+    };
+}
+"#;
+        let unit = parse(src).unwrap();
+        let PrimitiveKind::Branch { cases } = &unit.programs[0].body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(cases[0].body[0].kind, PrimitiveKind::Branch { .. }));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("program p(<a, 1, 1>) { BOGUS; }").unwrap_err();
+        assert!(err.to_string().contains("unknown primitive"));
+        let err = parse("program p() { DROP; }").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn branch_requires_cases() {
+        assert!(parse("program p(<a, 1, 1>) { BRANCH: ; }").is_err());
+    }
+
+    #[test]
+    fn duplicate_register_condition_rejected() {
+        let src = "program p(<a,1,1>) { BRANCH: case(<sar,0,1>, <sar,1,1>) { DROP; }; }";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("duplicate condition"));
+    }
+
+    #[test]
+    fn too_many_positional_conditions_rejected() {
+        let src = "program p(<a,1,1>) { BRANCH: case(<0,1>, <1,1>, <2,1>, <3,1>) { DROP; }; }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn forward_port_range_checked() {
+        assert!(parse("program p(<a,1,1>) { FORWARD(70000); }").is_err());
+    }
+
+    #[test]
+    fn immediate_width_checked() {
+        assert!(parse("program p(<a,1,1>) { LOADI(mar, 0x1ffffffff); }").is_err());
+    }
+
+    #[test]
+    fn empty_input_needs_program() {
+        assert!(parse("").is_err());
+        assert!(parse("@ mem1 1024").is_err());
+    }
+
+    #[test]
+    fn all_two_reg_ops_parse() {
+        for op in ["ADD", "AND", "OR", "MAX", "MIN", "XOR", "MOVE", "SUB", "EQUAL", "SGT", "SLT"] {
+            let src = format!("program p(<a,1,1>) {{ {op}(har, sar); }}");
+            let unit = parse(&src).unwrap_or_else(|e| panic!("{op}: {e}"));
+            assert_eq!(unit.programs[0].body.len(), 1);
+        }
+    }
+
+    #[test]
+    fn all_mem_ops_parse() {
+        for op in ["MEMADD", "MEMSUB", "MEMAND", "MEMOR", "MEMREAD", "MEMWRITE", "MEMMAX"] {
+            let src = format!("@ m 64\nprogram p(<a,1,1>) {{ {op}(m); }}");
+            let unit = parse(&src).unwrap_or_else(|e| panic!("{op}: {e}"));
+            assert_eq!(unit.programs[0].body[0].kind.memory(), Some("m"));
+        }
+    }
+}

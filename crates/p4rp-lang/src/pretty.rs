@@ -1,0 +1,249 @@
+//! Pretty-printer: AST → canonical P4runpro source.
+//!
+//! The printer emits a canonical form (named conditions, one primitive per
+//! line) that re-parses to an identical AST — the property the round-trip
+//! tests rely on.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole source unit.
+pub fn print_unit(unit: &SourceUnit) -> String {
+    let mut out = String::new();
+    for ann in &unit.annotations {
+        let _ = writeln!(out, "@ {} {}", ann.name, ann.size);
+    }
+    for prog in &unit.programs {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let filters = prog
+            .filters
+            .iter()
+            .map(|f| format!("<{}, {}, 0x{:x}>", f.field, f.value, f.mask))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "program {}({}) {{", prog.name, filters);
+        print_body(&mut out, &prog.body, 1);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_body(out: &mut String, prims: &[Primitive], level: usize) {
+    for p in prims {
+        print_primitive(out, &p.kind, level);
+    }
+}
+
+fn print_primitive(out: &mut String, kind: &PrimitiveKind, level: usize) {
+    indent(out, level);
+    match kind {
+        PrimitiveKind::Branch { cases } => {
+            out.push_str("BRANCH:\n");
+            for case in cases {
+                indent(out, level);
+                let mut conds = Vec::new();
+                for reg in Reg::ALL {
+                    if let Some((v, m)) = case.conds.get(reg) {
+                        conds.push(format!("<{}, {}, 0x{:x}>", reg.name(), v, m));
+                    }
+                }
+                let _ = writeln!(out, "case({}) {{", conds.join(", "));
+                print_body(out, &case.body, level + 1);
+                indent(out, level);
+                out.push_str("};\n");
+            }
+        }
+        PrimitiveKind::Extract { field, reg } => {
+            let _ = writeln!(out, "EXTRACT({field}, {});", reg.name());
+        }
+        PrimitiveKind::Modify { field, reg } => {
+            let _ = writeln!(out, "MODIFY({field}, {});", reg.name());
+        }
+        PrimitiveKind::Hash5Tuple => out.push_str("HASH_5_TUPLE;\n"),
+        PrimitiveKind::Hash => out.push_str("HASH;\n"),
+        PrimitiveKind::Hash5TupleMem { mem } => {
+            let _ = writeln!(out, "HASH_5_TUPLE_MEM({mem});");
+        }
+        PrimitiveKind::HashMem { mem } => {
+            let _ = writeln!(out, "HASH_MEM({mem});");
+        }
+        PrimitiveKind::MemAdd { mem } => {
+            let _ = writeln!(out, "MEMADD({mem});");
+        }
+        PrimitiveKind::MemSub { mem } => {
+            let _ = writeln!(out, "MEMSUB({mem});");
+        }
+        PrimitiveKind::MemAnd { mem } => {
+            let _ = writeln!(out, "MEMAND({mem});");
+        }
+        PrimitiveKind::MemOr { mem } => {
+            let _ = writeln!(out, "MEMOR({mem});");
+        }
+        PrimitiveKind::MemRead { mem } => {
+            let _ = writeln!(out, "MEMREAD({mem});");
+        }
+        PrimitiveKind::MemWrite { mem } => {
+            let _ = writeln!(out, "MEMWRITE({mem});");
+        }
+        PrimitiveKind::MemMax { mem } => {
+            let _ = writeln!(out, "MEMMAX({mem});");
+        }
+        PrimitiveKind::LoadI { reg, imm } => {
+            let _ = writeln!(out, "LOADI({}, {imm});", reg.name());
+        }
+        PrimitiveKind::Add { a, b } => two(out, "ADD", *a, *b),
+        PrimitiveKind::And { a, b } => two(out, "AND", *a, *b),
+        PrimitiveKind::Or { a, b } => two(out, "OR", *a, *b),
+        PrimitiveKind::Max { a, b } => two(out, "MAX", *a, *b),
+        PrimitiveKind::Min { a, b } => two(out, "MIN", *a, *b),
+        PrimitiveKind::Xor { a, b } => two(out, "XOR", *a, *b),
+        PrimitiveKind::Move { a, b } => two(out, "MOVE", *a, *b),
+        PrimitiveKind::Sub { a, b } => two(out, "SUB", *a, *b),
+        PrimitiveKind::Equal { a, b } => two(out, "EQUAL", *a, *b),
+        PrimitiveKind::Sgt { a, b } => two(out, "SGT", *a, *b),
+        PrimitiveKind::Slt { a, b } => two(out, "SLT", *a, *b),
+        PrimitiveKind::Not { reg } => {
+            let _ = writeln!(out, "NOT({});", reg.name());
+        }
+        PrimitiveKind::AddI { reg, imm } => {
+            let _ = writeln!(out, "ADDI({}, {imm});", reg.name());
+        }
+        PrimitiveKind::AndI { reg, imm } => {
+            let _ = writeln!(out, "ANDI({}, {imm});", reg.name());
+        }
+        PrimitiveKind::XorI { reg, imm } => {
+            let _ = writeln!(out, "XORI({}, {imm});", reg.name());
+        }
+        PrimitiveKind::SubI { reg, imm } => {
+            let _ = writeln!(out, "SUBI({}, {imm});", reg.name());
+        }
+        PrimitiveKind::Forward { port } => {
+            let _ = writeln!(out, "FORWARD({port});");
+        }
+        PrimitiveKind::Multicast { group } => {
+            let _ = writeln!(out, "MULTICAST({group});");
+        }
+        PrimitiveKind::Drop => out.push_str("DROP;\n"),
+        PrimitiveKind::Return => out.push_str("RETURN;\n"),
+        PrimitiveKind::Report => out.push_str("REPORT;\n"),
+        PrimitiveKind::Nop => out.push_str("NOP;\n"),
+    }
+}
+
+fn two(out: &mut String, name: &str, a: Reg, b: Reg) {
+    let _ = writeln!(out, "{name}({}, {});", a.name(), b.name());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strip positions so re-parsed output compares structurally.
+    fn strip(unit: &mut SourceUnit) {
+        fn strip_prims(prims: &mut [Primitive]) {
+            for p in prims {
+                p.line = 0;
+                if let PrimitiveKind::Branch { cases } = &mut p.kind {
+                    for c in cases {
+                        c.line = 0;
+                        strip_prims(&mut c.body);
+                    }
+                }
+            }
+        }
+        for a in &mut unit.annotations {
+            a.line = 0;
+        }
+        for p in &mut unit.programs {
+            p.line = 0;
+            strip_prims(&mut p.body);
+        }
+    }
+
+    #[test]
+    fn roundtrip_cache_like_program() {
+        let src = r#"
+@ m 64
+program p(<hdr.udp.dst_port, 7777, 0xffff>) {
+    EXTRACT(hdr.nc.op, har);
+    BRANCH:
+    case(<har, 0, 0xffffffff>, <sar, 3, 0xff>) {
+        RETURN;
+        LOADI(mar, 512);
+        MEMREAD(m);
+        MODIFY(hdr.nc.value, sar);
+    };
+    case(<mar, 1, 0xffffffff>) {
+        SUBI(sar, 7);
+        NOT(har);
+    };
+    FORWARD(32);
+}
+"#;
+        let mut a = parse(src).unwrap();
+        let printed = print_unit(&a);
+        let mut b = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        strip(&mut a);
+        strip(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_every_primitive() {
+        let src = r#"
+@ m 8
+program all(<f, 1, 1>) {
+    EXTRACT(f, har);
+    MODIFY(f, sar);
+    HASH_5_TUPLE;
+    HASH;
+    HASH_5_TUPLE_MEM(m);
+    HASH_MEM(m);
+    MEMADD(m);
+    MEMSUB(m);
+    MEMAND(m);
+    MEMOR(m);
+    MEMREAD(m);
+    MEMWRITE(m);
+    MEMMAX(m);
+    LOADI(har, 1);
+    ADD(har, sar);
+    AND(har, sar);
+    OR(har, sar);
+    MAX(har, sar);
+    MIN(har, sar);
+    XOR(har, sar);
+    MOVE(har, sar);
+    NOT(har);
+    SUB(har, sar);
+    EQUAL(har, sar);
+    SGT(har, sar);
+    SLT(har, sar);
+    ADDI(har, 2);
+    ANDI(har, 3);
+    XORI(har, 4);
+    SUBI(har, 5);
+    FORWARD(9);
+    DROP;
+    RETURN;
+    REPORT;
+    NOP;
+}
+"#;
+        let mut a = parse(src).unwrap();
+        let printed = print_unit(&a);
+        let mut b = parse(&printed).unwrap();
+        strip(&mut a);
+        strip(&mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,503 @@
+//! Canonical P4runpro sources for the 15 programs of Table 1.
+//!
+//! Programs are emitted by builder functions so the experiments can vary
+//! the elastic parameters (cached keys, DIPs, routes) and the memory size.
+//! Elastic case blocks carry the `/*elastic*/` marker the LoC counter
+//! understands (§6.1: they correspond to non-constant table entries in the
+//! P4 version and are excluded from the logic comparison).
+
+use std::fmt::Write;
+
+/// The Figure 2 in-network cache: one `(key, vaddr)` pair per elastic
+/// read/write case pair. `mem` is the virtual memory size in buckets.
+pub fn cache(name: &str, filter: &str, mem: u32, keys: &[(u32, u32)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "@ mem1 {mem}");
+    let _ = writeln!(s, "program {name}(");
+    let _ = writeln!(s, "    /*filtering traffic*/");
+    let _ = writeln!(s, "    {filter}) {{");
+    s.push_str("    EXTRACT(hdr.nc.op, har);   //get opcode\n");
+    s.push_str("    EXTRACT(hdr.nc.key2, sar); //get key[0:31]\n");
+    s.push_str("    EXTRACT(hdr.nc.key1, mar); //get key[32:63]\n");
+    s.push_str("    BRANCH:\n");
+    for (key, vaddr) in keys {
+        let _ = writeln!(
+            s,
+            "    case(<har, 0, 0xffffffff>, <sar, {key}, 0xffffffff>, <mar, 0, 0xffffffff>) {{ /*elastic*/"
+        );
+        s.push_str("        RETURN;\n");
+        let _ = writeln!(s, "        LOADI(mar, {vaddr});");
+        s.push_str("        MEMREAD(mem1);\n");
+        s.push_str("        MODIFY(hdr.nc.value, sar);\n");
+        s.push_str("    };\n");
+        let _ = writeln!(
+            s,
+            "    case(<har, 1, 0xffffffff>, <sar, {key}, 0xffffffff>, <mar, 0, 0xffffffff>) {{ /*elastic*/"
+        );
+        s.push_str("        DROP;\n");
+        let _ = writeln!(s, "        LOADI(mar, {vaddr});");
+        s.push_str("        EXTRACT(hdr.nc.value, sar);\n");
+        s.push_str("        MEMWRITE(mem1);\n");
+        s.push_str("    };\n");
+    }
+    s.push_str("    FORWARD(32); //cache miss\n");
+    s.push_str("}\n");
+    s
+}
+
+/// The Figure 16 stateless load balancer: DIP pool + port pool, one
+/// elastic `FORWARD` case per egress port.
+pub fn lb(name: &str, filter: &str, mem: u32, ports: &[u16]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "@ dip_pool_{name} {mem}");
+    let _ = writeln!(s, "@ port_pool_{name} {mem}");
+    let _ = writeln!(s, "program {name}(");
+    let _ = writeln!(s, "    {filter}) {{");
+    let _ = writeln!(s, "    HASH_5_TUPLE_MEM(port_pool_{name}); //locate bucket");
+    let _ = writeln!(s, "    MEMREAD(port_pool_{name});          //get egress port");
+    s.push_str("    BRANCH:\n");
+    for (i, port) in ports.iter().enumerate() {
+        let _ = writeln!(s, "    case(<sar, {i}, 0xffffffff>) {{ /*elastic*/");
+        let _ = writeln!(s, "        FORWARD({port});");
+        s.push_str("    };\n");
+    }
+    let _ = writeln!(s, "    MEMREAD(dip_pool_{name});  //get DIP");
+    s.push_str("    MODIFY(hdr.ipv4.dst, sar); //write DIP\n");
+    s.push_str("}\n");
+    s
+}
+
+/// The Figure 17 heavy hitter detector: 2-row CMS + 2-row BF, threshold
+/// `thresh`, `rows` buckets per row.
+pub fn hh(name: &str, filter: &str, rows: u32, thresh: u32) -> String {
+    format!(
+        r#"@ cms1_{name} {rows} //CMS with two rows
+@ cms2_{name} {rows}
+@ bf1_{name} {rows} //BF with two rows
+@ bf2_{name} {rows}
+program {name}(
+    {filter}) {{
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(cms1_{name});
+    MEMADD(cms1_{name});        //count packet
+    LOADI(har, {thresh});       //set threshold
+    MIN(har, sar);              //compare with threshold
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(cms2_{name});
+    MEMADD(cms2_{name});
+    MIN(har, sar);
+    BRANCH:
+    /*flow count exceeds the threshold in both rows*/
+    case(<har, {thresh}, 0xffffffff>) {{
+        LOADI(sar, 1);
+        HASH_5_TUPLE_MEM(bf1_{name});
+        MEMOR(bf1_{name});      //check existence
+        BRANCH:
+        /*already reported: check the second row too*/
+        case(<sar, 1, 0xffffffff>) {{
+            LOADI(sar, 1);
+            HASH_5_TUPLE_MEM(bf2_{name});
+            MEMOR(bf2_{name});  //check another
+            BRANCH:
+            case(<sar, 0, 0xffffffff>) {{
+                REPORT;         //false positive on row 1: report
+            }};
+        }};
+        /*not seen yet: mark and report*/
+        case(<sar, 0, 0xffffffff>) {{
+            LOADI(sar, 1);
+            HASH_5_TUPLE_MEM(bf2_{name});
+            MEMOR(bf2_{name});  //update another
+            REPORT;             //report this packet
+        }};
+    }};
+}}
+"#
+    )
+}
+
+/// NetCache (the most complex of the 15): the in-network cache plus a
+/// key-popularity sketch that reports hot missed keys to the control
+/// plane.
+pub fn netcache(name: &str, filter: &str, mem: u32, keys: &[(u32, u32)], thresh: u32) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "@ kv_{name} {mem}");
+    let _ = writeln!(s, "@ pop1_{name} {mem}");
+    let _ = writeln!(s, "@ pop2_{name} {mem}");
+    let _ = writeln!(s, "program {name}(");
+    let _ = writeln!(s, "    {filter}) {{");
+    s.push_str("    EXTRACT(hdr.nc.op, har);\n");
+    s.push_str("    EXTRACT(hdr.nc.key2, sar);\n");
+    s.push_str("    EXTRACT(hdr.nc.key1, mar);\n");
+    s.push_str("    BRANCH:\n");
+    for (key, vaddr) in keys {
+        let _ = writeln!(
+            s,
+            "    case(<har, 0, 0xffffffff>, <sar, {key}, 0xffffffff>, <mar, 0, 0xffffffff>) {{ /*elastic*/"
+        );
+        s.push_str("        RETURN;\n");
+        let _ = writeln!(s, "        LOADI(mar, {vaddr});");
+        let _ = writeln!(s, "        MEMREAD(kv_{name});");
+        s.push_str("        MODIFY(hdr.nc.value, sar);\n");
+        s.push_str("    };\n");
+        let _ = writeln!(
+            s,
+            "    case(<har, 1, 0xffffffff>, <sar, {key}, 0xffffffff>, <mar, 0, 0xffffffff>) {{ /*elastic*/"
+        );
+        s.push_str("        DROP;\n");
+        let _ = writeln!(s, "        LOADI(mar, {vaddr});");
+        s.push_str("        EXTRACT(hdr.nc.value, sar);\n");
+        let _ = writeln!(s, "        MEMWRITE(kv_{name});");
+        s.push_str("    };\n");
+    }
+    // Popularity path (runs for every lookup; hit packets have already
+    // taken their RETURN/DROP verdict): count the key in a 2-row sketch
+    // and report keys crossing the threshold so the control plane can
+    // promote them into the cache.
+    s.push_str("    EXTRACT(hdr.nc.key2, har); //popularity key\n");
+    s.push_str("    LOADI(sar, 1);\n");
+    let _ = writeln!(s, "    HASH_MEM(pop1_{name});");
+    let _ = writeln!(s, "    MEMADD(pop1_{name});");
+    s.push_str("    BRANCH:\n");
+    let _ = writeln!(s, "    /*row 1 just crossed the threshold*/");
+    let _ = writeln!(s, "    case(<sar, {thresh}, 0xffffffff>) {{");
+    s.push_str("        LOADI(sar, 1);\n");
+    let _ = writeln!(s, "        HASH_MEM(pop2_{name}); //dedup row, different stage hash");
+    let _ = writeln!(s, "        MEMOR(pop2_{name});    //first sighting?");
+    s.push_str("        BRANCH:\n");
+    let _ = writeln!(s, "        case(<sar, 0, 0xffffffff>) {{");
+    s.push_str("            REPORT; //hot key: promote\n");
+    s.push_str("        };\n");
+    s.push_str("    };\n");
+    s.push_str("    FORWARD(32); //miss: to the server\n");
+    s.push_str("}\n");
+    s
+}
+
+/// DQAcc-style database query acceleration: per-flow aggregation of a
+/// record value pushed down into the switch; the running aggregate is
+/// written back into the header.
+pub fn dqacc(name: &str, filter: &str, mem: u32) -> String {
+    format!(
+        r#"@ agg_{name} {mem}
+program {name}(
+    {filter}) {{
+    EXTRACT(hdr.nc.value, sar); //record value
+    HASH_5_TUPLE_MEM(agg_{name});
+    MEMADD(agg_{name});         //running per-flow aggregate
+    MODIFY(hdr.nc.value, sar);  //push result into the record
+    FORWARD(16);
+}}
+"#
+    )
+}
+
+/// Stateful firewall: internal traffic whitelists its (symmetric) flow key
+/// in a Bloom filter; external traffic passes only if the key exists.
+pub fn firewall(name: &str, internal_max_port: u16, mem: u32) -> String {
+    format!(
+        r#"@ fwbf_{name} {mem}
+program {name}(
+    <hdr.ipv4.src, 0.0.0.0, 0x00000000>) {{
+    EXTRACT(hdr.ipv4.src, har);
+    EXTRACT(hdr.ipv4.dst, sar);
+    XOR(har, sar);              //direction-independent flow key
+    EXTRACT(meta.ingress_port, sar);
+    BRANCH:
+    /*from the internal side: record and pass*/
+    case(<sar, 0, 0xffffff{hi:02x}>) {{
+        HASH_MEM(fwbf_{name});
+        LOADI(sar, 1);
+        MEMOR(fwbf_{name});     //whitelist the flow
+        FORWARD(48);
+    }};
+    /*from outside: pass only established flows*/
+    case(<sar, 0, 0x00000000>) {{
+        HASH_MEM(fwbf_{name});
+        MEMREAD(fwbf_{name});   //probe without inserting
+        BRANCH:
+        case(<sar, 1, 0xffffffff>) {{
+            FORWARD(0);
+        }};
+        DROP;
+    }};
+}}
+"#,
+        // Internal ports 0..=internal_max_port: matched by masking off the
+        // low bits (port space must be power-of-two aligned).
+        hi = !(internal_max_port) & 0xff
+    )
+}
+
+/// L2 forwarding: MAC (low 32 bits) → port, one elastic case per station.
+pub fn l2_forwarding(name: &str, stations: &[(u32, u16)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "program {name}(");
+    let _ = writeln!(s, "    <hdr.eth.type, 0, 0x0000>) {{");
+    s.push_str("    EXTRACT(hdr.eth.dst, har);\n");
+    s.push_str("    BRANCH:\n");
+    for (mac_lo, port) in stations {
+        let _ = writeln!(s, "    case(<har, {mac_lo}, 0xffffffff>) {{ /*elastic*/");
+        let _ = writeln!(s, "        FORWARD({port});");
+        s.push_str("    };\n");
+    }
+    s.push_str("    DROP;\n");
+    s.push_str("}\n");
+    s
+}
+
+/// L3 routing: destination prefix → port, one elastic case per route.
+pub fn l3_routing(name: &str, routes: &[(u32, u32, u16)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "program {name}(");
+    let _ = writeln!(s, "    <hdr.ipv4.proto, 0, 0x00>) {{");
+    s.push_str("    EXTRACT(hdr.ipv4.dst, har);\n");
+    s.push_str("    BRANCH:\n");
+    for (prefix, mask, port) in routes {
+        let _ = writeln!(s, "    case(<har, {prefix}, 0x{mask:08x}>) {{ /*elastic*/");
+        let _ = writeln!(s, "        FORWARD({port});");
+        s.push_str("    };\n");
+    }
+    s.push_str("    DROP;\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Tunnel ingress: rewrite the destination to the tunnel endpoint and
+/// forward into the core.
+pub fn tunnel(name: &str, filter: &str, endpoint: u32, port: u16) -> String {
+    format!(
+        r#"program {name}(
+    {filter}) {{
+    LOADI(sar, {endpoint});
+    MODIFY(hdr.ipv4.dst, sar); //tunnel endpoint
+    FORWARD({port});
+}}
+"#
+    )
+}
+
+/// In-network calculator on the cache header: opcode selects the ALU
+/// function over the two key words, the result returns to the sender.
+pub fn calculator(name: &str) -> String {
+    format!(
+        r#"program {name}(
+    <hdr.udp.dst_port, 7777, 0xffff>, <hdr.nc.op, 0, 0x00>) {{
+    EXTRACT(hdr.nc.op, har);   //opcode
+    EXTRACT(hdr.nc.key2, sar); //operand a
+    EXTRACT(hdr.nc.key1, mar); //operand b
+    BRANCH:
+    case(<har, 0, 0xffffffff>) {{
+        ADD(sar, mar);
+        MODIFY(hdr.nc.value, sar);
+        RETURN;
+    }};
+    case(<har, 1, 0xffffffff>) {{
+        AND(sar, mar);
+        MODIFY(hdr.nc.value, sar);
+        RETURN;
+    }};
+    case(<har, 2, 0xffffffff>) {{
+        OR(sar, mar);
+        MODIFY(hdr.nc.value, sar);
+        RETURN;
+    }};
+    case(<har, 3, 0xffffffff>) {{
+        XOR(sar, mar);
+        MODIFY(hdr.nc.value, sar);
+        RETURN;
+    }};
+    case(<har, 4, 0xffffffff>) {{
+        MAX(sar, mar);
+        MODIFY(hdr.nc.value, sar);
+        RETURN;
+    }};
+    DROP;
+}}
+"#
+    )
+}
+
+/// ECN marking: ECT(0)/ECT(1) packets get the CE codepoint.
+pub fn ecn(name: &str, filter: &str) -> String {
+    format!(
+        r#"program {name}(
+    {filter}) {{
+    EXTRACT(hdr.ipv4.ecn, har);
+    BRANCH:
+    case(<har, 1, 0xffffffff>) {{
+        LOADI(sar, 3);
+        MODIFY(hdr.ipv4.ecn, sar); //mark CE
+    }};
+    case(<har, 2, 0xffffffff>) {{
+        LOADI(sar, 3);
+        MODIFY(hdr.ipv4.ecn, sar);
+    }};
+    FORWARD(4);
+}}
+"#
+    )
+}
+
+/// 2-row count-min sketch.
+pub fn cms(name: &str, filter: &str, rows: u32) -> String {
+    format!(
+        r#"@ cmsa_{name} {rows}
+@ cmsb_{name} {rows}
+program {name}(
+    {filter}) {{
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(cmsa_{name});
+    MEMADD(cmsa_{name});
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(cmsb_{name});
+    MEMADD(cmsb_{name});
+}}
+"#
+    )
+}
+
+/// 2-row Bloom filter.
+pub fn bloom(name: &str, filter: &str, rows: u32) -> String {
+    format!(
+        r#"@ bfa_{name} {rows}
+@ bfb_{name} {rows}
+program {name}(
+    {filter}) {{
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(bfa_{name});
+    MEMOR(bfa_{name});
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(bfb_{name});
+    MEMOR(bfb_{name});
+}}
+"#
+    )
+}
+
+/// SuMax-style sketch: per-flow byte sum plus per-flow packet-size max.
+pub fn sumax(name: &str, filter: &str, rows: u32) -> String {
+    format!(
+        r#"@ sum_{name} {rows}
+@ max_{name} {rows}
+program {name}(
+    {filter}) {{
+    EXTRACT(meta.pkt_len, sar);
+    HASH_5_TUPLE_MEM(sum_{name});
+    MEMADD(sum_{name});
+    EXTRACT(meta.pkt_len, sar);
+    HASH_5_TUPLE_MEM(max_{name});
+    MEMMAX(max_{name});
+}}
+"#
+    )
+}
+
+/// HyperLogLog: flow-hash leading-one position → register max. The 32
+/// rank cases are *inelastic* (fixed program logic, one per possible
+/// leading-zero count), which is why HLL has both the largest LoC and the
+/// largest update delay in Table 1.
+pub fn hll(name: &str, filter: &str, registers: u32) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "@ hllreg_{name} {registers}");
+    let _ = writeln!(s, "program {name}(");
+    let _ = writeln!(s, "    {filter}) {{");
+    s.push_str("    HASH_5_TUPLE;              //rank source\n");
+    let _ = writeln!(s, "    HASH_5_TUPLE_MEM(hllreg_{name}); //register index");
+    s.push_str("    BRANCH:\n");
+    for rank in 1..=32u32 {
+        let bit = 32 - rank; // position of the leading one
+        let value = 1u32 << bit;
+        let mask = if rank == 1 { 0x8000_0000u32 } else { (!0u32) << bit };
+        let _ = writeln!(s, "    case(<har, 0x{value:08x}, 0x{mask:08x}>) {{");
+        let _ = writeln!(s, "        LOADI(sar, {rank});");
+        let _ = writeln!(s, "        MEMMAX(hllreg_{name});");
+        s.push_str("    };\n");
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4rp_lang::{count_loc, parse};
+
+    #[test]
+    fn all_sources_parse() {
+        let filter_ip = "<hdr.ipv4.dst, 10.0.0.1, 0xffffffff>";
+        let filter_nc = "<hdr.udp.dst_port, 7777, 0xffff>";
+        let sources = [
+            cache("cache", filter_nc, 1024, &[(0x8888, 512)]),
+            lb("lb", filter_ip, 256, &[0, 1]),
+            hh("hh", filter_ip, 1024, 1024),
+            netcache("nc", filter_nc, 1024, &[(0x8888, 512)], 128),
+            dqacc("dq", filter_nc, 256),
+            firewall("fw", 31, 1024),
+            l2_forwarding("l2", &[(0xaabbccdd, 3)]),
+            l3_routing("l3", &[(0x0a000000, 0xff000000, 7)]),
+            tunnel("tun", filter_ip, 0x0a0a0a0a, 8),
+            calculator("calc"),
+            ecn("ecn", filter_ip),
+            cms("cms", filter_ip, 1024),
+            bloom("bf", filter_ip, 1024),
+            sumax("sm", filter_ip, 1024),
+            hll("hll", filter_ip, 256),
+        ];
+        for src in &sources {
+            parse(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn loc_ordering_matches_table1_shape() {
+        // Table 1: HLL is by far the largest; simple forwarding programs
+        // are tiny; cache/hh are mid-sized.
+        let filter_ip = "<hdr.ipv4.dst, 10.0.0.1, 0xffffffff>";
+        let filter_nc = "<hdr.udp.dst_port, 7777, 0xffff>";
+        let l_hll = count_loc(&hll("h", filter_ip, 256));
+        let l_cache = count_loc(&cache("c", filter_nc, 1024, &[(0x8888, 512)]));
+        let l_hh = count_loc(&hh("x", filter_ip, 1024, 1024));
+        let l_l3 = count_loc(&l3_routing("r", &[(0x0a000000, 0xff000000, 7)]));
+        let l_cms = count_loc(&cms("m", filter_ip, 1024));
+        assert!(l_hll > 120, "HLL is the outlier: {l_hll}");
+        assert!(l_hll > l_hh && l_hh > l_cache && l_cache > l_cms && l_cms > l_l3);
+        assert!(l_l3 <= 10);
+    }
+
+    #[test]
+    fn elastic_blocks_scale_loc_but_not_logic() {
+        use p4rp_lang::count_loc_excluding_elastic;
+        let filter_nc = "<hdr.udp.dst_port, 7777, 0xffff>";
+        let one = cache("c", filter_nc, 1024, &[(1, 0)]);
+        let many = cache("c", filter_nc, 1024, &[(1, 0), (2, 1), (3, 2), (4, 3)]);
+        assert!(count_loc(&many) > count_loc(&one));
+        assert_eq!(
+            count_loc_excluding_elastic(&many),
+            count_loc_excluding_elastic(&one),
+            "elastic blocks do not add program logic"
+        );
+    }
+
+    #[test]
+    fn hll_rank_masks_partition_the_hash_space() {
+        // Every nonzero 32-bit value matches exactly one rank case under
+        // first-match (priority) semantics — mirror the matching here.
+        let cases: Vec<(u32, u32)> = (1..=32u32)
+            .map(|rank| {
+                let bit = 32 - rank;
+                let value = 1u32 << bit;
+                let mask = if rank == 1 { 0x8000_0000 } else { (!0u32) << bit };
+                (value, mask)
+            })
+            .collect();
+        for h in [1u32, 2, 3, 0x8000_0000, 0x7fff_ffff, 0x0000_8000, 12345] {
+            let rank = cases
+                .iter()
+                .position(|(v, m)| h & m == v & m)
+                .map(|i| i + 1)
+                .expect("nonzero value matches some rank");
+            assert_eq!(rank as u32, h.leading_zeros() + 1);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Behavioral tests: each Table-1 program deployed at runtime and
+//! exercised with packets, asserting its externally observable function.
+
+use netpkt::{CacheOp, ParsedPacket};
+use p4rp_ctl::Controller;
+use p4rp_progs::sources;
+use traffic::{frame_for, make_flows, netcache_frame};
+
+fn ctl() -> Controller {
+    Controller::with_defaults().unwrap()
+}
+
+#[test]
+fn calculator_computes_all_opcodes() {
+    let mut ctl = ctl();
+    ctl.deploy(&sources::calculator("calc")).unwrap();
+    let flow = make_flows(1, 1, 0.0)[0].tuple;
+
+    // Key layout: key1 = operand b (high word), key2 = operand a (low).
+    let pack = |a: u32, b: u32| (u64::from(b) << 32) | u64::from(a);
+    for (op, a, b, expect) in [
+        (0u8, 7u32, 5u32, 12u32),       // ADD
+        (1, 0b1100, 0b1010, 0b1000),    // AND
+        (2, 0b1100, 0b1010, 0b1110),    // OR
+        (3, 0b1100, 0b1010, 0b0110),    // XOR
+        (4, 3, 9, 9),                   // MAX
+    ] {
+        let frame = netcache_frame(&flow, CacheOp::Unknown(op), pack(a, b), 0);
+        let out = ctl.inject(4, &frame).unwrap();
+        assert_eq!(out.emitted.len(), 1, "op {op} answered");
+        assert_eq!(out.emitted[0].0, 4, "RETURN reflects");
+        let reply = ParsedPacket::parse(&out.emitted[0].1).unwrap();
+        assert_eq!(reply.netcache.unwrap().value, expect, "op {op}: {a} ⊕ {b}");
+    }
+    // Unknown opcode drops.
+    let frame = netcache_frame(&flow, CacheOp::Unknown(9), pack(1, 1), 0);
+    assert!(ctl.inject(4, &frame).unwrap().dropped);
+}
+
+#[test]
+fn ecn_marks_ect_packets_only() {
+    let mut ctl = ctl();
+    ctl.deploy(&sources::ecn("ecn", "<hdr.ipv4.dst, 10.2.0.0, 0xffff0000>"))
+        .unwrap();
+    let flow = make_flows(2, 1, 0.0)[0].tuple;
+    for (ecn_in, ecn_out) in [(0u8, 0u8), (1, 3), (2, 3), (3, 3)] {
+        let mut frame = frame_for(&flow, 32);
+        // Patch the ECN bits (low 2 bits of the TOS byte) + checksum.
+        frame[15] = (frame[15] & 0xfc) | ecn_in;
+        frame[24] = 0;
+        frame[25] = 0;
+        let c = netpkt::checksum::checksum(&frame[14..34]);
+        frame[24..26].copy_from_slice(&c.to_be_bytes());
+        let out = ctl.inject(0, &frame).unwrap();
+        assert_eq!(out.emitted[0].0, 4, "forwarded");
+        let reply = ParsedPacket::parse(&out.emitted[0].1).unwrap();
+        assert_eq!(reply.ipv4.unwrap().ecn, ecn_out, "ECN {ecn_in} → {ecn_out}");
+    }
+}
+
+#[test]
+fn tunnel_rewrites_destination() {
+    let mut ctl = ctl();
+    ctl.deploy(&sources::tunnel(
+        "tun",
+        "<hdr.ipv4.dst, 10.2.0.0, 0xffff0000>",
+        u32::from_be_bytes([192, 0, 2, 1]),
+        8,
+    ))
+    .unwrap();
+    let flow = make_flows(3, 1, 0.0)[0].tuple;
+    let out = ctl.inject(0, &frame_for(&flow, 64)).unwrap();
+    assert_eq!(out.emitted[0].0, 8);
+    let reply = ParsedPacket::parse(&out.emitted[0].1).unwrap();
+    assert_eq!(reply.ipv4.unwrap().dst_addr.octets(), [192, 0, 2, 1]);
+    // The rewritten header carries a recomputed, valid checksum.
+    let ip = netpkt::Ipv4Packet::new_checked(&out.emitted[0].1[14..]).unwrap();
+    assert!(ip.checksum_ok());
+}
+
+#[test]
+fn l2_forwarding_switches_on_mac() {
+    let mut ctl = ctl();
+    ctl.deploy(&sources::l2_forwarding(
+        "l2",
+        &[(0x0000_002a, 5), (0x0000_002b, 6)],
+    ))
+    .unwrap();
+    let flow = make_flows(4, 1, 0.0)[0].tuple;
+    for (host, port) in [(42u32, 5u16), (43, 6)] {
+        let mut frame = frame_for(&flow, 20);
+        frame[0..6].copy_from_slice(&netpkt::Mac::from_host_id(host).0);
+        let out = ctl.inject(0, &frame).unwrap();
+        assert_eq!(out.emitted[0].0, port, "station {host}");
+    }
+    // Unknown station drops.
+    let mut frame = frame_for(&flow, 20);
+    frame[0..6].copy_from_slice(&netpkt::Mac::from_host_id(99).0);
+    assert!(ctl.inject(0, &frame).unwrap().dropped);
+}
+
+#[test]
+fn firewall_admits_established_flows_only() {
+    let mut ctl = ctl();
+    ctl.deploy(&sources::firewall("fw", 31, 1024)).unwrap();
+    let flow = make_flows(5, 1, 0.0)[0].tuple;
+    let outbound = frame_for(&flow, 40);
+    let inbound = frame_for(&flow.reversed(), 40);
+
+    // Unsolicited inbound (external port 40) is dropped.
+    let out = ctl.inject(40, &inbound).unwrap();
+    assert!(out.dropped, "unsolicited inbound blocked");
+
+    // Outbound from an internal port (< 32) whitelists the flow …
+    let out = ctl.inject(3, &outbound).unwrap();
+    assert_eq!(out.emitted[0].0, 48, "outbound passes to the uplink");
+
+    // … after which the reverse direction is admitted (symmetric key).
+    let out = ctl.inject(40, &inbound).unwrap();
+    assert!(!out.dropped, "established flow admitted");
+    assert_eq!(out.emitted[0].0, 0, "inbound forwarded to the inside");
+
+    // An unrelated external flow is still blocked.
+    let other = make_flows(6, 1, 0.0)[0].tuple;
+    assert!(ctl.inject(40, &frame_for(&other, 40)).unwrap().dropped);
+}
+
+#[test]
+fn dqacc_accumulates_per_flow() {
+    let mut ctl = ctl();
+    ctl.deploy(&sources::dqacc("dq", "<hdr.udp.dst_port, 7777, 0xffff>", 256))
+        .unwrap();
+    let flow = make_flows(7, 2, 0.0);
+    let mut totals = [0u32; 2];
+    for round in 1..=3u32 {
+        for (i, f) in flow.iter().enumerate() {
+            let frame = netcache_frame(&f.tuple, CacheOp::Read, 0, round * 10);
+            let out = ctl.inject(0, &frame).unwrap();
+            totals[i] += round * 10;
+            assert_eq!(out.emitted[0].0, 16);
+            let reply = ParsedPacket::parse(&out.emitted[0].1).unwrap();
+            assert_eq!(
+                reply.netcache.unwrap().value,
+                totals[i],
+                "running per-flow aggregate, flow {i} round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cms_counts_and_bf_remembers() {
+    // Overlapping filters would hand every packet to one program (§7:
+    // parallel execution of unrelated programs on the same packet is not
+    // supported), so cms and bf run on separate switches here.
+    let mut ctl_cms = ctl();
+    ctl_cms
+        .deploy(&sources::cms("cms", "<hdr.ipv4.src, 10.1.0.0, 0xffff0000>", 1024))
+        .unwrap();
+    let mut ctl_bf = ctl();
+    ctl_bf
+        .deploy(&sources::bloom("bf", "<hdr.ipv4.dst, 10.2.0.0, 0xffff0000>", 1024))
+        .unwrap();
+    let flows = make_flows(8, 3, 0.0);
+    for f in &flows {
+        for _ in 0..5 {
+            ctl_cms.inject(0, &frame_for(&f.tuple, 40)).unwrap();
+            ctl_bf.inject(0, &frame_for(&f.tuple, 40)).unwrap();
+        }
+    }
+    // CMS row sums equal the packet count (CMS never undercounts).
+    let row: Vec<u32> = ctl_cms.read_memory("cms", "cmsa_cms").unwrap();
+    assert_eq!(row.iter().map(|&v| u64::from(v)).sum::<u64>(), 15);
+    // BF has at most 3 set bits per row (collisions only reduce).
+    let bf: Vec<u32> = ctl_bf.read_memory("bf", "bfa_bf").unwrap();
+    let set = bf.iter().filter(|&&v| v != 0).count();
+    assert!((1..=3).contains(&set), "{set} bits for 3 flows");
+}
+
+#[test]
+fn sumax_tracks_sum_and_max() {
+    let mut ctl = ctl();
+    ctl.deploy(&sources::sumax("sm", "<hdr.ipv4.src, 10.1.0.0, 0xffff0000>", 1024))
+        .unwrap();
+    let flow = make_flows(9, 1, 0.0)[0].tuple;
+    let mut sum = 0u64;
+    let mut max = 0u64;
+    for payload in [100usize, 700, 300] {
+        let frame = frame_for(&flow, payload);
+        sum += frame.len() as u64;
+        max = max.max(frame.len() as u64);
+        ctl.inject(0, &frame).unwrap();
+    }
+    let sums: Vec<u32> = ctl.read_memory("sm", "sum_sm").unwrap();
+    let maxes: Vec<u32> = ctl.read_memory("sm", "max_sm").unwrap();
+    assert_eq!(sums.iter().map(|&v| u64::from(v)).sum::<u64>(), sum);
+    assert_eq!(u64::from(*maxes.iter().max().unwrap()), max);
+}
+
+#[test]
+fn hll_registers_hold_leading_one_ranks() {
+    let mut ctl = ctl();
+    ctl.deploy(&sources::hll("hll", "<hdr.ipv4.src, 10.1.0.0, 0xffff0000>", 256))
+        .unwrap();
+    // 512 distinct flows → register ranks follow the HLL profile: maximum
+    // rank grows ~log2(n/m)+const, most registers small but nonzero.
+    for f in make_flows(10, 512, 0.5) {
+        ctl.inject(0, &frame_for(&f.tuple, 40)).unwrap();
+    }
+    let regs: Vec<u32> = ctl.read_memory("hll", "hllreg_hll").unwrap();
+    let touched = regs.iter().filter(|&&v| v > 0).count();
+    assert!(touched > 180, "most of the 256 registers touched: {touched}");
+    let max_rank = *regs.iter().max().unwrap();
+    assert!((2..=20).contains(&max_rank), "plausible max rank {max_rank}");
+    // An HLL cardinality estimate from the registers lands near 512.
+    let m = regs.len() as f64;
+    let alpha = 0.7213 / (1.0 + 1.079 / m);
+    let denom: f64 = regs.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+    let estimate = alpha * m * m / denom;
+    assert!(
+        (200.0..=1200.0).contains(&estimate),
+        "cardinality estimate {estimate:.0} for 512 flows"
+    );
+}
+
+#[test]
+fn netcache_reports_hot_missed_keys() {
+    let mut ctl = ctl();
+    let src = sources::netcache(
+        "nc",
+        "<hdr.udp.dst_port, 7777, 0xffff>",
+        1024,
+        &[(0x8888, 1)],
+        4,
+    );
+    ctl.deploy(&src).unwrap();
+    let flow = make_flows(11, 1, 0.0)[0].tuple;
+
+    // The popularity path counts *every* lookup (see the source builder's
+    // comment); hits are still answered from the switch, and the hot-key
+    // signal fires exactly once when a key crosses the threshold.
+    let hit = netcache_frame(&flow, CacheOp::Read, 0x8888, 0);
+    let mut hit_reports = 0;
+    for _ in 0..6 {
+        let out = ctl.inject(0, &hit).unwrap();
+        hit_reports += out.reports.len();
+        assert_eq!(out.emitted[0].0, 0, "reflected to the client");
+    }
+    assert_eq!(hit_reports, 1, "the hit key crossed the threshold once");
+
+    // A missed key crossing the popularity threshold reports exactly once
+    // and is always forwarded to the server.
+    let miss = netcache_frame(&flow, CacheOp::Read, 0x4242, 0);
+    let mut reports = 0;
+    for _ in 0..8 {
+        let out = ctl.inject(0, &miss).unwrap();
+        assert_eq!(out.emitted[0].0, 32, "misses go to the server");
+        reports += out.reports.len();
+    }
+    assert_eq!(reports, 1, "hot-key promotion signal fires once");
+}

@@ -1,0 +1,100 @@
+//! Generality test (§6.1): all 15 Table 1 programs deploy concurrently
+//! onto one running data plane, and the workload generators sustain
+//! repeated deploy/revoke churn.
+
+use p4rp_ctl::Controller;
+use p4rp_progs::{catalog_all, instance, Family, Workload, WorkloadParams};
+
+#[test]
+fn all_fifteen_programs_coexist() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    for spec in catalog_all() {
+        let reports = ctl
+            .deploy(&spec.source)
+            .unwrap_or_else(|e| panic!("{} failed to deploy: {e}", spec.name));
+        assert_eq!(reports.len(), 1, "{}", spec.name);
+        let r = &reports[0];
+        assert!(r.update_delay.as_millis_f64() > 0.0, "{}", spec.name);
+        assert!(
+            r.passes <= 2,
+            "{} needed {} passes (R=1 allows 2)",
+            spec.name,
+            r.passes
+        );
+    }
+    assert_eq!(ctl.deployed_programs().count(), 15);
+    // The paper: "Most of them (13 of 15) can be processed without
+    // recirculation." Count the single-pass programs.
+    let single_pass = ctl
+        .deployed_programs()
+        .filter(|(_, p)| p.image.passes == 1)
+        .count();
+    assert!(
+        single_pass >= 12,
+        "expected most programs single-pass, got {single_pass}/15"
+    );
+
+    // Everything revokes cleanly, in arbitrary order.
+    let names: Vec<String> = ctl.deployed_programs().map(|(n, _)| n.clone()).collect();
+    for name in names {
+        ctl.revoke(&name).unwrap();
+    }
+    assert_eq!(ctl.resources().memory_utilization(), 0.0);
+    assert_eq!(ctl.resources().entry_utilization(), 0.0);
+}
+
+#[test]
+fn workload_instances_deploy_in_bulk() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    let p = WorkloadParams::default();
+    // 30 epochs of the mixed workload (10 of each core family).
+    let mut deployed = Vec::new();
+    for i in 0..30 {
+        let src = Workload::Mixed.program(i, i, p);
+        let r = ctl.deploy(&src).unwrap_or_else(|e| panic!("epoch {i}: {e}"));
+        deployed.push(r[0].name.clone());
+    }
+    assert_eq!(ctl.deployed_programs().count(), 30);
+    assert!(ctl.resources().entry_utilization() > 0.0);
+
+    // Churn: revoke every other one, deploy replacements.
+    for name in deployed.iter().step_by(2) {
+        ctl.revoke(name).unwrap();
+    }
+    for i in 30..45 {
+        ctl.deploy(&Workload::Mixed.program(i, i, p)).unwrap();
+    }
+    assert_eq!(ctl.deployed_programs().count(), 30);
+}
+
+#[test]
+fn larger_elastic_configs_deploy() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    let p = WorkloadParams { mem: 1024, elastic: 16 };
+    for (i, family) in [Family::Cache, Family::Lb, Family::NetCache].into_iter().enumerate() {
+        ctl.deploy(&instance(family, i, p))
+            .unwrap_or_else(|e| panic!("{family:?}: {e}"));
+    }
+    assert_eq!(ctl.deployed_programs().count(), 3);
+}
+
+#[test]
+#[ignore = "timing probe, run explicitly"]
+fn timing_probe() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    let p = WorkloadParams::default();
+    let mut worst = std::time::Duration::ZERO;
+    let t0 = std::time::Instant::now();
+    let mut count = 0usize;
+    for i in 0..200 {
+        let src = Workload::Mixed.program(i, i, p);
+        match ctl.deploy(&src) {
+            Ok(r) => {
+                worst = worst.max(r[0].alloc_wall);
+                count += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    println!("deployed {count}, total {:?}, worst alloc {:?}", t0.elapsed(), worst);
+}

@@ -1,0 +1,184 @@
+//! The control channel: batched control operations with a calibrated
+//! latency model.
+//!
+//! The paper drives its Tofino through `bfrt_grpc`; update delay (Table 1)
+//! is dominated by per-entry write RPCs plus per-batch overhead. The
+//! [`ControlChannel`] reproduces that cost structure against the simulated
+//! clock while applying each operation atomically to the switch, so the
+//! consistency experiments can interleave packets between operations of a
+//! batch.
+
+use crate::clock::{Nanos, SimClock};
+use crate::error::SimResult;
+use crate::switch::{ControlOp, OpResult, Switch};
+
+/// Per-operation latency model, calibrated against the prototype's
+/// `bfrt_grpc` measurements (see EXPERIMENTS.md, Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Per insert.
+    pub per_insert: Nanos,
+    /// Per delete.
+    pub per_delete: Nanos,
+    /// Per reg write.
+    pub per_reg_write: Nanos,
+    /// Per reg read.
+    pub per_reg_read: Nanos,
+    /// Fixed overhead per batch (RPC setup, session commit).
+    pub per_batch: Nanos,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            per_insert: Nanos::from_micros(330),
+            per_delete: Nanos::from_micros(250),
+            per_reg_write: Nanos::from_micros(25),
+            per_reg_read: Nanos::from_micros(25),
+            per_batch: Nanos::from_micros(600),
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Cost of.
+    pub fn cost_of(&self, op: &ControlOp) -> Nanos {
+        match op {
+            ControlOp::InsertEntry { .. } => self.per_insert,
+            ControlOp::DeleteEntry { .. } => self.per_delete,
+            ControlOp::WriteReg { .. } => self.per_reg_write,
+            ControlOp::ReadReg { .. } | ControlOp::ReadRegRange { .. } => self.per_reg_read,
+            // A range reset is a DMA-style bulk operation billed as one
+            // register write regardless of length.
+            ControlOp::ResetRegRange { .. } => self.per_reg_write,
+        }
+    }
+}
+
+/// A control session against one switch.
+#[derive(Debug, Clone, Default)]
+pub struct ControlChannel {
+    /// Model.
+    pub model: LatencyModel,
+    /// Clock.
+    pub clock: SimClock,
+}
+
+impl ControlChannel {
+    /// Construct with defaults appropriate to the type.
+    pub fn new(model: LatencyModel) -> ControlChannel {
+        ControlChannel { model, clock: SimClock::new() }
+    }
+
+    /// Apply a batch of operations in order, advancing the simulated clock.
+    /// Returns the results and the total batch latency.
+    ///
+    /// Fail-stop semantics: the batch aborts at the first failing
+    /// operation. Everything already applied stays applied — exactly the
+    /// partial-state hazard the paper's consistent-update ordering is
+    /// designed to make harmless.
+    pub fn apply_batch(
+        &mut self,
+        sw: &mut Switch,
+        ops: &[ControlOp],
+    ) -> SimResult<(Vec<OpResult>, Nanos)> {
+        let mut total = self.model.per_batch;
+        let mut results = Vec::with_capacity(ops.len());
+        for op in ops {
+            let r = sw.apply_op(op)?;
+            total += self.model.cost_of(op);
+            results.push(r);
+        }
+        self.clock.advance(total);
+        Ok((results, total))
+    }
+
+    /// Pure cost estimation without touching a switch (used by planners).
+    pub fn estimate_batch(&self, ops: &[ControlOp]) -> Nanos {
+        ops.iter().fold(self.model.per_batch, |acc, op| acc + self.model.cost_of(op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phv::FieldTable;
+    use crate::parser::{HeaderDef, HeaderField, NextState, ParseState, Parser};
+    use crate::pipeline::{Gress, Pipeline, StageLimits};
+    use crate::switch::{SwitchConfig, TableRef};
+    use crate::table::{KeySpec, MatchKind, MatchValue, TableEntry};
+    use crate::action::ActionDef;
+
+    fn switch_with_one_table() -> Switch {
+        let mut ft = FieldTable::new();
+        let f = ft.register("hdr.x.v", 8).unwrap();
+        let p = ft.register("hdr.x.$valid", 1).unwrap();
+        let mut parser = Parser::new();
+        let h = parser.add_header(HeaderDef {
+            name: "x".into(),
+            len_bytes: 1,
+            fields: vec![HeaderField { field: f, bit_offset: 0, bits: 8 }],
+            presence: p,
+            checksum_at: None,
+            bitmap_bit: 0,
+        });
+        let s = parser.add_state(ParseState {
+            header: h,
+            select: None,
+            transitions: vec![],
+            default: NextState::Accept,
+        });
+        parser.set_start(s);
+        let mut ig = Pipeline::new(Gress::Ingress, 1, StageLimits::default());
+        ig.stage_mut(0).unwrap().add_table(crate::table::Table::new(
+            "t",
+            KeySpec::new(vec![(f, MatchKind::Exact)]),
+            vec![ActionDef::noop("n")],
+            16,
+        ));
+        let eg = Pipeline::new(Gress::Egress, 1, StageLimits::default());
+        let mut sw = Switch::assemble(SwitchConfig::default(), ft, parser, ig, eg);
+        sw.provision().unwrap();
+        sw
+    }
+
+    fn insert_op(v: u64) -> ControlOp {
+        ControlOp::InsertEntry {
+            table: TableRef { gress: Gress::Ingress, stage: 0, table: 0 },
+            entry: TableEntry {
+                matches: vec![MatchValue::Exact(v)],
+                priority: 0,
+                action: 0,
+                data: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn batch_cost_is_overhead_plus_per_op() {
+        let mut sw = switch_with_one_table();
+        let mut ch = ControlChannel::default();
+        let ops = vec![insert_op(1), insert_op(2), insert_op(3)];
+        let (results, cost) = ch.apply_batch(&mut sw, &ops).unwrap();
+        assert_eq!(results.len(), 3);
+        let expect = ch.model.per_batch + Nanos(3 * ch.model.per_insert.0);
+        assert_eq!(cost, expect);
+        assert_eq!(ch.clock.now(), expect);
+        assert_eq!(ch.estimate_batch(&ops), expect);
+    }
+
+    #[test]
+    fn failed_batch_keeps_applied_prefix() {
+        let mut sw = switch_with_one_table();
+        let mut ch = ControlChannel::default();
+        let tref = TableRef { gress: Gress::Ingress, stage: 0, table: 0 };
+        let bad = ControlOp::DeleteEntry {
+            table: tref,
+            handle: crate::table::EntryHandle(999),
+        };
+        let ops = vec![insert_op(1), bad, insert_op(2)];
+        assert!(ch.apply_batch(&mut sw, &ops).is_err());
+        // The first insert survived: partial state, as in real hardware.
+        assert_eq!(sw.table(tref).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Simulator error types.
+
+use core::fmt;
+
+/// Errors raised by the RMT simulator.
+///
+/// Split by provenance: configuration-time errors (provisioning a pipeline
+/// that does not fit the chip) versus runtime errors (control operations
+/// against missing objects, out-of-range memory access).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A named field was not registered in the field table.
+    UnknownField(String),
+    /// A field id is out of range for the PHV.
+    BadFieldId(u16),
+    /// A table id does not exist.
+    NoSuchTable(String),
+    /// An entry handle does not exist (already deleted, or never inserted).
+    NoSuchEntry(u64),
+    /// The table reached its configured size limit.
+    /// TableFull.
+    TableFull { table: String, capacity: usize },
+    /// An entry's match spec does not line up with the table's key spec.
+    /// KeyMismatch.
+    KeyMismatch { table: String, expected: usize, got: usize },
+    /// An entry references an action id the table does not define.
+    /// NoSuchAction.
+    NoSuchAction { table: String, action: usize },
+    /// A register array id does not exist.
+    NoSuchRegArray(String),
+    /// A stateful-memory access fell outside the array.
+    /// AddrOutOfRange.
+    AddrOutOfRange { array: String, addr: u32, size: u32 },
+    /// A per-stage hardware resource was exceeded at provisioning time.
+    /// ResourceExceeded.
+    ResourceExceeded { stage: usize, resource: &'static str, used: usize, limit: usize },
+    /// The parser rejected the packet (no accepting path).
+    ParserReject,
+    /// The packet exceeded the maximum recirculation iterations configured
+    /// on the switch — the hardware drops such packets.
+    /// RecircLimit.
+    RecircLimit { limit: u8 },
+    /// A port number outside the switch's port range.
+    NoSuchPort(u16),
+    /// Anything that indicates the simulator itself was misconfigured.
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownField(name) => write!(f, "unknown PHV field `{name}`"),
+            SimError::BadFieldId(id) => write!(f, "field id {id} out of range"),
+            SimError::NoSuchTable(name) => write!(f, "no such table `{name}`"),
+            SimError::NoSuchEntry(h) => write!(f, "no such entry handle {h}"),
+            SimError::TableFull { table, capacity } => {
+                write!(f, "table `{table}` is full ({capacity} entries)")
+            }
+            SimError::KeyMismatch { table, expected, got } => {
+                write!(f, "table `{table}` expects {expected} key fields, entry has {got}")
+            }
+            SimError::NoSuchAction { table, action } => {
+                write!(f, "table `{table}` has no action id {action}")
+            }
+            SimError::NoSuchRegArray(name) => write!(f, "no such register array `{name}`"),
+            SimError::AddrOutOfRange { array, addr, size } => {
+                write!(f, "address {addr} out of range for array `{array}` (size {size})")
+            }
+            SimError::ResourceExceeded { stage, resource, used, limit } => {
+                write!(f, "stage {stage}: {resource} exceeded ({used} > {limit})")
+            }
+            SimError::ParserReject => write!(f, "parser rejected packet"),
+            SimError::RecircLimit { limit } => {
+                write!(f, "packet exceeded recirculation limit {limit}")
+            }
+            SimError::NoSuchPort(p) => write!(f, "no such port {p}"),
+            SimError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// SimResult.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = SimError::TableFull { table: "rpb_3".into(), capacity: 2048 };
+        assert!(e.to_string().contains("rpb_3"));
+        assert!(e.to_string().contains("2048"));
+        let e = SimError::AddrOutOfRange { array: "mem_9".into(), addr: 70000, size: 65536 };
+        assert!(e.to_string().contains("70000"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Hardware hash units.
+//!
+//! Tofino's hash engines are Galois-field CRC generators with selectable
+//! polynomials. The case study in the paper (Figure 13(d)) specifically uses
+//! `crc_16_buypass`, `crc_16_mcrf4xx`, `crc_aug_ccitt`, and `crc_16_dds_110`
+//! to address the CMS and Bloom-filter rows, and relies on the property that
+//! *truncating* a wide uniform hash (the mask step of address translation)
+//! has the same collision behaviour as a natively narrower hash. Those exact
+//! algorithms are implemented here, parameterized in the Rocksoft model
+//! (width / poly / init / refin / refout / xorout), and verified against the
+//! standard `"123456789"` check values.
+
+/// A CRC algorithm in the Rocksoft parameter model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrcSpec {
+    /// Output width in bits (≤ 32).
+    pub width: u8,
+    /// Poly.
+    pub poly: u32,
+    /// Init.
+    pub init: u32,
+    /// Refin.
+    pub refin: bool,
+    /// Refout.
+    pub refout: bool,
+    /// Xorout.
+    pub xorout: u32,
+}
+
+/// CRC-16/UMTS, known in the Tofino SDE as `crc_16_buypass`.
+pub const CRC16_BUYPASS: CrcSpec =
+    CrcSpec { width: 16, poly: 0x8005, init: 0x0000, refin: false, refout: false, xorout: 0x0000 };
+
+/// CRC-16/MCRF4XX.
+pub const CRC16_MCRF4XX: CrcSpec =
+    CrcSpec { width: 16, poly: 0x1021, init: 0xFFFF, refin: true, refout: true, xorout: 0x0000 };
+
+/// CRC-16/SPI-FUJITSU, known in the SDE as `crc_aug_ccitt`.
+pub const CRC16_AUG_CCITT: CrcSpec =
+    CrcSpec { width: 16, poly: 0x1021, init: 0x1D0F, refin: false, refout: false, xorout: 0x0000 };
+
+/// CRC-16/DDS-110.
+pub const CRC16_DDS_110: CrcSpec =
+    CrcSpec { width: 16, poly: 0x8005, init: 0x800D, refin: false, refout: false, xorout: 0x0000 };
+
+/// CRC-16/CCITT-FALSE, the SDE default 16-bit hash.
+pub const CRC16_CCITT_FALSE: CrcSpec =
+    CrcSpec { width: 16, poly: 0x1021, init: 0xFFFF, refin: false, refout: false, xorout: 0x0000 };
+
+/// Standard CRC-32 (ISO-HDLC).
+pub const CRC32: CrcSpec = CrcSpec {
+    width: 32,
+    poly: 0x04C11DB7,
+    init: 0xFFFF_FFFF,
+    refin: true,
+    refout: true,
+    xorout: 0xFFFF_FFFF,
+};
+
+/// The four algorithms used to address the two CMS rows and two BF rows in
+/// the heavy-hitter case study, in the paper's order.
+pub const HH_CRC_SET: [CrcSpec; 4] =
+    [CRC16_BUYPASS, CRC16_MCRF4XX, CRC16_AUG_CCITT, CRC16_DDS_110];
+
+fn reflect(value: u32, bits: u8) -> u32 {
+    let mut out = 0u32;
+    for i in 0..bits {
+        if value & (1 << i) != 0 {
+            out |= 1 << (bits - 1 - i);
+        }
+    }
+    out
+}
+
+impl CrcSpec {
+    /// Compute the CRC of `data`.
+    ///
+    /// A straightforward bitwise implementation: the simulator hashes a few
+    /// dozen bytes per invocation, so table generation would not pay off,
+    /// and the bitwise form mirrors the hardware LFSR directly.
+    pub fn compute(&self, data: &[u8]) -> u32 {
+        debug_assert!(self.width <= 32 && self.width > 0);
+        let width = u32::from(self.width);
+        let topbit = 1u32 << (width - 1);
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let mut crc = self.init & mask;
+        for &byte in data {
+            let b = if self.refin { reflect(u32::from(byte), 8) as u8 } else { byte };
+            crc ^= (u32::from(b)) << (width - 8);
+            crc &= mask;
+            for _ in 0..8 {
+                if crc & topbit != 0 {
+                    crc = ((crc << 1) ^ self.poly) & mask;
+                } else {
+                    crc = (crc << 1) & mask;
+                }
+            }
+        }
+        if self.refout {
+            crc = reflect(crc, self.width);
+        }
+        (crc ^ self.xorout) & mask
+    }
+
+    /// Compute the CRC and truncate to `out_bits` via the mask step of the
+    /// paper's address-translation mechanism (§4.1.2): `crc & (2^out_bits-1)`.
+    pub fn compute_masked(&self, data: &[u8], out_bits: u8) -> u32 {
+        let mask = if out_bits >= 32 { u32::MAX } else { (1u32 << out_bits) - 1 };
+        self.compute(data) & mask
+    }
+}
+
+/// Accounting record for one hash invocation site in a provisioned pipeline,
+/// used by the resource report (hash-unit usage in Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashUse {
+    /// Galois-matrix output bits consumed.
+    pub output_bits: u8,
+    /// Total input bits fed to the unit.
+    pub input_bits: u16,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHECK: &[u8] = b"123456789";
+
+    // Check values from the canonical CRC catalogue (reveng).
+    #[test]
+    fn buypass_check() {
+        assert_eq!(CRC16_BUYPASS.compute(CHECK), 0xFEE8);
+    }
+
+    #[test]
+    fn mcrf4xx_check() {
+        assert_eq!(CRC16_MCRF4XX.compute(CHECK), 0x6F91);
+    }
+
+    #[test]
+    fn aug_ccitt_check() {
+        assert_eq!(CRC16_AUG_CCITT.compute(CHECK), 0xE5CC);
+    }
+
+    #[test]
+    fn dds_110_check() {
+        assert_eq!(CRC16_DDS_110.compute(CHECK), 0x9ECF);
+    }
+
+    #[test]
+    fn ccitt_false_check() {
+        assert_eq!(CRC16_CCITT_FALSE.compute(CHECK), 0x29B1);
+    }
+
+    #[test]
+    fn crc32_check() {
+        assert_eq!(CRC32.compute(CHECK), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn masked_equals_truncated() {
+        // The property the heavy-hitter case study relies on: the mask step
+        // is exactly a truncation of the full-width output.
+        let full = CRC16_BUYPASS.compute(CHECK);
+        assert_eq!(CRC16_BUYPASS.compute_masked(CHECK, 10), full & 0x3FF);
+        assert_eq!(CRC16_BUYPASS.compute_masked(CHECK, 32), full);
+    }
+
+    #[test]
+    fn empty_input_is_init_transform() {
+        // CRC of no data is the (reflected, xored) init value.
+        let spec = CRC16_BUYPASS;
+        assert_eq!(spec.compute(&[]), 0x0000);
+        assert_eq!(CRC16_AUG_CCITT.compute(&[]), 0x1D0F);
+    }
+
+    #[test]
+    fn algorithms_disagree() {
+        // The four HH algorithms must behave as independent hash functions.
+        let outs: Vec<u32> = HH_CRC_SET.iter().map(|s| s.compute(CHECK)).collect();
+        for i in 0..outs.len() {
+            for j in (i + 1)..outs.len() {
+                assert_ne!(outs[i], outs[j], "algorithms {i} and {j} collide on check input");
+            }
+        }
+    }
+
+    #[test]
+    fn reflect_involution() {
+        for v in [0u32, 1, 0x8005, 0xFFFF, 0xDEAD] {
+            assert_eq!(reflect(reflect(v, 16), 16), v & 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn masked_distribution_is_roughly_uniform() {
+        // Hash 4096 synthetic five-tuple-ish keys into 256 buckets and make
+        // sure no bucket is pathologically loaded (the property Figure 13(d)
+        // depends on).
+        let mut counts = [0u32; 256];
+        for i in 0u32..4096 {
+            let data = i.to_be_bytes();
+            let h = CRC16_MCRF4XX.compute_masked(&data, 8) as usize;
+            counts[h] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max <= 40, "bucket overload: {max}");
+        assert!(min >= 2, "bucket starvation: {min}");
+    }
+}

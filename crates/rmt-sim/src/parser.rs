@@ -1,0 +1,596 @@
+//! The programmable parser and deparser.
+//!
+//! RMT parsers are finite state machines: each state extracts one header
+//! into the PHV and selects the next state from a field of that header.
+//! Following §4.1.1 of the paper, the simulator maintains a *parse-path
+//! bitmap* in the PHV with one bit per header type; the initialization block
+//! keys its filtering tables on this bitmap.
+//!
+//! The parse state machine is fixed at provisioning time — the paper's
+//! "Header Parsing" limitation (§7) is faithfully reproduced: runtime
+//! programs can only see fields the compiled parser extracts.
+//!
+//! ## Deparsing
+//!
+//! Like real RMT hardware, the deparser *rebuilds* each header from the PHV
+//! rather than patching the original bytes: every header type carries a
+//! 1-bit *presence* field, set by the parser and settable/clearable by
+//! actions. This is what lets the P4runpro recirculation block push its
+//! state-carrying header for another pipeline pass (§4.1.3) and strip it
+//! before the packet leaves the switch. Consequently every header must
+//! declare *full bit coverage* — its fields must tile the header exactly —
+//! which [`HeaderDef::validate_coverage`] checks at provisioning time.
+
+use crate::error::{SimError, SimResult};
+use crate::phv::{FieldId, FieldTable, Phv};
+
+/// Index of a registered header type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeaderTypeId(pub usize);
+
+/// One extractable field within a header.
+#[derive(Debug, Clone)]
+pub struct HeaderField {
+    /// Field.
+    pub field: FieldId,
+    /// Offset of the field's most significant bit from the start of the
+    /// header, big-endian bit order.
+    pub bit_offset: u16,
+    /// Bits.
+    pub bits: u8,
+}
+
+/// A fixed-length header type.
+#[derive(Debug, Clone)]
+pub struct HeaderDef {
+    /// Human-readable name.
+    pub name: String,
+    /// Len bytes.
+    pub len_bytes: usize,
+    /// Fields.
+    pub fields: Vec<HeaderField>,
+    /// 1-bit PHV field: non-zero ⇒ this header is emitted by the deparser.
+    pub presence: FieldId,
+    /// Byte offset (relative to header start) of an RFC 1071 checksum over
+    /// the whole header, recomputed at deparse time. Used by IPv4.
+    pub checksum_at: Option<usize>,
+    /// This header's bit in the parse-path bitmap.
+    pub bitmap_bit: u8,
+}
+
+impl HeaderDef {
+    /// Check that the declared fields tile the header exactly: no gaps, no
+    /// overlaps, total width = `len_bytes * 8`. Required because the
+    /// deparser reconstructs headers purely from the PHV.
+    pub fn validate_coverage(&self) -> SimResult<()> {
+        let mut covered = vec![false; self.len_bytes * 8];
+        for hf in &self.fields {
+            for i in 0..u16::from(hf.bits) {
+                let bit = usize::from(hf.bit_offset + i);
+                if bit >= covered.len() {
+                    return Err(SimError::Config(format!(
+                        "header `{}`: field bits exceed header length",
+                        self.name
+                    )));
+                }
+                if covered[bit] {
+                    return Err(SimError::Config(format!(
+                        "header `{}`: overlapping fields at bit {bit}",
+                        self.name
+                    )));
+                }
+                covered[bit] = true;
+            }
+        }
+        if covered.iter().any(|c| !c) {
+            return Err(SimError::Config(format!(
+                "header `{}`: fields do not cover every bit",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Where a parse transition goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextState {
+    /// Accept.
+    Accept,
+    /// Reject.
+    Reject,
+    /// State.
+    State(usize),
+}
+
+/// One parse state: extract `header`, then select on a field.
+#[derive(Debug, Clone)]
+pub struct ParseState {
+    /// Header.
+    pub header: HeaderTypeId,
+    /// Field to select the next state on; `None` means unconditionally
+    /// `default`.
+    pub select: Option<FieldId>,
+    /// `(value, mask, next)` transitions, first match wins.
+    pub transitions: Vec<(u64, u64, NextState)>,
+    /// Default.
+    pub default: NextState,
+}
+
+/// Result of parsing one frame.
+#[derive(Debug, Clone)]
+pub struct ParseResult {
+    /// Parse-path bitmap: bit `bitmap_bit` of each header seen is set.
+    pub bitmap: u16,
+    /// Header types parsed, in wire order.
+    pub headers: Vec<HeaderTypeId>,
+    /// Offset of the first payload byte.
+    pub payload_offset: usize,
+}
+
+/// The compiled parse graph.
+#[derive(Debug, Clone)]
+pub struct Parser {
+    headers: Vec<HeaderDef>,
+    states: Vec<ParseState>,
+    start: usize,
+    /// Alternate start state used for frames arriving on the recirculation
+    /// port (they carry the state-resume header in front of Ethernet).
+    recirc_start: Option<usize>,
+    /// Deparser emit order (defaults to header registration order).
+    emit_order: Vec<HeaderTypeId>,
+    /// Deparse-time substitutions: when emitting field `.0`, take the value
+    /// of field `.1` instead. Lets a header carry a *next-pass* value (the
+    /// recirculation block "rewrites the P4runpro headers", §4.1.3) while
+    /// the working PHV copy — used as an RPB match key — keeps the current
+    /// pass's value.
+    deparse_overrides: Vec<(FieldId, FieldId)>,
+}
+
+impl Parser {
+    /// Construct with defaults appropriate to the type.
+    pub fn new() -> Parser {
+        Parser {
+            headers: Vec::new(),
+            states: Vec::new(),
+            start: 0,
+            recirc_start: None,
+            emit_order: Vec::new(),
+            deparse_overrides: Vec::new(),
+        }
+    }
+
+    /// Add header.
+    pub fn add_header(&mut self, def: HeaderDef) -> HeaderTypeId {
+        assert!(self.headers.len() < 16, "parse bitmap holds at most 16 header types");
+        let id = HeaderTypeId(self.headers.len());
+        self.headers.push(def);
+        self.emit_order.push(id);
+        id
+    }
+
+    /// Add state.
+    pub fn add_state(&mut self, state: ParseState) -> usize {
+        self.states.push(state);
+        self.states.len() - 1
+    }
+
+    /// Set start.
+    pub fn set_start(&mut self, state: usize) {
+        self.start = state;
+    }
+
+    /// Set recirc start.
+    pub fn set_recirc_start(&mut self, state: usize) {
+        self.recirc_start = Some(state);
+    }
+
+    /// Override the deparser emit order (e.g. recirculation header first).
+    pub fn set_emit_order(&mut self, order: Vec<HeaderTypeId>) {
+        self.emit_order = order;
+    }
+
+    /// When the deparser emits `field`, substitute the value of `from`.
+    pub fn set_deparse_override(&mut self, field: FieldId, from: FieldId) {
+        self.deparse_overrides.push((field, from));
+    }
+
+    /// Header def.
+    pub fn header_def(&self, id: HeaderTypeId) -> &HeaderDef {
+        &self.headers[id.0]
+    }
+
+    /// Headers.
+    pub fn headers(&self) -> &[HeaderDef] {
+        &self.headers
+    }
+
+    /// Num header types.
+    pub fn num_header_types(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Validate all headers' field coverage; called at provisioning.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.states.is_empty() {
+            return Err(SimError::Config("parser has no states".into()));
+        }
+        for def in &self.headers {
+            def.validate_coverage()?;
+        }
+        Ok(())
+    }
+
+    /// The number of distinct accepting parse paths, which is the number of
+    /// filtering tables `K` the initialization block provisions (§5).
+    pub fn num_paths(&self) -> usize {
+        fn walk(parser: &Parser, state: usize, depth: usize) -> usize {
+            if depth > parser.states.len() {
+                return 0;
+            }
+            let st = &parser.states[state];
+            let mut total = 0;
+            let mut targets: Vec<NextState> = st.transitions.iter().map(|t| t.2).collect();
+            targets.push(st.default);
+            for t in targets {
+                total += match t {
+                    NextState::Accept => 1,
+                    NextState::Reject => 0,
+                    NextState::State(s) => walk(parser, s, depth + 1),
+                };
+            }
+            total
+        }
+        if self.states.is_empty() {
+            0
+        } else {
+            walk(self, self.start, 0)
+        }
+    }
+
+    /// Run the parse state machine over `frame`, extracting fields into
+    /// `phv`, setting presence bits, and maintaining the parse-path bitmap.
+    ///
+    /// `from_recirc` selects the recirculation-port start state when one is
+    /// configured.
+    pub fn parse(
+        &self,
+        table: &FieldTable,
+        frame: &[u8],
+        phv: &mut Phv,
+        from_recirc: bool,
+    ) -> SimResult<ParseResult> {
+        let mut offset = 0usize;
+        let mut bitmap = 0u16;
+        let mut headers = Vec::new();
+        let mut state_idx = match (from_recirc, self.recirc_start) {
+            (true, Some(s)) => s,
+            _ => self.start,
+        };
+        if self.states.is_empty() {
+            return Err(SimError::Config("parser has no states".into()));
+        }
+        loop {
+            let state = &self.states[state_idx];
+            let def = &self.headers[state.header.0];
+            if frame.len() < offset + def.len_bytes {
+                return Err(SimError::ParserReject);
+            }
+            for hf in &def.fields {
+                let v = extract_bits(&frame[offset..offset + def.len_bytes], hf.bit_offset, hf.bits);
+                phv.set(table, hf.field, v);
+            }
+            phv.set(table, def.presence, 1);
+            bitmap |= 1 << def.bitmap_bit;
+            headers.push(state.header);
+            offset += def.len_bytes;
+
+            let next = match state.select {
+                None => state.default,
+                Some(sel) => {
+                    let v = phv.get(sel);
+                    state
+                        .transitions
+                        .iter()
+                        .find(|(value, mask, _)| v & mask == value & mask)
+                        .map(|t| t.2)
+                        .unwrap_or(state.default)
+                }
+            };
+            match next {
+                NextState::Accept => break,
+                NextState::Reject => return Err(SimError::ParserReject),
+                NextState::State(s) => state_idx = s,
+            }
+        }
+        let intr = table.intrinsics();
+        phv.set(table, intr.parse_bitmap, u64::from(bitmap));
+        phv.set(table, intr.pkt_len, frame.len() as u64);
+        Ok(ParseResult { bitmap, headers, payload_offset: offset })
+    }
+
+    /// Rebuild the frame from the PHV: every header whose presence bit is
+    /// set is emitted (in `emit_order`), followed by `payload`.
+    pub fn deparse(&self, _table: &FieldTable, phv: &Phv, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + payload.len());
+        for id in &self.emit_order {
+            let def = &self.headers[id.0];
+            if phv.get(def.presence) == 0 {
+                continue;
+            }
+            let start = out.len();
+            out.resize(start + def.len_bytes, 0u8);
+            let hdr = &mut out[start..start + def.len_bytes];
+            for hf in &def.fields {
+                let src = self
+                    .deparse_overrides
+                    .iter()
+                    .find(|(f, _)| *f == hf.field)
+                    .map(|(_, from)| *from)
+                    .unwrap_or(hf.field);
+                deposit_bits(hdr, hf.bit_offset, hf.bits, phv.get(src));
+            }
+            if let Some(ck_off) = def.checksum_at {
+                hdr[ck_off] = 0;
+                hdr[ck_off + 1] = 0;
+                let c = netpkt::checksum::checksum(hdr);
+                hdr[ck_off] = (c >> 8) as u8;
+                hdr[ck_off + 1] = (c & 0xff) as u8;
+            }
+        }
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+impl Default for Parser {
+    fn default() -> Self {
+        Parser::new()
+    }
+}
+
+/// Extract `bits` bits starting `bit_offset` bits into `data` (big-endian).
+pub fn extract_bits(data: &[u8], bit_offset: u16, bits: u8) -> u64 {
+    debug_assert!(bits <= 64);
+    let mut v: u64 = 0;
+    for i in 0..bits {
+        let bit = usize::from(bit_offset) + usize::from(i);
+        let byte = data[bit / 8];
+        let b = (byte >> (7 - (bit % 8))) & 1;
+        v = (v << 1) | u64::from(b);
+    }
+    v
+}
+
+/// Deposit `bits` bits of `value` at `bit_offset` into `data` (big-endian).
+pub fn deposit_bits(data: &mut [u8], bit_offset: u16, bits: u8, value: u64) {
+    for i in 0..bits {
+        let bit = usize::from(bit_offset) + usize::from(i);
+        let shift = bits - 1 - i;
+        let b = ((value >> shift) & 1) as u8;
+        let mask = 1u8 << (7 - (bit % 8));
+        if b == 1 {
+            data[bit / 8] |= mask;
+        } else {
+            data[bit / 8] &= !mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_extraction_roundtrip() {
+        let mut buf = [0u8; 8];
+        deposit_bits(&mut buf, 5, 11, 0x5A5);
+        assert_eq!(extract_bits(&buf, 5, 11), 0x5A5);
+        assert_eq!(extract_bits(&buf, 0, 5), 0);
+        assert_eq!(extract_bits(&buf, 16, 8), 0);
+    }
+
+    #[test]
+    fn extract_full_bytes() {
+        let buf = [0xDE, 0xAD, 0xBE, 0xEF];
+        assert_eq!(extract_bits(&buf, 0, 32), 0xDEADBEEF);
+        assert_eq!(extract_bits(&buf, 8, 16), 0xADBE);
+    }
+
+    /// A 2-byte outer header (pad + kind) optionally followed by a 1-byte
+    /// inner header, selected on `kind == 0x42`.
+    fn tiny_parser(table: &mut FieldTable) -> (Parser, FieldId, FieldId) {
+        let mut p = Parser::new();
+        let f_pad = table.register("hdr.outer.pad", 8).unwrap();
+        let f_kind = table.register("hdr.outer.kind", 8).unwrap();
+        let f_val = table.register("hdr.inner.val", 8).unwrap();
+        let v_outer = table.register("hdr.outer.$valid", 1).unwrap();
+        let v_inner = table.register("hdr.inner.$valid", 1).unwrap();
+        let outer = p.add_header(HeaderDef {
+            name: "outer".into(),
+            len_bytes: 2,
+            fields: vec![
+                HeaderField { field: f_pad, bit_offset: 0, bits: 8 },
+                HeaderField { field: f_kind, bit_offset: 8, bits: 8 },
+            ],
+            presence: v_outer,
+            checksum_at: None,
+            bitmap_bit: 0,
+        });
+        let inner = p.add_header(HeaderDef {
+            name: "inner".into(),
+            len_bytes: 1,
+            fields: vec![HeaderField { field: f_val, bit_offset: 0, bits: 8 }],
+            presence: v_inner,
+            checksum_at: None,
+            bitmap_bit: 1,
+        });
+        let s_inner = p.add_state(ParseState {
+            header: inner,
+            select: None,
+            transitions: vec![],
+            default: NextState::Accept,
+        });
+        let s_outer = p.add_state(ParseState {
+            header: outer,
+            select: Some(f_kind),
+            transitions: vec![(0x42, 0xff, NextState::State(s_inner))],
+            default: NextState::Accept,
+        });
+        p.set_start(s_outer);
+        p.validate().unwrap();
+        (p, f_kind, f_val)
+    }
+
+    #[test]
+    fn parse_follows_transitions_and_sets_bitmap() {
+        let mut table = FieldTable::new();
+        let (p, _, f_val) = tiny_parser(&mut table);
+        let mut phv = Phv::new(&table);
+        let r = p.parse(&table, &[0x00, 0x42, 0x99, 0xAA], &mut phv, false).unwrap();
+        assert_eq!(r.bitmap, 0b11);
+        assert_eq!(phv.get(f_val), 0x99);
+        assert_eq!(r.payload_offset, 3);
+
+        let mut phv2 = Phv::new(&table);
+        let r2 = p.parse(&table, &[0x00, 0x00, 0x99], &mut phv2, false).unwrap();
+        assert_eq!(r2.bitmap, 0b01);
+        assert_eq!(r2.payload_offset, 2);
+    }
+
+    #[test]
+    fn parse_truncated_rejects() {
+        let mut table = FieldTable::new();
+        let (p, _, _) = tiny_parser(&mut table);
+        let mut phv = Phv::new(&table);
+        assert!(matches!(p.parse(&table, &[0x00], &mut phv, false), Err(SimError::ParserReject)));
+        assert!(p.parse(&table, &[0x00, 0x42], &mut phv, false).is_err());
+    }
+
+    #[test]
+    fn deparse_rebuilds_with_modified_fields() {
+        let mut table = FieldTable::new();
+        let (p, _, f_val) = tiny_parser(&mut table);
+        let mut phv = Phv::new(&table);
+        let frame = [0x00, 0x42, 0x99, 0xAA];
+        let r = p.parse(&table, &frame, &mut phv, false).unwrap();
+        phv.set(&table, f_val, 0x77);
+        let out = p.deparse(&table, &phv, &frame[r.payload_offset..]);
+        assert_eq!(out, vec![0x00, 0x42, 0x77, 0xAA]);
+    }
+
+    #[test]
+    fn deparse_honours_presence_push_and_pop() {
+        let mut table = FieldTable::new();
+        let (p, _, f_val) = tiny_parser(&mut table);
+        let v_inner = table.lookup("hdr.inner.$valid").unwrap();
+        let mut phv = Phv::new(&table);
+        // Parse a frame with no inner header, then push one.
+        let frame = [0x00, 0x00, 0xAA];
+        let r = p.parse(&table, &frame, &mut phv, false).unwrap();
+        phv.set(&table, v_inner, 1);
+        phv.set(&table, f_val, 0x55);
+        let out = p.deparse(&table, &phv, &frame[r.payload_offset..]);
+        assert_eq!(out, vec![0x00, 0x00, 0x55, 0xAA]);
+        // Now pop it again.
+        phv.set(&table, v_inner, 0);
+        let out = p.deparse(&table, &phv, &frame[r.payload_offset..]);
+        assert_eq!(out, vec![0x00, 0x00, 0xAA]);
+    }
+
+    #[test]
+    fn coverage_validation_catches_gaps_and_overlaps() {
+        let mut table = FieldTable::new();
+        let f = table.register("f", 8).unwrap();
+        let v = table.register("v", 1).unwrap();
+        let gap = HeaderDef {
+            name: "gap".into(),
+            len_bytes: 2,
+            fields: vec![HeaderField { field: f, bit_offset: 0, bits: 8 }],
+            presence: v,
+            checksum_at: None,
+            bitmap_bit: 0,
+        };
+        assert!(gap.validate_coverage().is_err());
+        let overlap = HeaderDef {
+            name: "ovl".into(),
+            len_bytes: 1,
+            fields: vec![
+                HeaderField { field: f, bit_offset: 0, bits: 8 },
+                HeaderField { field: f, bit_offset: 4, bits: 4 },
+            ],
+            presence: v,
+            checksum_at: None,
+            bitmap_bit: 0,
+        };
+        assert!(overlap.validate_coverage().is_err());
+    }
+
+    #[test]
+    fn num_paths_counts_accepting_paths() {
+        let mut table = FieldTable::new();
+        let (p, _, _) = tiny_parser(&mut table);
+        assert_eq!(p.num_paths(), 2);
+    }
+
+    #[test]
+    fn recirc_start_state_used_for_recirc_port() {
+        let mut table = FieldTable::new();
+        let f_tag = table.register("hdr.rc.tag", 8).unwrap();
+        let v_rc = table.register("hdr.rc.$valid", 1).unwrap();
+        let (mut p, _, _) = {
+            // Build the tiny parser inline so we can extend it.
+            let mut p = Parser::new();
+            let f_pad = table.register("hdr.o.pad", 8).unwrap();
+            let v_o = table.register("hdr.o.$valid", 1).unwrap();
+            let outer = p.add_header(HeaderDef {
+                name: "o".into(),
+                len_bytes: 1,
+                fields: vec![HeaderField { field: f_pad, bit_offset: 0, bits: 8 }],
+                presence: v_o,
+                checksum_at: None,
+                bitmap_bit: 0,
+            });
+            let s = p.add_state(ParseState {
+                header: outer,
+                select: None,
+                transitions: vec![],
+                default: NextState::Accept,
+            });
+            p.set_start(s);
+            (p, f_pad, v_o)
+        };
+        let rc = p.add_header(HeaderDef {
+            name: "rc".into(),
+            len_bytes: 1,
+            fields: vec![HeaderField { field: f_tag, bit_offset: 0, bits: 8 }],
+            presence: v_rc,
+            checksum_at: None,
+            bitmap_bit: 1,
+        });
+        let s_rc = p.add_state(ParseState {
+            header: rc,
+            select: None,
+            transitions: vec![],
+            default: NextState::State(0),
+        });
+        p.set_recirc_start(s_rc);
+        let mut phv = Phv::new(&table);
+        let r = p.parse(&table, &[0x7e, 0x01], &mut phv, true).unwrap();
+        assert_eq!(phv.get(f_tag), 0x7e);
+        assert_eq!(r.bitmap, 0b11);
+        // Normal port ignores the recirc state.
+        let mut phv2 = Phv::new(&table);
+        let r2 = p.parse(&table, &[0x7e], &mut phv2, false).unwrap();
+        assert_eq!(r2.bitmap, 0b01);
+    }
+
+    #[test]
+    fn intrinsic_pkt_len_set() {
+        let mut table = FieldTable::new();
+        let (p, _, _) = tiny_parser(&mut table);
+        let mut phv = Phv::new(&table);
+        p.parse(&table, &[0, 0, 1, 2, 3], &mut phv, false).unwrap();
+        assert_eq!(phv.get(table.intrinsics().pkt_len), 5);
+    }
+}

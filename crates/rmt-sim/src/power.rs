@@ -1,0 +1,186 @@
+//! Latency and power estimation — the Table 2 quantities.
+//!
+//! The paper reads pipeline latency (clock cycles), worst-case power, and
+//! the resulting traffic-limit load off P4C / P4 Insight. Here both are
+//! linear models over the provisioned resource usage, calibrated so that a
+//! fully-populated 12-stage gress lands in the regime Table 2 reports
+//! (~300 cycles per gress, ~40 W total). The models are deliberately
+//! simple: the paper's claims are *relative* (P4runpro vs ActiveRMT vs
+//! FlyMon), and relative ordering is determined by the resource profiles,
+//! which the simulator computes from real configuration.
+
+use crate::resources::ChipReport;
+
+/// Coefficients of the latency/power model.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    /// Fixed cycles through an empty ingress gress (parser handoff etc.).
+    pub ingress_base_cycles: u32,
+    /// Fixed cycles through an empty egress gress (incl. deparser).
+    pub egress_base_cycles: u32,
+    /// Cycles added per active (table-bearing) stage.
+    pub cycles_per_stage: u32,
+    /// Watts per TCAM block (ternary search is the dominant dynamic load).
+    pub watts_per_tcam_block: f64,
+    /// Watts per SRAM block.
+    pub watts_per_sram_block: f64,
+    /// Watts per VLIW slot.
+    pub watts_per_vliw_slot: f64,
+    /// Watts per SALU.
+    pub watts_per_salu: f64,
+    /// Watts per hash output bit.
+    pub watts_per_hash_bit: f64,
+    /// Static baseline per gress.
+    pub base_watts: f64,
+    /// The hardware power budget; exceeding it makes the chip clamp its
+    /// forwarding rate (the "traffic limit load" row of Table 2).
+    pub budget_watts: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            ingress_base_cycles: 6,
+            egress_base_cycles: 16,
+            cycles_per_stage: 25,
+            watts_per_tcam_block: 0.0325,
+            watts_per_sram_block: 0.015,
+            watts_per_vliw_slot: 0.0015,
+            watts_per_salu: 0.30,
+            watts_per_hash_bit: 0.01,
+            base_watts: 0.5,
+            budget_watts: 40.0,
+        }
+    }
+}
+
+/// The estimate, shaped like Table 2's row format
+/// (ingress / egress / total).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEstimate {
+    /// Ingress cycles.
+    pub ingress_cycles: u32,
+    /// Egress cycles.
+    pub egress_cycles: u32,
+    /// Total cycles.
+    pub total_cycles: u32,
+    /// Ingress watts.
+    pub ingress_watts: f64,
+    /// Egress watts.
+    pub egress_watts: f64,
+    /// Total watts.
+    pub total_watts: f64,
+    /// Fraction of line rate the chip sustains under the power budget
+    /// (1.0 = full rate).
+    pub traffic_limit_load: f64,
+}
+
+impl PowerModel {
+    /// Estimate latency and power from a chip report.
+    ///
+    /// Power is split between gresses proportionally to their active
+    /// stages; the report's totals cover both.
+    pub fn estimate(&self, report: &ChipReport) -> PowerEstimate {
+        let ingress_cycles =
+            self.ingress_base_cycles + self.cycles_per_stage * report.active_ingress_stages as u32;
+        let egress_cycles =
+            self.egress_base_cycles + self.cycles_per_stage * report.active_egress_stages as u32;
+
+        // Per-gress split of the dynamic power.
+        let mut ingress_watts = self.base_watts;
+        let mut egress_watts = self.base_watts;
+        for (name, u) in &report.per_stage {
+            let w = self.watts_per_tcam_block * u.tcam_blocks as f64
+                + self.watts_per_sram_block * u.sram_blocks as f64
+                + self.watts_per_vliw_slot * u.vliw_slots as f64
+                + self.watts_per_salu * u.salus as f64
+                + self.watts_per_hash_bit * u.hash_bits as f64;
+            if name.starts_with("ingress") {
+                ingress_watts += w;
+            } else {
+                egress_watts += w;
+            }
+        }
+        let total = ingress_watts + egress_watts;
+        PowerEstimate {
+            ingress_cycles,
+            egress_cycles,
+            total_cycles: ingress_cycles + egress_cycles,
+            ingress_watts,
+            egress_watts,
+            total_watts: total,
+            traffic_limit_load: (self.budget_watts / total).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phv::FieldTable;
+    use crate::pipeline::{Gress, Pipeline, StageLimits};
+    use crate::resources::ChipReport;
+    use crate::table::{KeySpec, MatchKind};
+    use crate::table::Table;
+    use crate::action::ActionDef;
+
+    fn report_with_stages(active_ig: usize, active_eg: usize) -> ChipReport {
+        let mut ft = FieldTable::new();
+        let f = ft.register("k", 32).unwrap();
+        let mut ig = Pipeline::new(Gress::Ingress, 12, StageLimits::default());
+        let mut eg = Pipeline::new(Gress::Egress, 12, StageLimits::default());
+        for i in 0..active_ig {
+            ig.stage_mut(i).unwrap().add_table(Table::new(
+                format!("ti{i}"),
+                KeySpec::new(vec![(f, MatchKind::Ternary)]),
+                vec![ActionDef::noop("n")],
+                2048,
+            ));
+        }
+        for i in 0..active_eg {
+            eg.stage_mut(i).unwrap().add_table(Table::new(
+                format!("te{i}"),
+                KeySpec::new(vec![(f, MatchKind::Ternary)]),
+                vec![ActionDef::noop("n")],
+                2048,
+            ));
+        }
+        ChipReport::build(&ft, &ig, &eg)
+    }
+
+    #[test]
+    fn latency_scales_with_active_stages() {
+        let m = PowerModel::default();
+        let full = m.estimate(&report_with_stages(12, 12));
+        assert_eq!(full.ingress_cycles, 306);
+        assert_eq!(full.egress_cycles, 316);
+        assert_eq!(full.total_cycles, 622);
+        let sparse = m.estimate(&report_with_stages(2, 10));
+        assert!(sparse.ingress_cycles < full.ingress_cycles);
+        assert_eq!(sparse.ingress_cycles, 56);
+    }
+
+    #[test]
+    fn power_monotone_in_resources() {
+        let m = PowerModel::default();
+        let small = m.estimate(&report_with_stages(2, 2));
+        let big = m.estimate(&report_with_stages(12, 12));
+        assert!(big.total_watts > small.total_watts);
+        assert!(big.ingress_watts > 0.0 && big.egress_watts > 0.0);
+    }
+
+    #[test]
+    fn traffic_limit_caps_at_one() {
+        let m = PowerModel::default();
+        let e = m.estimate(&report_with_stages(1, 1));
+        assert_eq!(e.traffic_limit_load, 1.0);
+    }
+
+    #[test]
+    fn over_budget_limits_load() {
+        let m = PowerModel { budget_watts: 1.5, ..Default::default() };
+        let e = m.estimate(&report_with_stages(12, 12));
+        assert!(e.traffic_limit_load < 1.0);
+        assert!((e.traffic_limit_load - 1.5 / e.total_watts).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,759 @@
+//! The assembled switch: parser + ingress pipeline + traffic manager +
+//! egress pipeline + deparser, with ports, counters, and the recirculation
+//! loop.
+//!
+//! A [`Switch`] is built once (field table, parser, pipelines), then
+//! [`Switch::provision`]ed, which validates every stage against its
+//! hardware limits — the analogue of loading a compiled P4 binary. After
+//! provisioning, the data plane configuration is fixed; only table entries
+//! and register values change, through [`Switch::apply_op`], one atomic
+//! operation at a time. That per-op atomicity is the substrate for the
+//! paper's consistent-update protocol (§4.3, Figure 6).
+
+use crate::error::{SimError, SimResult};
+use crate::phv::{FieldId, FieldTable, Phv};
+use crate::parser::Parser;
+use crate::pipeline::{Gress, Pipeline};
+use crate::resources::{check_stage, ChipReport};
+use crate::salu::RegArray;
+use crate::table::{EntryHandle, Table, TableEntry};
+use crate::tm::{decide, Verdict};
+
+/// Static configuration of a switch.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Number of external front-panel ports (0..num_ports).
+    pub num_ports: u16,
+    /// The CPU punt port id (outside the external range).
+    pub cpu_port: u16,
+    /// The internal recirculation port id.
+    pub recirc_port: u16,
+    /// Hardware cap on recirculation passes per packet; exceeding it drops
+    /// the packet (loop protection).
+    pub max_recirc: u8,
+    /// Multi-switch deployment (§4.1.3): when set, a recirculation verdict
+    /// emits the state-headered frame on this *wire* port toward the next
+    /// switch of the chain instead of looping internally.
+    pub recirc_wire_port: Option<u16>,
+    /// Ports on which arriving frames carry the state header (the chain's
+    /// upstream hop); parsing starts in the recirculation state.
+    pub recirc_ingress_ports: Vec<u16>,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            num_ports: 64,
+            cpu_port: 192,
+            recirc_port: 68,
+            max_recirc: 8,
+            recirc_wire_port: None,
+            recirc_ingress_ports: Vec::new(),
+        }
+    }
+}
+
+/// Per-port packet/byte counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Rx pkts.
+    pub rx_pkts: u64,
+    /// Rx bytes.
+    pub rx_bytes: u64,
+    /// Tx pkts.
+    pub tx_pkts: u64,
+    /// Tx bytes.
+    pub tx_bytes: u64,
+}
+
+/// What happened to one injected frame.
+#[derive(Debug, Clone)]
+pub struct ProcessOutcome {
+    /// Frames emitted on external ports: `(port, bytes)`.
+    pub emitted: Vec<(u16, Vec<u8>)>,
+    /// Copies punted to the CPU port (`REPORT`).
+    pub reports: Vec<Vec<u8>>,
+    /// The packet was dropped (explicitly or by parser reject / recirc cap).
+    pub dropped: bool,
+    /// Pipeline passes consumed (1 = no recirculation).
+    pub passes: u8,
+    /// Final PHV, for white-box assertions in tests.
+    pub phv: Phv,
+}
+
+/// Addresses a table inside the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    /// Gress.
+    pub gress: Gress,
+    /// Stage.
+    pub stage: usize,
+    /// Table.
+    pub table: usize,
+}
+
+/// Addresses a register array inside the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayRef {
+    /// Gress.
+    pub gress: Gress,
+    /// Stage.
+    pub stage: usize,
+    /// Array.
+    pub array: usize,
+}
+
+/// One atomic control-plane operation.
+#[derive(Debug, Clone)]
+pub enum ControlOp {
+    /// Insert one table entry (the switch allocates its handle).
+    InsertEntry { table: TableRef, entry: TableEntry },
+    /// Delete one table entry by handle.
+    DeleteEntry { table: TableRef, handle: EntryHandle },
+    /// Write one register bucket.
+    WriteReg { array: ArrayRef, addr: u32, value: u32 },
+    /// Read one register bucket.
+    ReadReg { array: ArrayRef, addr: u32 },
+    /// Snapshot a contiguous register range.
+    ReadRegRange { array: ArrayRef, start: u32, len: u32 },
+    /// Zero a contiguous register range (bulk DMA-style reset).
+    ResetRegRange { array: ArrayRef, start: u32, len: u32 },
+}
+
+/// Result of one control operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// The entry was inserted under this handle.
+    Inserted(EntryHandle),
+    /// The entry was deleted.
+    Deleted,
+    /// The bucket was written.
+    Written,
+    /// The bucket's value.
+    Read(u32),
+    /// The range's values.
+    ReadRange(Vec<u32>),
+    /// The range was zeroed.
+    Reset,
+}
+
+/// The assembled switch.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    /// Cfg.
+    pub cfg: SwitchConfig,
+    ft: FieldTable,
+    parser: Parser,
+    ingress: Pipeline,
+    egress: Pipeline,
+    /// Presence fields zeroed just before final emission — models the
+    /// egress deparser invalidating internal-only headers (the P4runpro
+    /// recirculation header never escapes to the external network, §4.1.3).
+    strip_on_emit: Vec<FieldId>,
+    /// Multicast groups (traffic-manager PRE configuration): group id →
+    /// egress ports. Group 0 is reserved ("no multicast").
+    mcast_groups: std::collections::HashMap<u16, Vec<u16>>,
+    provisioned: bool,
+    next_handle: u64,
+    counters: Vec<PortCounters>,
+    /// Cpu counters.
+    pub cpu_counters: PortCounters,
+    /// Drops.
+    pub drops: u64,
+    /// Recirc passes.
+    pub recirc_passes: u64,
+}
+
+impl Switch {
+    /// Assemble a switch from its parts. Call [`Switch::provision`] before
+    /// processing packets.
+    pub fn assemble(
+        cfg: SwitchConfig,
+        ft: FieldTable,
+        parser: Parser,
+        ingress: Pipeline,
+        egress: Pipeline,
+    ) -> Switch {
+        let ports = usize::from(cfg.num_ports);
+        Switch {
+            cfg,
+            ft,
+            parser,
+            ingress,
+            egress,
+            strip_on_emit: Vec::new(),
+            mcast_groups: std::collections::HashMap::new(),
+            provisioned: false,
+            next_handle: 1,
+            counters: vec![PortCounters::default(); ports],
+            cpu_counters: PortCounters::default(),
+            drops: 0,
+            recirc_passes: 0,
+        }
+    }
+
+    /// Mark headers to strip at final emission (by presence field).
+    pub fn set_strip_on_emit(&mut self, presence_fields: Vec<FieldId>) {
+        self.strip_on_emit = presence_fields;
+    }
+
+    /// Configure a traffic-manager multicast group (PRE programming).
+    /// Group 0 is reserved and cannot be configured.
+    pub fn set_multicast_group(&mut self, group: u16, ports: Vec<u16>) -> SimResult<()> {
+        if group == 0 {
+            return Err(SimError::Config("multicast group 0 is reserved".into()));
+        }
+        for &p in &ports {
+            if usize::from(p) >= self.counters.len() {
+                return Err(SimError::NoSuchPort(p));
+            }
+        }
+        self.mcast_groups.insert(group, ports);
+        Ok(())
+    }
+
+    /// Validate the whole configuration against hardware limits and freeze
+    /// it. The analogue of pushing a compiled binary to the ASIC.
+    pub fn provision(&mut self) -> SimResult<ChipReport> {
+        self.parser.validate()?;
+        for pipe in [&self.ingress, &self.egress] {
+            for stage in &pipe.stages {
+                check_stage(stage, &self.ft)?;
+            }
+        }
+        self.provisioned = true;
+        Ok(ChipReport::build(&self.ft, &self.ingress, &self.egress))
+    }
+
+    /// Is provisioned.
+    pub fn is_provisioned(&self) -> bool {
+        self.provisioned
+    }
+
+    /// Field table.
+    pub fn field_table(&self) -> &FieldTable {
+        &self.ft
+    }
+
+    /// Parser.
+    pub fn parser(&self) -> &Parser {
+        &self.parser
+    }
+
+    /// Chip report.
+    pub fn chip_report(&self) -> ChipReport {
+        ChipReport::build(&self.ft, &self.ingress, &self.egress)
+    }
+
+    /// Port counters.
+    pub fn port_counters(&self, port: u16) -> SimResult<PortCounters> {
+        self.counters
+            .get(usize::from(port))
+            .copied()
+            .ok_or(SimError::NoSuchPort(port))
+    }
+
+    /// Reset counters.
+    pub fn reset_counters(&mut self) {
+        for c in &mut self.counters {
+            *c = PortCounters::default();
+        }
+        self.cpu_counters = PortCounters::default();
+        self.drops = 0;
+        self.recirc_passes = 0;
+    }
+
+    fn pipeline(&self, gress: Gress) -> &Pipeline {
+        match gress {
+            Gress::Ingress => &self.ingress,
+            Gress::Egress => &self.egress,
+        }
+    }
+
+    fn pipeline_mut(&mut self, gress: Gress) -> &mut Pipeline {
+        match gress {
+            Gress::Ingress => &mut self.ingress,
+            Gress::Egress => &mut self.egress,
+        }
+    }
+
+    /// Read-only access to a table (monitoring, tests).
+    pub fn table(&self, r: TableRef) -> SimResult<&Table> {
+        self.pipeline(r.gress).stage(r.stage)?.table(r.table)
+    }
+
+    /// Read-only access to a register array.
+    pub fn array(&self, r: ArrayRef) -> SimResult<&RegArray> {
+        self.pipeline(r.gress).stage(r.stage)?.array(r.array)
+    }
+
+    /// Apply one atomic control operation.
+    ///
+    /// Atomicity model: operations never interleave with a packet (callers
+    /// alternate `process_frame` and `apply_op`), and each operation either
+    /// fully applies or fails without effect — RMT's single-entry update
+    /// guarantee.
+    pub fn apply_op(&mut self, op: &ControlOp) -> SimResult<OpResult> {
+        match op {
+            ControlOp::InsertEntry { table, entry } => {
+                let handle = EntryHandle(self.next_handle);
+                let t = self
+                    .pipeline_mut(table.gress)
+                    .stage_mut(table.stage)?
+                    .table_mut(table.table)?;
+                t.insert(handle, entry.clone())?;
+                self.next_handle += 1;
+                Ok(OpResult::Inserted(handle))
+            }
+            ControlOp::DeleteEntry { table, handle } => {
+                let t = self
+                    .pipeline_mut(table.gress)
+                    .stage_mut(table.stage)?
+                    .table_mut(table.table)?;
+                t.delete(*handle)?;
+                Ok(OpResult::Deleted)
+            }
+            ControlOp::WriteReg { array, addr, value } => {
+                let a = self
+                    .pipeline_mut(array.gress)
+                    .stage_mut(array.stage)?
+                    .array_mut(array.array)?;
+                a.write(*addr, *value)?;
+                Ok(OpResult::Written)
+            }
+            ControlOp::ReadReg { array, addr } => {
+                let a = self.pipeline(array.gress).stage(array.stage)?.array(array.array)?;
+                Ok(OpResult::Read(a.read(*addr)?))
+            }
+            ControlOp::ReadRegRange { array, start, len } => {
+                let a = self.pipeline(array.gress).stage(array.stage)?.array(array.array)?;
+                Ok(OpResult::ReadRange(a.read_range(*start, *len)?))
+            }
+            ControlOp::ResetRegRange { array, start, len } => {
+                let a = self
+                    .pipeline_mut(array.gress)
+                    .stage_mut(array.stage)?
+                    .array_mut(array.array)?;
+                a.reset_range(*start, *len)?;
+                Ok(OpResult::Reset)
+            }
+        }
+    }
+
+    /// Process one frame injected on an external port, running the full
+    /// parser → ingress → TM → egress → deparser path, following
+    /// recirculations internally until the packet is emitted or dropped.
+    pub fn process_frame(&mut self, port: u16, frame: &[u8]) -> SimResult<ProcessOutcome> {
+        if !self.provisioned {
+            return Err(SimError::Config("switch not provisioned".into()));
+        }
+        if usize::from(port) >= self.counters.len() {
+            return Err(SimError::NoSuchPort(port));
+        }
+        self.counters[usize::from(port)].rx_pkts += 1;
+        self.counters[usize::from(port)].rx_bytes += frame.len() as u64;
+
+        let intr = self.ft.intrinsics();
+        let external_port = port;
+        let mut current: Vec<u8> = frame.to_vec();
+        let mut from_recirc = self.cfg.recirc_ingress_ports.contains(&port);
+        let mut ingress_port = port;
+        let mut passes: u8 = 0;
+        let mut outcome = ProcessOutcome {
+            emitted: Vec::new(),
+            reports: Vec::new(),
+            dropped: false,
+            passes: 0,
+            phv: Phv::new(&self.ft),
+        };
+
+        loop {
+            passes += 1;
+            let mut phv = Phv::new(&self.ft);
+            let parse = match self.parser.parse(&self.ft, &current, &mut phv, from_recirc) {
+                Ok(p) => p,
+                Err(SimError::ParserReject) => {
+                    self.drops += 1;
+                    outcome.dropped = true;
+                    outcome.phv = phv;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            let payload = current[parse.payload_offset..].to_vec();
+            phv.set(&self.ft, intr.ingress_port, u64::from(ingress_port));
+
+            self.ingress.process(&self.ft, &mut phv)?;
+            let decision = decide(&self.ft, &phv);
+            // REPORT copies are punted once, on the packet's final pass
+            // (the flag rides the recirculation header between passes).
+            if decision.report_copy && decision.verdict != Verdict::Recirculate {
+                let mut copy_phv = phv.clone();
+                for f in &self.strip_on_emit {
+                    copy_phv.set(&self.ft, *f, 0);
+                }
+                let bytes = self.parser.deparse(&self.ft, &copy_phv, &payload);
+                self.cpu_counters.tx_pkts += 1;
+                self.cpu_counters.tx_bytes += bytes.len() as u64;
+                outcome.reports.push(bytes);
+            }
+
+            match decision.verdict {
+                Verdict::Drop => {
+                    // The drop applies at the *end of egress*: a dropped
+                    // packet still traverses the egress pipeline so that
+                    // egress-RPB state updates (e.g. the cache-write
+                    // MEMWRITE before a DROP verdict) take effect.
+                    self.egress.process(&self.ft, &mut phv)?;
+                    self.drops += 1;
+                    outcome.dropped = true;
+                    outcome.phv = phv;
+                    break;
+                }
+                Verdict::Recirculate => {
+                    if passes > self.cfg.max_recirc {
+                        self.drops += 1;
+                        outcome.dropped = true;
+                        outcome.phv = phv;
+                        break;
+                    }
+                    self.egress.process(&self.ft, &mut phv)?;
+                    self.recirc_passes += 1;
+                    // Multi-switch chain: hand the state-headered frame to
+                    // the next switch over the wire (the header is *not*
+                    // stripped on this port).
+                    if let Some(wire) = self.cfg.recirc_wire_port {
+                        let bytes = self.parser.deparse(&self.ft, &phv, &payload);
+                        if let Some(c) = self.counters.get_mut(usize::from(wire)) {
+                            c.tx_pkts += 1;
+                            c.tx_bytes += bytes.len() as u64;
+                        }
+                        outcome.emitted.push((wire, bytes));
+                        outcome.phv = phv;
+                        break;
+                    }
+                    current = self.parser.deparse(&self.ft, &phv, &payload);
+                    from_recirc = true;
+                    ingress_port = self.cfg.recirc_port;
+                    outcome.phv = phv;
+                }
+                Verdict::Return | Verdict::Forward(_) | Verdict::Multicast(_) => {
+                    let out_ports: Vec<u16> = match decision.verdict {
+                        Verdict::Return => vec![external_port],
+                        Verdict::Forward(p) => vec![p],
+                        Verdict::Multicast(g) => {
+                            self.mcast_groups.get(&g).cloned().unwrap_or_default()
+                        }
+                        _ => unreachable!(),
+                    };
+                    // Each replica traverses egress independently (the PRE
+                    // clones before the egress pipeline; with identical
+                    // egress state the results coincide, so one egress pass
+                    // is processed and the frame replicated).
+                    self.egress.process(&self.ft, &mut phv)?;
+                    for f in &self.strip_on_emit {
+                        phv.set(&self.ft, *f, 0);
+                    }
+                    let bytes = self.parser.deparse(&self.ft, &phv, &payload);
+                    if out_ports.is_empty() {
+                        self.drops += 1;
+                        outcome.dropped = true;
+                    }
+                    for out_port in out_ports {
+                        if let Some(c) = self.counters.get_mut(usize::from(out_port)) {
+                            c.tx_pkts += 1;
+                            c.tx_bytes += bytes.len() as u64;
+                        }
+                        outcome.emitted.push((out_port, bytes.clone()));
+                    }
+                    outcome.phv = phv;
+                    break;
+                }
+            }
+        }
+        outcome.passes = passes;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionDef, Operand, VliwOp};
+    use crate::parser::{HeaderDef, HeaderField, NextState, ParseState};
+    use crate::pipeline::StageLimits;
+    use crate::table::{KeySpec, MatchKind, MatchValue};
+
+    /// Build a minimal switch: one 2-byte header `(tag, port)`, a single
+    /// ingress table forwarding on `tag`, empty egress.
+    fn tiny_switch() -> (Switch, FieldId, FieldId) {
+        let mut ft = FieldTable::new();
+        let f_tag = ft.register("hdr.t.tag", 8).unwrap();
+        let f_dst = ft.register("hdr.t.dst", 8).unwrap();
+        let v_t = ft.register("hdr.t.$valid", 1).unwrap();
+        let intr = ft.intrinsics();
+
+        let mut parser = Parser::new();
+        let h = parser.add_header(HeaderDef {
+            name: "t".into(),
+            len_bytes: 2,
+            fields: vec![
+                HeaderField { field: f_tag, bit_offset: 0, bits: 8 },
+                HeaderField { field: f_dst, bit_offset: 8, bits: 8 },
+            ],
+            presence: v_t,
+            checksum_at: None,
+            bitmap_bit: 0,
+        });
+        let s = parser.add_state(ParseState {
+            header: h,
+            select: None,
+            transitions: vec![],
+            default: NextState::Accept,
+        });
+        parser.set_start(s);
+
+        let mut ingress = Pipeline::new(Gress::Ingress, 2, StageLimits::default());
+        let egress = Pipeline::new(Gress::Egress, 2, StageLimits::default());
+
+        let mut fwd = Table::new(
+            "fwd",
+            KeySpec::new(vec![(f_tag, MatchKind::Exact)]),
+            vec![
+                ActionDef {
+                    name: "to_dst".into(),
+                    ops: vec![
+                        VliwOp::set(intr.egress_spec, Operand::Field(f_dst)),
+                        VliwOp::set(intr.egress_valid, Operand::Const(1)),
+                    ],
+                    hash: None,
+                    salu: None,
+                },
+                ActionDef {
+                    name: "drop".into(),
+                    ops: vec![VliwOp::set(intr.drop_flag, Operand::Const(1))],
+                    hash: None,
+                    salu: None,
+                },
+            ],
+            16,
+        );
+        fwd.set_default_action(1, vec![]);
+        ingress.stage_mut(0).unwrap().add_table(fwd);
+
+        let sw = Switch::assemble(SwitchConfig::default(), ft, parser, ingress, egress);
+        (sw, f_tag, f_dst)
+    }
+
+    #[test]
+    fn must_provision_before_processing() {
+        let (mut sw, _, _) = tiny_switch();
+        assert!(sw.process_frame(0, &[1, 2]).is_err());
+        sw.provision().unwrap();
+        assert!(sw.process_frame(0, &[1, 2]).is_ok());
+    }
+
+    #[test]
+    fn forward_and_default_drop() {
+        let (mut sw, _, _) = tiny_switch();
+        sw.provision().unwrap();
+        // Install: tag 7 → forward to hdr dst field.
+        sw.apply_op(&ControlOp::InsertEntry {
+            table: TableRef { gress: Gress::Ingress, stage: 0, table: 0 },
+            entry: TableEntry {
+                matches: vec![MatchValue::Exact(7)],
+                priority: 0,
+                action: 0,
+                data: vec![],
+            },
+        })
+        .unwrap();
+        let out = sw.process_frame(3, &[7, 9, 0xAA]).unwrap();
+        assert_eq!(out.emitted, vec![(9u16, vec![7, 9, 0xAA])]);
+        assert!(!out.dropped);
+        // Unknown tag → default action drops.
+        let out = sw.process_frame(3, &[8, 9]).unwrap();
+        assert!(out.dropped);
+        assert!(out.emitted.is_empty());
+        assert_eq!(sw.drops, 1);
+    }
+
+    #[test]
+    fn counters_track_rx_tx() {
+        let (mut sw, _, _) = tiny_switch();
+        sw.provision().unwrap();
+        sw.apply_op(&ControlOp::InsertEntry {
+            table: TableRef { gress: Gress::Ingress, stage: 0, table: 0 },
+            entry: TableEntry {
+                matches: vec![MatchValue::Exact(1)],
+                priority: 0,
+                action: 0,
+                data: vec![],
+            },
+        })
+        .unwrap();
+        sw.process_frame(2, &[1, 5, 0, 0]).unwrap();
+        assert_eq!(sw.port_counters(2).unwrap().rx_pkts, 1);
+        assert_eq!(sw.port_counters(2).unwrap().rx_bytes, 4);
+        assert_eq!(sw.port_counters(5).unwrap().tx_pkts, 1);
+        sw.reset_counters();
+        assert_eq!(sw.port_counters(2).unwrap().rx_pkts, 0);
+    }
+
+    #[test]
+    fn parser_reject_counts_as_drop() {
+        let (mut sw, _, _) = tiny_switch();
+        sw.provision().unwrap();
+        let out = sw.process_frame(0, &[1]).unwrap(); // 1 byte < header
+        assert!(out.dropped);
+        assert_eq!(sw.drops, 1);
+    }
+
+    #[test]
+    fn entry_insert_delete_roundtrip() {
+        let (mut sw, _, _) = tiny_switch();
+        sw.provision().unwrap();
+        let tref = TableRef { gress: Gress::Ingress, stage: 0, table: 0 };
+        let r = sw
+            .apply_op(&ControlOp::InsertEntry {
+                table: tref,
+                entry: TableEntry {
+                    matches: vec![MatchValue::Exact(1)],
+                    priority: 0,
+                    action: 0,
+                    data: vec![],
+                },
+            })
+            .unwrap();
+        let handle = match r {
+            OpResult::Inserted(h) => h,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(sw.table(tref).unwrap().len(), 1);
+        sw.apply_op(&ControlOp::DeleteEntry { table: tref, handle }).unwrap();
+        assert_eq!(sw.table(tref).unwrap().len(), 0);
+        // Deleting again fails cleanly.
+        assert!(sw.apply_op(&ControlOp::DeleteEntry { table: tref, handle }).is_err());
+    }
+
+    #[test]
+    fn handles_are_unique() {
+        let (mut sw, _, _) = tiny_switch();
+        sw.provision().unwrap();
+        let tref = TableRef { gress: Gress::Ingress, stage: 0, table: 0 };
+        let mut handles = std::collections::HashSet::new();
+        for i in 0..5u64 {
+            let r = sw
+                .apply_op(&ControlOp::InsertEntry {
+                    table: tref,
+                    entry: TableEntry {
+                        matches: vec![MatchValue::Exact(i)],
+                        priority: 0,
+                        action: 0,
+                        data: vec![],
+                    },
+                })
+                .unwrap();
+            if let OpResult::Inserted(h) = r {
+                assert!(handles.insert(h));
+            }
+        }
+    }
+
+    #[test]
+    fn reg_ops_roundtrip() {
+        let (mut sw, _, _) = tiny_switch();
+        // Add an array pre-provision.
+        sw.pipeline_mut(Gress::Ingress)
+            .stage_mut(1)
+            .unwrap()
+            .add_array(RegArray::new("m", 16));
+        sw.provision().unwrap();
+        let aref = ArrayRef { gress: Gress::Ingress, stage: 1, array: 0 };
+        sw.apply_op(&ControlOp::WriteReg { array: aref, addr: 3, value: 42 }).unwrap();
+        assert_eq!(
+            sw.apply_op(&ControlOp::ReadReg { array: aref, addr: 3 }).unwrap(),
+            OpResult::Read(42)
+        );
+        assert_eq!(
+            sw.apply_op(&ControlOp::ReadRegRange { array: aref, start: 2, len: 3 }).unwrap(),
+            OpResult::ReadRange(vec![0, 42, 0])
+        );
+        sw.apply_op(&ControlOp::ResetRegRange { array: aref, start: 0, len: 16 }).unwrap();
+        assert_eq!(
+            sw.apply_op(&ControlOp::ReadReg { array: aref, addr: 3 }).unwrap(),
+            OpResult::Read(0)
+        );
+    }
+
+    #[test]
+    fn recirculation_cap_drops_loopers() {
+        // A pipeline that unconditionally recirculates must be cut off at
+        // the configured maximum (loop protection), not spin forever.
+        let (mut sw, _, _) = tiny_switch();
+        let intr = sw.field_table().intrinsics();
+        let mut loop_tbl = Table::new(
+            "loop",
+            KeySpec::new(vec![(intr.ingress_port, MatchKind::Ternary)]),
+            vec![ActionDef {
+                name: "again".into(),
+                ops: vec![VliwOp::set(intr.recirc_flag, Operand::Const(1))],
+                hash: None,
+                salu: None,
+            }],
+            4,
+        );
+        loop_tbl.set_default_action(0, vec![]);
+        sw.pipeline_mut(Gress::Ingress).stage_mut(1).unwrap().add_table(loop_tbl);
+        sw.provision().unwrap();
+        let out = sw.process_frame(0, &[1, 2]).unwrap();
+        assert!(out.dropped);
+        assert_eq!(out.passes, sw.cfg.max_recirc + 1);
+        assert!(sw.recirc_passes >= u64::from(sw.cfg.max_recirc));
+    }
+
+    #[test]
+    fn multicast_groups_validated_and_replicate() {
+        let (mut sw, _, _) = tiny_switch();
+        let intr = sw.field_table().intrinsics();
+        let mut mc = Table::new(
+            "mc",
+            KeySpec::new(vec![(intr.ingress_port, MatchKind::Ternary)]),
+            vec![ActionDef {
+                name: "to_group".into(),
+                ops: vec![VliwOp::set(intr.mcast_group, Operand::Const(7))],
+                hash: None,
+                salu: None,
+            }],
+            4,
+        );
+        mc.set_default_action(0, vec![]);
+        sw.pipeline_mut(Gress::Ingress).stage_mut(1).unwrap().add_table(mc);
+        sw.provision().unwrap();
+        assert!(sw.set_multicast_group(0, vec![1]).is_err(), "group 0 reserved");
+        assert!(sw.set_multicast_group(7, vec![1, 999]).is_err(), "bad port");
+        sw.set_multicast_group(7, vec![2, 4, 6]).unwrap();
+        // Give the packet a unicast forward too: multicast outranks it.
+        sw.apply_op(&ControlOp::InsertEntry {
+            table: TableRef { gress: Gress::Ingress, stage: 0, table: 0 },
+            entry: TableEntry {
+                matches: vec![MatchValue::Exact(9)],
+                priority: 0,
+                action: 0,
+                data: vec![],
+            },
+        })
+        .unwrap();
+        let out = sw.process_frame(0, &[9, 9]).unwrap();
+        let ports: Vec<u16> = out.emitted.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![2, 4, 6]);
+        assert_eq!(sw.port_counters(4).unwrap().tx_pkts, 1);
+    }
+
+    #[test]
+    fn bad_port_rejected() {
+        let (mut sw, _, _) = tiny_switch();
+        sw.provision().unwrap();
+        assert!(matches!(sw.process_frame(500, &[1, 2]), Err(SimError::NoSuchPort(500))));
+    }
+}

@@ -1,0 +1,503 @@
+//! Match-action tables.
+//!
+//! Each table declares a key (a list of PHV fields with a match kind per
+//! field), a set of actions (see [`crate::action`]), and a capacity. Entries
+//! are inserted and deleted one at a time — the simulator preserves RMT's
+//! per-entry update atomicity, which is the foundation of the paper's
+//! consistent-update argument (§4.3): a packet observes either the table
+//! before or after any single entry write, never a torn state.
+
+use crate::action::ActionDef;
+use crate::error::{SimError, SimResult};
+use crate::phv::{FieldId, Phv};
+
+/// How one key field matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// Exact.
+    Exact,
+    /// Ternary.
+    Ternary,
+    /// Lpm.
+    Lpm,
+    /// Range.
+    Range,
+}
+
+/// The key specification of a table.
+#[derive(Debug, Clone, Default)]
+pub struct KeySpec {
+    /// Fields.
+    pub fields: Vec<(FieldId, MatchKind)>,
+}
+
+impl KeySpec {
+    /// Construct with defaults appropriate to the type.
+    pub fn new(fields: Vec<(FieldId, MatchKind)>) -> KeySpec {
+        KeySpec { fields }
+    }
+
+    /// Whether any field requires TCAM (ternary or range).
+    pub fn needs_tcam(&self) -> bool {
+        self.fields
+            .iter()
+            .any(|(_, k)| matches!(k, MatchKind::Ternary | MatchKind::Lpm | MatchKind::Range))
+    }
+}
+
+/// The match value of one key field in one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchValue {
+    /// Exact.
+    Exact(u64),
+    /// Matches when `phv & mask == value & mask`. A mask of 0 is don't-care.
+    /// Ternary.
+    Ternary { value: u64, mask: u64 },
+    /// Longest-prefix match on the top `prefix_len` bits of a `bits`-wide
+    /// field.
+    /// Lpm.
+    Lpm { value: u64, prefix_len: u8, bits: u8 },
+    /// Inclusive range.
+    /// Range.
+    Range { lo: u64, hi: u64 },
+}
+
+impl MatchValue {
+    /// Don't-care ternary value.
+    pub const ANY: MatchValue = MatchValue::Ternary { value: 0, mask: 0 };
+
+    /// Matches.
+    pub fn matches(&self, v: u64) -> bool {
+        match *self {
+            MatchValue::Exact(e) => v == e,
+            MatchValue::Ternary { value, mask } => v & mask == value & mask,
+            MatchValue::Lpm { value, prefix_len, bits } => {
+                if prefix_len == 0 {
+                    true
+                } else {
+                    let shift = u32::from(bits - prefix_len.min(bits));
+                    (v >> shift) == (value >> shift)
+                }
+            }
+            MatchValue::Range { lo, hi } => v >= lo && v <= hi,
+        }
+    }
+
+    /// Specificity used for LPM ordering.
+    fn lpm_len(&self) -> u8 {
+        match *self {
+            MatchValue::Lpm { prefix_len, .. } => prefix_len,
+            _ => 0,
+        }
+    }
+}
+
+/// A stable handle to an inserted entry, unique per switch lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntryHandle(pub u64);
+
+/// One table entry.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// Matches.
+    pub matches: Vec<MatchValue>,
+    /// Higher priority wins among ternary tables; ties broken by insertion
+    /// order (earlier wins), mirroring TCAM physical ordering.
+    pub priority: i32,
+    /// Action.
+    pub action: usize,
+    /// Immediate action data stored with the entry (operands).
+    pub data: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct StoredEntry {
+    handle: EntryHandle,
+    seq: u64,
+    entry: TableEntry,
+}
+
+/// A match-action table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Human-readable name.
+    pub name: String,
+    /// Key.
+    pub key: KeySpec,
+    /// Actions.
+    pub actions: Vec<ActionDef>,
+    /// Capacity.
+    pub capacity: usize,
+    /// Algorithmic TCAM: the table supports ternary matching but is backed
+    /// by SRAM (a real Tofino capability), trading SRAM for TCAM blocks.
+    /// Used by the wide, deep initialization-block filtering table.
+    pub atcam: bool,
+    /// Action executed on a miss, if any.
+    pub default_action: Option<(usize, Vec<u64>)>,
+    entries: Vec<StoredEntry>,
+    next_seq: u64,
+    /// Lookup counter for utilization statistics.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+}
+
+/// Outcome of a table lookup.
+#[derive(Debug, Clone, Copy)]
+pub struct LookupResult<'a> {
+    /// Action.
+    pub action: &'a ActionDef,
+    /// Data.
+    pub data: &'a [u64],
+    /// Hit.
+    pub hit: bool,
+}
+
+impl Table {
+    /// Construct with defaults appropriate to the type.
+    pub fn new(name: impl Into<String>, key: KeySpec, actions: Vec<ActionDef>, capacity: usize) -> Table {
+        Table {
+            name: name.into(),
+            key,
+            actions,
+            capacity,
+            atcam: false,
+            default_action: None,
+            entries: Vec::new(),
+            next_seq: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Mark this table as algorithmic TCAM (SRAM-backed ternary).
+    pub fn with_atcam(mut self) -> Table {
+        self.atcam = true;
+        self
+    }
+
+    /// Set default action.
+    pub fn set_default_action(&mut self, action: usize, data: Vec<u64>) {
+        self.default_action = Some((action, data));
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Free entries.
+    pub fn free_entries(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Insert an entry atomically. `handle` must be globally unique (the
+    /// switch's control plane allocates them).
+    pub fn insert(&mut self, handle: EntryHandle, entry: TableEntry) -> SimResult<()> {
+        if self.entries.len() >= self.capacity {
+            return Err(SimError::TableFull { table: self.name.clone(), capacity: self.capacity });
+        }
+        if entry.matches.len() != self.key.fields.len() {
+            return Err(SimError::KeyMismatch {
+                table: self.name.clone(),
+                expected: self.key.fields.len(),
+                got: entry.matches.len(),
+            });
+        }
+        if entry.action >= self.actions.len() {
+            return Err(SimError::NoSuchAction { table: self.name.clone(), action: entry.action });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(StoredEntry { handle, seq, entry });
+        // Keep entries ordered so lookup is a linear first-match scan:
+        // priority desc, then LPM length desc, then insertion order asc.
+        self.entries.sort_by(|a, b| {
+            b.entry
+                .priority
+                .cmp(&a.entry.priority)
+                .then_with(|| {
+                    let la: u32 = a.entry.matches.iter().map(|m| u32::from(m.lpm_len())).sum();
+                    let lb: u32 = b.entry.matches.iter().map(|m| u32::from(m.lpm_len())).sum();
+                    lb.cmp(&la)
+                })
+                .then_with(|| a.seq.cmp(&b.seq))
+        });
+        Ok(())
+    }
+
+    /// Delete an entry atomically.
+    pub fn delete(&mut self, handle: EntryHandle) -> SimResult<TableEntry> {
+        match self.entries.iter().position(|e| e.handle == handle) {
+            Some(pos) => Ok(self.entries.remove(pos).entry),
+            None => Err(SimError::NoSuchEntry(handle.0)),
+        }
+    }
+
+    /// Contains.
+    pub fn contains(&self, handle: EntryHandle) -> bool {
+        self.entries.iter().any(|e| e.handle == handle)
+    }
+
+    /// Look up the PHV against this table, returning the matched (or
+    /// default) action. Also bumps hit/miss counters.
+    pub fn lookup(&mut self, phv: &Phv) -> Option<LookupResult<'_>> {
+        let mut found: Option<usize> = None;
+        'entries: for (idx, stored) in self.entries.iter().enumerate() {
+            for ((field, _kind), mv) in self.key.fields.iter().zip(&stored.entry.matches) {
+                if !mv.matches(phv.get(*field)) {
+                    continue 'entries;
+                }
+            }
+            found = Some(idx);
+            break;
+        }
+        match found {
+            Some(idx) => {
+                self.hits += 1;
+                let e = &self.entries[idx].entry;
+                Some(LookupResult { action: &self.actions[e.action], data: &e.data, hit: true })
+            }
+            None => {
+                self.misses += 1;
+                self.default_action.as_ref().map(|(a, data)| LookupResult {
+                    action: &self.actions[*a],
+                    data,
+                    hit: false,
+                })
+            }
+        }
+    }
+
+    /// Iterate entries (for resource accounting and debugging).
+    pub fn iter_entries(&self) -> impl Iterator<Item = (EntryHandle, &TableEntry)> {
+        self.entries.iter().map(|e| (e.handle, &e.entry))
+    }
+
+    /// Total key width in bits, used for TCAM/SRAM block accounting.
+    pub fn key_bits(&self, field_table: &crate::phv::FieldTable) -> usize {
+        self.key.fields.iter().map(|(f, _)| usize::from(field_table.spec(*f).bits)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionDef;
+    use crate::phv::FieldTable;
+
+    fn setup() -> (FieldTable, FieldId, FieldId) {
+        let mut t = FieldTable::new();
+        let a = t.register("meta.a", 32).unwrap();
+        let b = t.register("meta.b", 16).unwrap();
+        (t, a, b)
+    }
+
+    fn noop_actions(n: usize) -> Vec<ActionDef> {
+        (0..n).map(|i| ActionDef::noop(format!("act{i}"))).collect()
+    }
+
+    #[test]
+    fn exact_match() {
+        let (ft, a, b) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Exact), (b, MatchKind::Exact)]);
+        let mut tbl = Table::new("t", key, noop_actions(1), 8);
+        tbl.insert(
+            EntryHandle(1),
+            TableEntry { matches: vec![MatchValue::Exact(5), MatchValue::Exact(7)], priority: 0, action: 0, data: vec![] },
+        )
+        .unwrap();
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 5);
+        phv.set(&ft, b, 7);
+        assert!(tbl.lookup(&phv).is_some());
+        phv.set(&ft, b, 8);
+        assert!(tbl.lookup(&phv).is_none());
+        assert_eq!(tbl.hits, 1);
+        assert_eq!(tbl.misses, 1);
+    }
+
+    #[test]
+    fn ternary_priority_order() {
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Ternary)]);
+        let mut tbl = Table::new("t", key, noop_actions(2), 8);
+        // Low-priority catch-all inserted first.
+        tbl.insert(
+            EntryHandle(1),
+            TableEntry { matches: vec![MatchValue::ANY], priority: 0, action: 0, data: vec![] },
+        )
+        .unwrap();
+        tbl.insert(
+            EntryHandle(2),
+            TableEntry {
+                matches: vec![MatchValue::Ternary { value: 0x10, mask: 0xf0 }],
+                priority: 10,
+                action: 1,
+                data: vec![],
+            },
+        )
+        .unwrap();
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 0x15);
+        let r = tbl.lookup(&phv).unwrap();
+        assert_eq!(r.action.name, "act1");
+        phv.set(&ft, a, 0x25);
+        let r = tbl.lookup(&phv).unwrap();
+        assert_eq!(r.action.name, "act0");
+    }
+
+    #[test]
+    fn tie_broken_by_insertion_order() {
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Ternary)]);
+        let mut tbl = Table::new("t", key, noop_actions(2), 8);
+        tbl.insert(
+            EntryHandle(1),
+            TableEntry { matches: vec![MatchValue::ANY], priority: 5, action: 0, data: vec![] },
+        )
+        .unwrap();
+        tbl.insert(
+            EntryHandle(2),
+            TableEntry { matches: vec![MatchValue::ANY], priority: 5, action: 1, data: vec![] },
+        )
+        .unwrap();
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 1);
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act0");
+    }
+
+    #[test]
+    fn lpm_longest_prefix_wins() {
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Lpm)]);
+        let mut tbl = Table::new("t", key, noop_actions(2), 8);
+        tbl.insert(
+            EntryHandle(1),
+            TableEntry {
+                matches: vec![MatchValue::Lpm { value: 0x0a000000, prefix_len: 8, bits: 32 }],
+                priority: 0,
+                action: 0,
+                data: vec![],
+            },
+        )
+        .unwrap();
+        tbl.insert(
+            EntryHandle(2),
+            TableEntry {
+                matches: vec![MatchValue::Lpm { value: 0x0a010000, prefix_len: 16, bits: 32 }],
+                priority: 0,
+                action: 1,
+                data: vec![],
+            },
+        )
+        .unwrap();
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 0x0a010203);
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act1");
+        phv.set(&ft, a, 0x0a020203);
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act0");
+    }
+
+    #[test]
+    fn range_match() {
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Range)]);
+        let mut tbl = Table::new("t", key, noop_actions(1), 8);
+        tbl.insert(
+            EntryHandle(1),
+            TableEntry {
+                matches: vec![MatchValue::Range { lo: 10, hi: 20 }],
+                priority: 0,
+                action: 0,
+                data: vec![],
+            },
+        )
+        .unwrap();
+        let mut phv = Phv::new(&ft);
+        for (v, hit) in [(9u64, false), (10, true), (20, true), (21, false)] {
+            phv.set(&ft, a, v);
+            assert_eq!(tbl.lookup(&phv).is_some(), hit, "value {v}");
+        }
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let (_, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Exact)]);
+        let mut tbl = Table::new("t", key, noop_actions(1), 2);
+        for i in 0..2 {
+            tbl.insert(
+                EntryHandle(i),
+                TableEntry { matches: vec![MatchValue::Exact(i)], priority: 0, action: 0, data: vec![] },
+            )
+            .unwrap();
+        }
+        let err = tbl.insert(
+            EntryHandle(9),
+            TableEntry { matches: vec![MatchValue::Exact(9)], priority: 0, action: 0, data: vec![] },
+        );
+        assert!(matches!(err, Err(SimError::TableFull { .. })));
+    }
+
+    #[test]
+    fn delete_restores_capacity_and_misses() {
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Exact)]);
+        let mut tbl = Table::new("t", key, noop_actions(1), 2);
+        tbl.insert(
+            EntryHandle(1),
+            TableEntry { matches: vec![MatchValue::Exact(5)], priority: 0, action: 0, data: vec![] },
+        )
+        .unwrap();
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 5);
+        assert!(tbl.lookup(&phv).is_some());
+        tbl.delete(EntryHandle(1)).unwrap();
+        assert!(tbl.lookup(&phv).is_none());
+        assert_eq!(tbl.free_entries(), 2);
+        assert!(matches!(tbl.delete(EntryHandle(1)), Err(SimError::NoSuchEntry(1))));
+    }
+
+    #[test]
+    fn default_action_on_miss() {
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Exact)]);
+        let mut tbl = Table::new("t", key, noop_actions(2), 2);
+        tbl.set_default_action(1, vec![42]);
+        let phv = Phv::new(&ft);
+        let r = tbl.lookup(&phv).unwrap();
+        assert!(!r.hit);
+        assert_eq!(r.action.name, "act1");
+        assert_eq!(r.data, &[42]);
+    }
+
+    #[test]
+    fn key_arity_checked() {
+        let (_, a, b) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Exact), (b, MatchKind::Exact)]);
+        let mut tbl = Table::new("t", key, noop_actions(1), 2);
+        let err = tbl.insert(
+            EntryHandle(1),
+            TableEntry { matches: vec![MatchValue::Exact(5)], priority: 0, action: 0, data: vec![] },
+        );
+        assert!(matches!(err, Err(SimError::KeyMismatch { .. })));
+    }
+
+    #[test]
+    fn bad_action_id_rejected() {
+        let (_, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Exact)]);
+        let mut tbl = Table::new("t", key, noop_actions(1), 2);
+        let err = tbl.insert(
+            EntryHandle(1),
+            TableEntry { matches: vec![MatchValue::Exact(5)], priority: 0, action: 7, data: vec![] },
+        );
+        assert!(matches!(err, Err(SimError::NoSuchAction { .. })));
+    }
+}

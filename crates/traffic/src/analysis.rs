@@ -1,0 +1,107 @@
+//! Result analysis: the metrics of the §6.4 case studies.
+
+use netpkt::FiveTuple;
+use std::collections::HashSet;
+
+/// Precision / recall / F1 of a detected flow set against ground truth
+/// (the Figure 13(d) metric).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F1 {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+    /// True positives.
+    pub true_positives: usize,
+    /// False positives.
+    pub false_positives: usize,
+    /// False negatives.
+    pub false_negatives: usize,
+}
+
+/// Score `detected` against `truth`.
+pub fn f1_score(detected: &HashSet<FiveTuple>, truth: &HashSet<FiveTuple>) -> F1 {
+    let tp = detected.intersection(truth).count();
+    let fp = detected.len() - tp;
+    let fnn = truth.len() - tp;
+    let precision = if detected.is_empty() { 0.0 } else { tp as f64 / detected.len() as f64 };
+    let recall = if truth.is_empty() { 1.0 } else { tp as f64 / truth.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    F1 { precision, recall, f1, true_positives: tp, false_positives: fp, false_negatives: fnn }
+}
+
+/// A simple moving average with the paper's window (31 in Figure 7(a)).
+pub fn moving_average(series: &[f64], window: usize) -> Vec<f64> {
+    if series.is_empty() || window == 0 {
+        return Vec::new();
+    }
+    let half = window / 2;
+    (0..series.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(series.len());
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ft(n: u8) -> FiveTuple {
+        FiveTuple {
+            src_addr: Ipv4Addr::new(10, 0, 0, n),
+            dst_addr: Ipv4Addr::new(10, 0, 1, n),
+            src_port: 1000,
+            dst_port: 2000,
+            protocol: 17,
+        }
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let truth: HashSet<_> = (0..10).map(ft).collect();
+        let s = f1_score(&truth.clone(), &truth);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.false_negatives, 0);
+    }
+
+    #[test]
+    fn partial_detection() {
+        let truth: HashSet<_> = (0..10).map(ft).collect();
+        let detected: HashSet<_> = (0..5).map(ft).chain((20..22).map(ft)).collect();
+        let s = f1_score(&detected, &truth);
+        assert_eq!(s.true_positives, 5);
+        assert_eq!(s.false_positives, 2);
+        assert_eq!(s.false_negatives, 5);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        assert!(s.f1 > 0.0 && s.f1 < 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty = HashSet::new();
+        let truth: HashSet<_> = (0..3).map(ft).collect();
+        assert_eq!(f1_score(&empty, &truth).f1, 0.0);
+        assert_eq!(f1_score(&empty, &empty).recall, 1.0);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let series = vec![0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0];
+        let ma = moving_average(&series, 3);
+        assert_eq!(ma.len(), series.len());
+        assert!(ma[3] > 2.0 && ma[3] < 8.0);
+        assert!(moving_average(&[], 31).is_empty());
+        assert!(moving_average(&series, 0).is_empty());
+    }
+}

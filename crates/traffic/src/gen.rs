@@ -1,0 +1,201 @@
+//! Flow-oriented packet generation.
+//!
+//! The replacement for TRex + the paper's trace tooling: deterministic,
+//! seeded synthesis of flow sets and packet streams. Flows are five-tuples
+//! with a popularity weight; packet emission interleaves flows so the
+//! stream looks like multiplexed traffic rather than back-to-back bursts.
+
+use netpkt::{
+    EtherType, EthernetRepr, FiveTuple, IpProtocol, Ipv4Repr, Mac, NetCacheRepr, ParsedPacket,
+    TcpRepr, UdpRepr,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::net::Ipv4Addr;
+
+/// One synthetic flow.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Tuple.
+    pub tuple: FiveTuple,
+    /// Relative popularity weight (used by the Zipf sampler).
+    pub weight: f64,
+}
+
+/// Build `n` distinct five-tuples inside `10.s.0.0/16 → 10.d.0.0/16`.
+pub fn make_flows(seed: u64, n: usize, tcp_fraction: f64) -> Vec<Flow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut flows = Vec::with_capacity(n);
+    while flows.len() < n {
+        let proto = if rng.random::<f64>() < tcp_fraction { 6 } else { 17 };
+        let t = FiveTuple {
+            src_addr: Ipv4Addr::new(10, 1, rng.random::<u8>(), rng.random::<u8>().max(1)),
+            dst_addr: Ipv4Addr::new(10, 2, rng.random::<u8>(), rng.random::<u8>().max(1)),
+            src_port: rng.random_range(1024..u16::MAX),
+            dst_port: rng.random_range(1..1024),
+            protocol: proto,
+        };
+        if seen.insert(t) {
+            flows.push(Flow { tuple: t, weight: 1.0 });
+        }
+    }
+    flows
+}
+
+/// Assign Zipf(α) popularity weights by rank (rank 0 most popular).
+pub fn zipf_weights(flows: &mut [Flow], alpha: f64) {
+    for (rank, f) in flows.iter_mut().enumerate() {
+        f.weight = 1.0 / ((rank + 1) as f64).powf(alpha);
+    }
+}
+
+/// A weighted flow sampler (cumulative-distribution inversion).
+pub struct FlowSampler {
+    cdf: Vec<f64>,
+}
+
+impl FlowSampler {
+    /// Construct with defaults appropriate to the type.
+    pub fn new(flows: &[Flow]) -> FlowSampler {
+        let total: f64 = flows.iter().map(|f| f.weight).sum();
+        let mut acc = 0.0;
+        let cdf = flows
+            .iter()
+            .map(|f| {
+                acc += f.weight / total;
+                acc
+            })
+            .collect();
+        FlowSampler { cdf }
+    }
+
+    /// Sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Build a full frame for a flow with `payload_len` payload bytes.
+pub fn frame_for(tuple: &FiveTuple, payload_len: usize) -> Vec<u8> {
+    let eth = EthernetRepr {
+        dst: Mac::from_host_id(u32::from_be_bytes(tuple.dst_addr.octets())),
+        src: Mac::from_host_id(u32::from_be_bytes(tuple.src_addr.octets())),
+        ethertype: EtherType::Ipv4,
+    };
+    let ipv4 = Some(Ipv4Repr {
+        src_addr: tuple.src_addr,
+        dst_addr: tuple.dst_addr,
+        protocol: tuple.protocol.into(),
+        ttl: 64,
+        dscp: 0,
+        ecn: 0,
+    });
+    let pkt = match tuple.protocol {
+        6 => ParsedPacket {
+            ethernet: eth,
+            ipv4,
+            udp: None,
+            tcp: Some(TcpRepr {
+                src_port: tuple.src_port,
+                dst_port: tuple.dst_port,
+                seq: 1,
+                ack: 1,
+                flags: netpkt::tcp::flags::ACK,
+                window: 65535,
+            }),
+            netcache: None,
+            payload_len,
+        },
+        _ => ParsedPacket {
+            ethernet: eth,
+            ipv4,
+            udp: Some(UdpRepr { src_port: tuple.src_port, dst_port: tuple.dst_port }),
+            tcp: None,
+            netcache: None,
+            payload_len,
+        },
+    };
+    pkt.emit()
+}
+
+/// Build a NetCache request frame (UDP to the cache port, no payload).
+pub fn netcache_frame(tuple: &FiveTuple, op: netpkt::CacheOp, key: u64, value: u32) -> Vec<u8> {
+    ParsedPacket {
+        ethernet: EthernetRepr {
+            dst: Mac::from_host_id(1),
+            src: Mac::from_host_id(u32::from_be_bytes(tuple.src_addr.octets())),
+            ethertype: EtherType::Ipv4,
+        },
+        ipv4: Some(Ipv4Repr {
+            src_addr: tuple.src_addr,
+            dst_addr: tuple.dst_addr,
+            protocol: IpProtocol::Udp,
+            ttl: 64,
+            dscp: 0,
+            ecn: 0,
+        }),
+        udp: Some(UdpRepr { src_port: tuple.src_port, dst_port: netpkt::NETCACHE_PORT }),
+        tcp: None,
+        netcache: Some(NetCacheRepr { op, key, value }),
+        payload_len: 0,
+    }
+    .emit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flows_are_distinct_and_seeded() {
+        let a = make_flows(7, 512, 0.8);
+        let b = make_flows(7, 512, 0.8);
+        assert_eq!(a.len(), 512);
+        assert_eq!(a[0].tuple, b[0].tuple, "same seed → same flows");
+        let distinct: std::collections::HashSet<_> = a.iter().map(|f| f.tuple).collect();
+        assert_eq!(distinct.len(), 512);
+    }
+
+    #[test]
+    fn tcp_fraction_respected() {
+        let flows = make_flows(1, 2000, 0.8);
+        let tcp = flows.iter().filter(|f| f.tuple.protocol == 6).count();
+        assert!((1400..=1800).contains(&tcp), "tcp count {tcp}");
+    }
+
+    #[test]
+    fn zipf_sampler_is_head_heavy() {
+        let mut flows = make_flows(2, 100, 0.5);
+        zipf_weights(&mut flows, 1.2);
+        let sampler = FlowSampler::new(&flows);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0usize; flows.len()];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "rank 0 {} vs rank 50 {}", counts[0], counts[50]);
+        assert!(counts[0] > counts[10]);
+    }
+
+    #[test]
+    fn frames_parse_back() {
+        let flows = make_flows(3, 4, 0.5);
+        for f in &flows {
+            let frame = frame_for(&f.tuple, 100);
+            let parsed = ParsedPacket::parse(&frame).unwrap();
+            assert_eq!(parsed.five_tuple().unwrap(), f.tuple);
+            assert_eq!(parsed.payload_len, 100);
+        }
+    }
+
+    #[test]
+    fn netcache_frames_carry_cache_header() {
+        let flows = make_flows(4, 1, 0.0);
+        let frame = netcache_frame(&flows[0].tuple, netpkt::CacheOp::Read, 0x8888, 0);
+        let parsed = ParsedPacket::parse(&frame).unwrap();
+        assert_eq!(parsed.netcache.unwrap().key, 0x8888);
+        assert_eq!(parsed.udp.unwrap().dst_port, netpkt::NETCACHE_PORT);
+    }
+}

@@ -1,0 +1,272 @@
+//! Timed replay of packet traces into a switch, with per-bucket
+//! accounting — the stand-in for tcpreplay + libpcap capture analysis.
+//!
+//! The replay session walks a timestamped trace; the experiment harness
+//! interleaves control plane actions ("deploy at t = 5 s") between bucket
+//! boundaries, exactly how the case studies of §6.4 are run. Statistics
+//! are collected per 50 ms bucket (the paper's collection interval).
+//!
+//! For long traces, [`generate_streaming`] produces packets on a worker
+//! thread through a bounded crossbeam channel so synthesis overlaps
+//! injection.
+
+use crossbeam::channel::{bounded, Receiver};
+use netpkt::FiveTuple;
+use rmt_sim::clock::Nanos;
+use rmt_sim::switch::ProcessOutcome;
+use std::collections::HashSet;
+
+/// One timestamped frame.
+#[derive(Debug, Clone)]
+pub struct TimedPacket {
+    /// T.
+    pub t: Nanos,
+    /// Port.
+    pub port: u16,
+    /// Frame.
+    pub frame: Vec<u8>,
+}
+
+/// Statistics for one collection bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BucketStats {
+    /// Bucket start time (seconds).
+    pub t_secs: f64,
+    /// Offered bytes/packets in the bucket.
+    pub offered_bytes: u64,
+    /// Offered pkts.
+    pub offered_pkts: u64,
+    /// Bytes/packets emitted on any external port (the RX rate of the
+    /// measurement server).
+    pub tx_bytes: u64,
+    /// Tx pkts.
+    pub tx_pkts: u64,
+    /// Per-verdict counters.
+    pub dropped: u64,
+    /// Reports.
+    pub reports: u64,
+}
+
+impl BucketStats {
+    /// RX rate over the bucket, bits/s.
+    pub fn rx_rate_bps(&self, bucket: Nanos) -> f64 {
+        self.tx_bytes as f64 * 8.0 / bucket.as_secs_f64()
+    }
+}
+
+/// The replay driver.
+pub struct Replay {
+    packets: Vec<TimedPacket>,
+    idx: usize,
+    /// Bucket.
+    pub bucket: Nanos,
+    /// Stats.
+    pub stats: Vec<BucketStats>,
+    current: BucketStats,
+    bucket_end: Nanos,
+    /// Per-port emitted-byte totals (for the load balancer's imbalance
+    /// metric).
+    pub port_tx_bytes: std::collections::HashMap<u16, u64>,
+    /// Five-tuples of reported (punted) packets — the heavy-hitter result
+    /// set.
+    pub reported_flows: HashSet<FiveTuple>,
+}
+
+impl Replay {
+    /// 50 ms buckets, the paper's collection interval.
+    pub fn new(packets: Vec<TimedPacket>) -> Replay {
+        Replay::with_bucket(packets, Nanos::from_millis(50))
+    }
+
+    /// With bucket.
+    pub fn with_bucket(packets: Vec<TimedPacket>, bucket: Nanos) -> Replay {
+        Replay {
+            packets,
+            idx: 0,
+            bucket,
+            stats: Vec::new(),
+            current: BucketStats::default(),
+            bucket_end: bucket,
+            port_tx_bytes: std::collections::HashMap::new(),
+            reported_flows: HashSet::new(),
+        }
+    }
+
+    /// Done.
+    pub fn done(&self) -> bool {
+        self.idx >= self.packets.len()
+    }
+
+    /// The timestamp of the next packet, if any.
+    pub fn next_time(&self) -> Option<Nanos> {
+        self.packets.get(self.idx).map(|p| p.t)
+    }
+
+    /// Inject all packets with `t < until` through `inject`, folding the
+    /// outcomes into bucket statistics. Returns the number processed.
+    pub fn run_until(
+        &mut self,
+        until: Nanos,
+        mut inject: impl FnMut(u16, &[u8]) -> ProcessOutcome,
+    ) -> usize {
+        let mut n = 0;
+        while self.idx < self.packets.len() && self.packets[self.idx].t < until {
+            while self.packets[self.idx].t >= self.bucket_end {
+                self.rotate_bucket();
+            }
+            let pkt = &self.packets[self.idx];
+            let out = inject(pkt.port, &pkt.frame);
+            self.current.offered_bytes += pkt.frame.len() as u64;
+            self.current.offered_pkts += 1;
+            for (port, bytes) in &out.emitted {
+                self.current.tx_bytes += bytes.len() as u64;
+                self.current.tx_pkts += 1;
+                *self.port_tx_bytes.entry(*port).or_insert(0) += bytes.len() as u64;
+            }
+            if out.dropped {
+                self.current.dropped += 1;
+            }
+            for report in &out.reports {
+                self.current.reports += 1;
+                if let Ok(parsed) = netpkt::ParsedPacket::parse(report) {
+                    if let Some(ft) = parsed.five_tuple() {
+                        self.reported_flows.insert(ft);
+                    }
+                }
+            }
+            self.idx += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// Run the whole trace.
+    pub fn run_all(&mut self, inject: impl FnMut(u16, &[u8]) -> ProcessOutcome) {
+        let end = self.packets.last().map(|p| p.t + Nanos(1)).unwrap_or(Nanos::ZERO);
+        self.run_until(end, inject);
+        self.finish();
+    }
+
+    fn rotate_bucket(&mut self) {
+        let mut s = std::mem::take(&mut self.current);
+        s.t_secs = (self.bucket_end - self.bucket).as_secs_f64();
+        self.stats.push(s);
+        self.bucket_end += self.bucket;
+    }
+
+    /// Flush the in-progress bucket.
+    pub fn finish(&mut self) {
+        if self.current != BucketStats::default() {
+            self.rotate_bucket();
+        }
+    }
+
+    /// Load-imbalance rate between two ports (Figure 13(c)):
+    /// `|rx1 − rx2| / (rx1 + rx2)`.
+    pub fn imbalance(&self, port_a: u16, port_b: u16) -> f64 {
+        let a = *self.port_tx_bytes.get(&port_a).unwrap_or(&0) as f64;
+        let b = *self.port_tx_bytes.get(&port_b).unwrap_or(&0) as f64;
+        if a + b == 0.0 {
+            0.0
+        } else {
+            (a - b).abs() / (a + b)
+        }
+    }
+}
+
+/// Stream packets from a generator closure running on a worker thread.
+/// Useful when the synthesized trace would not fit memory comfortably.
+pub fn generate_streaming<F>(gen: F, capacity: usize) -> Receiver<TimedPacket>
+where
+    F: FnOnce(crossbeam::channel::Sender<TimedPacket>) + Send + 'static,
+{
+    let (tx, rx) = bounded(capacity);
+    std::thread::spawn(move || gen(tx));
+    rx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_sim::phv::{FieldTable, Phv};
+
+    fn fake_outcome(emit: Option<(u16, usize)>, dropped: bool, report: bool) -> ProcessOutcome {
+        let ft = FieldTable::new();
+        ProcessOutcome {
+            emitted: emit.map(|(p, n)| (p, vec![0u8; n])).into_iter().collect(),
+            reports: if report { vec![vec![0u8; 14]] } else { vec![] },
+            dropped,
+            passes: 1,
+            phv: Phv::new(&ft),
+        }
+    }
+
+    fn pkt(t_ms: u64, len: usize) -> TimedPacket {
+        TimedPacket { t: Nanos::from_millis(t_ms), port: 0, frame: vec![0; len] }
+    }
+
+    #[test]
+    fn buckets_aggregate_by_time() {
+        let mut r = Replay::new(vec![pkt(10, 100), pkt(20, 100), pkt(60, 100), pkt(120, 100)]);
+        r.run_all(|_, _| fake_outcome(Some((1, 100)), false, false));
+        // Buckets: [0,50): 2 pkts; [50,100): 1; [100,150): 1.
+        assert_eq!(r.stats.len(), 3);
+        assert_eq!(r.stats[0].offered_pkts, 2);
+        assert_eq!(r.stats[1].offered_pkts, 1);
+        assert_eq!(r.stats[2].offered_pkts, 1);
+        assert_eq!(r.stats[0].tx_bytes, 200);
+        assert!((r.stats[1].t_secs - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_until_splits_at_event_boundaries() {
+        let mut r = Replay::new(vec![pkt(10, 50), pkt(60, 50), pkt(90, 50)]);
+        let n = r.run_until(Nanos::from_millis(55), |_, _| fake_outcome(None, true, false));
+        assert_eq!(n, 1);
+        assert!(!r.done());
+        let n = r.run_until(Nanos::from_millis(1000), |_, _| fake_outcome(None, true, false));
+        assert_eq!(n, 2);
+        assert!(r.done());
+        r.finish();
+        assert_eq!(r.stats.iter().map(|s| s.dropped).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let mut r = Replay::new(vec![pkt(1, 10), pkt(2, 10), pkt(3, 10), pkt(4, 10)]);
+        let mut flip = 0u16;
+        r.run_all(|_, _| {
+            flip += 1;
+            fake_outcome(Some((flip % 2, 100)), false, false)
+        });
+        assert_eq!(r.imbalance(0, 1), 0.0, "perfectly balanced");
+        assert_eq!(r.imbalance(0, 9), 1.0, "all traffic on one port");
+    }
+
+    #[test]
+    fn rx_rate_computation() {
+        let s = BucketStats { tx_bytes: 625_000, ..Default::default() };
+        // 625 kB in 50 ms = 100 Mbps.
+        assert!((s.rx_rate_bps(Nanos::from_millis(50)) - 100e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn streaming_generator_delivers_in_order() {
+        let rx = generate_streaming(
+            |tx| {
+                for i in 0..100u64 {
+                    tx.send(TimedPacket {
+                        t: Nanos::from_micros(i),
+                        port: 0,
+                        frame: vec![i as u8],
+                    })
+                    .unwrap();
+                }
+            },
+            8,
+        );
+        let got: Vec<TimedPacket> = rx.iter().collect();
+        assert_eq!(got.len(), 100);
+        assert!(got.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+}

@@ -1,0 +1,30 @@
+//! An interactive runtime CLI against a freshly provisioned switch — the
+//! analogue of the prototype's runtime CLI (§5). Reads commands from
+//! stdin; see `help` for the command set. Multi-line programs can be
+//! entered with literal `\n` escapes.
+//!
+//! ```sh
+//! echo 'deploy program p(<hdr.ipv4.dst, 10.0.0.1, 0xffffffff>) { FORWARD(3); }
+//! programs
+//! status' | cargo run --example repl
+//! ```
+
+use p4runpro::p4rp_ctl::Cli;
+use p4runpro::Controller;
+use std::io::BufRead;
+
+fn main() {
+    let mut cli = Cli::new(Controller::with_defaults().expect("provision"));
+    println!("p4runpro runtime CLI — `help` for commands, ctrl-d to quit");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim() == "quit" || line.trim() == "exit" {
+            break;
+        }
+        println!("{}", cli.exec(&line));
+    }
+}

@@ -1,0 +1,49 @@
+//! # p4runpro — runtime programmability for RMT programmable switches
+//!
+//! A complete reproduction of *P4runpro: Enabling Runtime Programmability
+//! for RMT Programmable Switches* (SIGCOMM 2024) in Rust, running against
+//! a resource-faithful RMT ASIC simulator instead of an Intel Tofino (the
+//! substitution is argued in `DESIGN.md`).
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`netpkt`] — wire formats (Ethernet/IPv4/TCP/UDP, the NetCache and
+//!   recirculation headers);
+//! * [`rmt_sim`] — the RMT switch simulator (parser, match-action
+//!   pipeline, SALUs, hash units, traffic manager, resource/power models);
+//! * [`p4rp_lang`] — the P4runpro language front end;
+//! * [`p4rp_dataplane`] — the fixed data plane (RPBs, initialization and
+//!   recirculation blocks, atomic-operation catalogues);
+//! * [`p4rp_compiler`] — the runtime compiler (lowering, constraint-based
+//!   allocation, entry generation, consistent-update planning);
+//! * [`p4rp_ctl`] — the control plane ([`Controller`]: deploy / revoke /
+//!   monitor);
+//! * [`baselines`] — ActiveRMT / FlyMon / conventional-P4 comparators;
+//! * [`traffic`] — load generation, campus-trace synthesis, replay,
+//!   analysis;
+//! * [`p4rp_progs`] — the 15 Table-1 programs and workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use p4runpro::Controller;
+//!
+//! let mut ctl = Controller::with_defaults().unwrap();
+//! ctl.deploy("program drop_all(<hdr.ipv4.src, 0.0.0.0, 0x00000000>) { DROP; }")
+//!     .unwrap();
+//! assert_eq!(ctl.deployed_programs().count(), 1);
+//! ctl.revoke("drop_all").unwrap();
+//! ```
+
+pub use baselines;
+pub use netpkt;
+pub use p4rp_compiler;
+pub use p4rp_ctl;
+pub use p4rp_dataplane;
+pub use p4rp_lang;
+pub use p4rp_progs;
+pub use rmt_sim;
+pub use traffic;
+
+pub use p4rp_ctl::{Controller, CtlError, DeployReport, RevokeReport};
+pub use p4rp_lang::{count_loc, parse};

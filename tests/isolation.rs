@@ -1,0 +1,95 @@
+//! Program isolation at flow and port granularity (§4.1.1): the paper's
+//! filtering supports exact 5-tuples, masked address ranges, and ingress
+//! ports.
+
+use p4runpro::traffic::{frame_for, make_flows};
+use p4runpro::Controller;
+
+#[test]
+fn port_granularity_isolation() {
+    // Two tenants on disjoint port sets, same traffic shape.
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.deploy(
+        "program tenant_a(<meta.ingress_port, 0, 0xfff8>) { FORWARD(10); }",
+    )
+    .unwrap();
+    ctl.deploy(
+        "program tenant_b(<meta.ingress_port, 8, 0xfff8>) { FORWARD(20); }",
+    )
+    .unwrap();
+    let flow = make_flows(1, 1, 0.0)[0].tuple;
+    let frame = frame_for(&flow, 64);
+    for port in 0..8u16 {
+        let out = ctl.inject(port, &frame).unwrap();
+        assert_eq!(out.emitted[0].0, 10, "ports 0-7 belong to tenant A");
+    }
+    for port in 8..16u16 {
+        let out = ctl.inject(port, &frame).unwrap();
+        assert_eq!(out.emitted[0].0, 20, "ports 8-15 belong to tenant B");
+    }
+    // Ports outside both ranges hit neither program.
+    assert!(ctl.inject(33, &frame).unwrap().dropped);
+}
+
+#[test]
+fn exact_five_tuple_isolation() {
+    let flows = make_flows(2, 2, 0.0);
+    let (a, b) = (flows[0].tuple, flows[1].tuple);
+    let mut ctl = Controller::with_defaults().unwrap();
+    let filter = format!(
+        "<hdr.ipv4.src, {}, 0xffffffff>, <hdr.ipv4.dst, {}, 0xffffffff>, \
+         <hdr.udp.src_port, {}, 0xffff>, <hdr.udp.dst_port, {}, 0xffff>, \
+         <hdr.ipv4.proto, 17, 0xff>",
+        a.src_addr, a.dst_addr, a.src_port, a.dst_port
+    );
+    ctl.deploy(&format!("program one_flow({filter}) {{ FORWARD(9); }}"))
+        .unwrap();
+    let out = ctl.inject(0, &frame_for(&a, 64)).unwrap();
+    assert_eq!(out.emitted[0].0, 9, "the exact flow matches");
+    assert!(ctl.inject(0, &frame_for(&b, 64)).unwrap().dropped, "any other flow misses");
+    // Same addresses, different source port: still a different flow.
+    let mut a2 = a;
+    a2.src_port = a.src_port.wrapping_add(1);
+    assert!(ctl.inject(0, &frame_for(&a2, 64)).unwrap().dropped);
+}
+
+#[test]
+fn address_range_isolation_with_masks() {
+    // Coarser isolation: /24 prefixes via masks (the paper's "matching an
+    // address range with a mask").
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.deploy("program net_a(<hdr.ipv4.dst, 10.2.1.0, 0xffffff00>) { FORWARD(1); }")
+        .unwrap();
+    ctl.deploy("program net_b(<hdr.ipv4.dst, 10.2.2.0, 0xffffff00>) { FORWARD(2); }")
+        .unwrap();
+    let mut flow = make_flows(3, 1, 0.0)[0].tuple;
+    flow.dst_addr = std::net::Ipv4Addr::new(10, 2, 1, 77);
+    assert_eq!(ctl.inject(0, &frame_for(&flow, 64)).unwrap().emitted[0].0, 1);
+    flow.dst_addr = std::net::Ipv4Addr::new(10, 2, 2, 77);
+    assert_eq!(ctl.inject(0, &frame_for(&flow, 64)).unwrap().emitted[0].0, 2);
+    flow.dst_addr = std::net::Ipv4Addr::new(10, 2, 3, 77);
+    assert!(ctl.inject(0, &frame_for(&flow, 64)).unwrap().dropped);
+}
+
+#[test]
+fn state_is_private_per_program() {
+    // Two programs with identical logic and identical virtual addresses:
+    // their buckets must live in disjoint physical regions.
+    let mut ctl = Controller::with_defaults().unwrap();
+    for (name, net) in [("pa", "10.2.1.0"), ("pb", "10.2.2.0")] {
+        let src = format!(
+            "@ m_{name} 256\nprogram {name}(<hdr.ipv4.dst, {net}, 0xffffff00>) {{\n\
+             LOADI(sar, 1);\nHASH_5_TUPLE_MEM(m_{name});\nMEMADD(m_{name});\n}}"
+        );
+        ctl.deploy(&src).unwrap();
+    }
+    let mut flow = make_flows(4, 1, 0.0)[0].tuple;
+    flow.dst_addr = std::net::Ipv4Addr::new(10, 2, 1, 9);
+    for _ in 0..5 {
+        ctl.inject(0, &frame_for(&flow, 64)).unwrap();
+    }
+    let a: u64 = ctl.read_memory("pa", "m_pa").unwrap().iter().map(|&v| u64::from(v)).sum();
+    let b: u64 = ctl.read_memory("pb", "m_pb").unwrap().iter().map(|&v| u64::from(v)).sum();
+    assert_eq!(a, 5, "program A counted its traffic");
+    assert_eq!(b, 0, "program B's memory is untouched");
+}

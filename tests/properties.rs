@@ -1,0 +1,147 @@
+//! Property-based tests over the core invariants: language round-trips,
+//! allocator constraint satisfaction, address translation, and packet
+//! round-trips.
+
+use proptest::prelude::*;
+use p4runpro::p4rp_compiler::alloc::{allocate, slot_requirements, AllocConfig, AllocView};
+use p4runpro::p4rp_compiler::ir::{lower, MemDecl};
+use p4runpro::p4rp_dataplane::{LogicalRpb, RPB_MEM_SIZE, RPB_TABLE_SIZE};
+use p4runpro::p4rp_lang::{parse, print_unit, Reg};
+use p4runpro::rmt_sim::hash::{CrcSpec, HH_CRC_SET};
+
+// ---------------------------------------------------------------- language
+
+/// Generate a random well-formed P4runpro program source.
+fn arb_program() -> impl Strategy<Value = String> {
+    let reg = prop::sample::select(vec!["har", "sar", "mar"]);
+    let simple = (reg.clone(), 0u32..1000).prop_map(|(r, i)| format!("LOADI({r}, {i});"));
+    let two = (reg.clone(), reg.clone(), prop::sample::select(vec!["ADD", "XOR", "MIN", "MAX"]))
+        .prop_filter_map("distinct regs", |(a, b, op)| {
+            (a != b).then(|| format!("{op}({a}, {b});"))
+        });
+    let mem = prop::sample::select(vec![
+        "HASH_5_TUPLE_MEM(m); MEMADD(m);",
+        "LOADI(mar, 3); MEMREAD(m);",
+        "HASH_5_TUPLE_MEM(m); MEMMAX(m);",
+    ])
+    .prop_map(str::to_string);
+    let pseudo = (reg, 1u32..100).prop_map(|(r, i)| format!("ADDI({r}, {i});"));
+    let stmt = prop_oneof![simple, two, mem, pseudo];
+    // At most two accesses to the same virtual memory: R = 1 allows two
+    // passes, so a third same-memory access is *correctly* infeasible
+    // (constraint (5)) — keep generated programs allocatable.
+    (
+        proptest::collection::vec(stmt, 1..8).prop_filter("≤2 accesses to m", |stmts| {
+            stmts.iter().map(|s| s.matches("MEM").count()).sum::<usize>() <= 2
+        }),
+        any::<bool>(),
+    )
+        .prop_map(|(stmts, fwd)| {
+        let mut body = stmts.join("\n    ");
+        if fwd {
+            body.push_str("\n    FORWARD(5);");
+        }
+        format!("@ m 256\nprogram p(<hdr.ipv4.dst, 10.0.0.1, 0xffffffff>) {{\n    {body}\n}}\n")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print(parse(src)) re-parses to the same AST.
+    #[test]
+    fn pretty_print_roundtrip(src in arb_program()) {
+        let a = parse(&src).unwrap();
+        let printed = print_unit(&a);
+        let b = parse(&printed).expect("canonical form parses");
+        // Positions differ; compare structure via a second print.
+        prop_assert_eq!(printed, print_unit(&b));
+    }
+
+    /// Every allocation the solver returns satisfies the §4.3 constraints.
+    #[test]
+    fn allocations_satisfy_model_constraints(src in arb_program()) {
+        let unit = parse(&src).unwrap();
+        let mems: Vec<MemDecl> = unit.annotations.iter()
+            .map(|a| MemDecl { name: a.name.clone(), size: a.size as u32 })
+            .collect();
+        let ir = lower(&unit.programs[0], &mems).unwrap();
+        let view = AllocView::unconstrained(RPB_TABLE_SIZE, RPB_MEM_SIZE);
+        let cfg = AllocConfig::default();
+        let alloc = allocate(&ir, &view, &cfg).unwrap();
+        let (reqs, pairs) = slot_requirements(&ir);
+
+        // (1) strict ordering.
+        for w in alloc.x.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Domain bound.
+        let max = LogicalRpb::max_index(cfg.max_recirc);
+        prop_assert!(*alloc.x.last().unwrap() <= max);
+        // (4) forwarding in ingress RPBs.
+        for (i, r) in reqs.iter().enumerate() {
+            if r.is_forwarding {
+                prop_assert!(LogicalRpb::from_index(alloc.x[i]).is_ingress());
+            }
+        }
+        // (5) same vmem ⇒ same physical RPB, strictly increasing pass.
+        let mut seen: std::collections::HashMap<&str, (u8, u8)> = Default::default();
+        for (i, r) in reqs.iter().enumerate() {
+            for m in &r.mems {
+                let l = LogicalRpb::from_index(alloc.x[i]);
+                if let Some((rpb, pass)) = seen.get(m.as_str()) {
+                    prop_assert_eq!(*rpb, l.rpb().0);
+                    prop_assert!(l.pass() > *pass);
+                }
+                seen.insert(m, (l.rpb().0, l.pass()));
+            }
+        }
+        // (6) same-pass pairs.
+        for (a, b) in pairs {
+            prop_assert_eq!(
+                LogicalRpb::from_index(alloc.x[a]).pass(),
+                LogicalRpb::from_index(alloc.x[b]).pass()
+            );
+        }
+    }
+
+    /// The mask step equals truncation for every CRC the data plane wires.
+    #[test]
+    fn mask_step_is_truncation(data in proptest::collection::vec(any::<u8>(), 1..64),
+                               bits in 1u8..16) {
+        for spec in HH_CRC_SET {
+            let full = spec.compute(&data);
+            prop_assert_eq!(spec.compute_masked(&data, bits), full & ((1 << bits) - 1));
+        }
+    }
+
+    /// CRC linearity sanity: same input ⇒ same output; algorithms are
+    /// deterministic functions.
+    #[test]
+    fn crc_deterministic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let spec: CrcSpec = HH_CRC_SET[0];
+        prop_assert_eq!(spec.compute(&data), spec.compute(&data));
+    }
+
+    /// Wire round-trip: any UDP packet built by the traffic generator
+    /// parses back to itself.
+    #[test]
+    fn frame_roundtrip(seed in 0u64..1000, payload in 0usize..800) {
+        let flows = p4runpro::traffic::make_flows(seed, 1, 0.5);
+        let frame = p4runpro::traffic::frame_for(&flows[0].tuple, payload);
+        let parsed = netpkt::ParsedPacket::parse(&frame).unwrap();
+        prop_assert_eq!(parsed.five_tuple().unwrap(), flows[0].tuple);
+        prop_assert_eq!(parsed.payload_len, payload);
+        prop_assert_eq!(parsed.emit(), frame);
+    }
+
+    /// Register set sanity: the supportive-register scheme always has a
+    /// third register available.
+    #[test]
+    fn register_triples(a in 0usize..3, b in 0usize..3) {
+        prop_assume!(a != b);
+        let (a, b) = (Reg::ALL[a], Reg::ALL[b]);
+        let c = Reg::ALL.into_iter().find(|r| *r != a && *r != b);
+        prop_assert!(c.is_some());
+    }
+}

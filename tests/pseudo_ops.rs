@@ -1,0 +1,123 @@
+//! End-to-end semantics of the pseudo primitives (Figure 14): each is
+//! expanded by the compiler, allocated, installed, and exercised with real
+//! packets; the result is read back from the reply header.
+//!
+//! The harness program extracts the two operand words from the cache
+//! header into `sar`/`mar`, applies one pseudo primitive, writes `sar`
+//! into the value field and reflects the packet.
+
+use netpkt::{CacheOp, ParsedPacket};
+use p4runpro::traffic::{make_flows, netcache_frame};
+use p4runpro::Controller;
+
+/// Run `body` (operating on sar = a, mar = b) and return the reply value.
+fn eval(body: &str, a: u32, b: u32) -> u32 {
+    let mut ctl = Controller::with_defaults().unwrap();
+    let src = format!(
+        r#"
+program t(<hdr.udp.dst_port, 7777, 0xffff>) {{
+    EXTRACT(hdr.nc.key2, sar);
+    EXTRACT(hdr.nc.key1, mar);
+    {body}
+    MODIFY(hdr.nc.value, sar);
+    RETURN;
+}}
+"#
+    );
+    ctl.deploy(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let flow = make_flows(1, 1, 0.0)[0].tuple;
+    let key = (u64::from(b) << 32) | u64::from(a);
+    let out = ctl.inject(0, &netcache_frame(&flow, CacheOp::Read, key, 0)).unwrap();
+    assert_eq!(out.emitted.len(), 1, "reflected\n{src}");
+    ParsedPacket::parse(&out.emitted[0].1).unwrap().netcache.unwrap().value
+}
+
+#[test]
+fn move_copies() {
+    assert_eq!(eval("MOVE(sar, mar);", 1, 99), 99);
+}
+
+#[test]
+fn not_inverts() {
+    assert_eq!(eval("NOT(sar);", 0x0f0f_0f0f, 0), 0xf0f0_f0f0);
+    assert_eq!(eval("NOT(sar);", 0, 0), 0xffff_ffff);
+}
+
+#[test]
+fn sub_is_exact_including_wraparound() {
+    assert_eq!(eval("SUB(sar, mar);", 10, 3), 7);
+    assert_eq!(eval("SUB(sar, mar);", 3, 10), 3u32.wrapping_sub(10));
+    assert_eq!(eval("SUB(sar, mar);", 0, 1), u32::MAX);
+    assert_eq!(eval("SUB(sar, mar);", 12345, 12345), 0);
+}
+
+#[test]
+fn subi_and_addi() {
+    assert_eq!(eval("SUBI(sar, 7);", 10, 0), 3);
+    assert_eq!(eval("SUBI(sar, 11);", 10, 0), 10u32.wrapping_sub(11));
+    assert_eq!(eval("ADDI(sar, 90);", 10, 0), 100);
+    assert_eq!(eval("ANDI(sar, 0xff);", 0x1234, 0), 0x34);
+    assert_eq!(eval("XORI(sar, 0xffff);", 0x1234, 0), 0x1234 ^ 0xffff);
+}
+
+#[test]
+fn equal_yields_zero_iff_equal() {
+    assert_eq!(eval("EQUAL(sar, mar);", 5, 5), 0);
+    assert_ne!(eval("EQUAL(sar, mar);", 5, 6), 0);
+}
+
+#[test]
+fn sgt_yields_zero_iff_ge() {
+    // SGT(A,B): A = 0 iff A >= B (Table 3).
+    assert_eq!(eval("SGT(sar, mar);", 9, 5), 0);
+    assert_eq!(eval("SGT(sar, mar);", 5, 5), 0);
+    assert_ne!(eval("SGT(sar, mar);", 4, 5), 0);
+}
+
+#[test]
+fn slt_yields_zero_iff_le() {
+    // SLT(A,B): A = 0 iff A <= B.
+    assert_eq!(eval("SLT(sar, mar);", 3, 5), 0);
+    assert_eq!(eval("SLT(sar, mar);", 5, 5), 0);
+    assert_ne!(eval("SLT(sar, mar);", 6, 5), 0);
+}
+
+#[test]
+fn comparisons_drive_branches() {
+    // The §7 pattern: SGT + BRANCH expresses ">=" conditions.
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.deploy(
+        r#"
+program gate(<hdr.udp.dst_port, 7777, 0xffff>) {
+    EXTRACT(hdr.nc.key2, sar);
+    EXTRACT(hdr.nc.key1, mar);
+    SGT(sar, mar);
+    BRANCH:
+    /*value >= limit*/
+    case(<sar, 0, 0xffffffff>) {
+        DROP;
+    };
+    FORWARD(6);
+}
+"#,
+    )
+    .unwrap();
+    let flow = make_flows(2, 1, 0.0)[0].tuple;
+    let send = |ctl: &mut Controller, v: u32, limit: u32| {
+        let key = (u64::from(limit) << 32) | u64::from(v);
+        ctl.inject(0, &netcache_frame(&flow, CacheOp::Read, key, 0)).unwrap()
+    };
+    assert!(send(&mut ctl, 100, 50).dropped, "100 >= 50 gated");
+    assert!(send(&mut ctl, 50, 50).dropped, "50 >= 50 gated");
+    let out = send(&mut ctl, 49, 50);
+    assert_eq!(out.emitted[0].0, 6, "49 < 50 passes");
+}
+
+#[test]
+fn supportive_register_backup_preserves_values() {
+    // ADDI needs a supportive register; with both other registers live
+    // (read afterwards), the compiler must back up and restore, so the
+    // final MODIFY sees the original mar.
+    let got = eval("ADDI(sar, 1);\n    ADD(sar, mar);", 10, 7);
+    assert_eq!(got, 18, "sar = (10+1) + mar(7), mar intact through the expansion");
+}

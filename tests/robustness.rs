@@ -1,0 +1,74 @@
+//! Robustness suites: arbitrary input must never panic the parsers — the
+//! wire parsers reject gracefully, the language front end produces
+//! diagnostics, and the controller surfaces typed errors.
+
+use proptest::prelude::*;
+use p4runpro::p4rp_lang;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes through the packet parser: parse or reject, never
+    /// panic; anything that parses re-emits and re-parses to itself.
+    #[test]
+    fn wire_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        if let Ok(parsed) = netpkt::ParsedPacket::parse(&bytes) {
+            let emitted = parsed.emit();
+            let reparsed = netpkt::ParsedPacket::parse(&emitted).unwrap();
+            prop_assert_eq!(parsed, reparsed);
+        }
+    }
+
+    /// Arbitrary text through the language front end: diagnostics, not
+    /// panics.
+    #[test]
+    fn language_frontend_total(src in "\\PC{0,200}") {
+        let _ = p4rp_lang::parse(&src);
+    }
+
+    /// Arbitrary printable soup with P4runpro-ish tokens mixed in.
+    #[test]
+    fn language_frontend_tokeny(parts in proptest::collection::vec(
+        prop::sample::select(vec![
+            "program", "case", "BRANCH:", "{", "}", "(", ")", "<", ">", ",", ";",
+            "har", "sar", "mar", "MEMADD(m)", "LOADI", "0xff", "10.0.0.1", "@ m 64",
+        ]), 0..30))
+    {
+        let src = parts.join(" ");
+        let _ = p4rp_lang::parse(&src);
+    }
+
+    /// The recirculation-header parser tolerates any buffer.
+    #[test]
+    fn recirc_header_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(h) = netpkt::RecircHeader::new_checked(&bytes) {
+            let repr = netpkt::RecircRepr::parse(&h);
+            let emitted = repr.emit(h.payload());
+            prop_assert_eq!(&emitted[..netpkt::RECIRC_HEADER_LEN],
+                            &bytes[..netpkt::RECIRC_HEADER_LEN]);
+        }
+    }
+}
+
+/// Deploy errors are typed and the controller stays usable afterwards.
+#[test]
+fn controller_survives_bad_inputs() {
+    let mut ctl = p4runpro::Controller::with_defaults().unwrap();
+    for bad in [
+        "",
+        "garbage",
+        "program p() { }",
+        "program p(<hdr.ipv4.dst, 1, 1>) { }",
+        "program p(<hdr.ipv4.dst, 1, 1>) { MEMREAD(ghost); }",
+        "@ m 100\nprogram p(<hdr.ipv4.dst, 1, 1>) { MEMREAD(m); }", // non-pow2
+        "program p(<hdr.bogus.f, 1, 1>) { DROP; }",
+        "program p(<hdr.ipv4.ttl, 1, 1>) { DROP; }", // unsupported filter field
+    ] {
+        assert!(ctl.deploy(bad).is_err(), "{bad:?} must be rejected");
+    }
+    // Still fully functional.
+    ctl.deploy("program ok(<hdr.ipv4.dst, 10.0.0.1, 0xffffffff>) { FORWARD(1); }")
+        .unwrap();
+    assert_eq!(ctl.deployed_programs().count(), 1);
+    assert_eq!(ctl.resources().init_entries_used(), 1);
+}
