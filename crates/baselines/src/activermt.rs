@@ -333,14 +333,10 @@ mod tests {
         let mut a = ActiveRmtAllocator::new(4096);
         let mut count = 0usize;
         let mut saw_remap = false;
-        loop {
-            match a.allocate(ActiveDemand { mem: 3 * 16384, accesses: 3, elastic: true }) {
-                Some(r) => {
-                    count += 1;
-                    saw_remap |= r.remapped_buckets > 0;
-                }
-                None => break,
-            }
+        while let Some(r) = a.allocate(ActiveDemand { mem: 3 * 16384, accesses: 3, elastic: true })
+        {
+            count += 1;
+            saw_remap |= r.remapped_buckets > 0;
             assert!(count < 10_000, "must terminate");
         }
         assert!(count > 10, "many programs fit");

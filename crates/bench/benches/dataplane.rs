@@ -37,5 +37,22 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crc, bench_pipeline);
+fn bench_telemetry(c: &mut Criterion) {
+    // The zero-cost-when-disabled claim of `rmt_sim::telemetry`: with the
+    // recorder off, the hot path pays one virtual call to an empty body
+    // per event, which must be invisible next to a table lookup.
+    let mut ctl = Controller::with_defaults().unwrap();
+    let src = sources::cache("cache", "<hdr.udp.dst_port, 7777, 0xffff>", 1024, &[(0x8888, 512)]);
+    ctl.deploy(&src).unwrap();
+    let flows = traffic::make_flows(5, 1, 0.0);
+    let hit = traffic::netcache_frame(&flows[0].tuple, CacheOp::Read, 0x8888, 0);
+
+    let mut group = c.benchmark_group("switch/telemetry");
+    group.bench_function("disabled", |b| b.iter(|| ctl.inject(0, black_box(&hit)).unwrap()));
+    ctl.enable_telemetry();
+    group.bench_function("enabled", |b| b.iter(|| ctl.inject(0, black_box(&hit)).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_crc, bench_pipeline, bench_telemetry);
 criterion_main!(benches);

@@ -34,11 +34,13 @@ fn case_a_impact_on_traffic() {
     let trace = synthesize(&p);
 
     let mut ctl = Controller::with_defaults().unwrap();
+    ctl.enable_telemetry();
     // The basic forwarding program (all IPv4 → port 1).
     ctl.deploy("program basefwd(<hdr.ipv4.src, 0.0.0.0, 0x00000000>) { FORWARD(1); }")
         .unwrap();
 
     let mut replay = Replay::new(trace.packets.clone());
+    replay.epoch = ctl.epoch();
     let mut rng = StdRng::seed_from_u64(99);
     let mut deployed: Vec<String> = Vec::new();
     let mut event_t = Nanos::from_secs_f64(DEPLOY_AT);
@@ -65,6 +67,8 @@ fn case_a_impact_on_traffic() {
             ctl.revoke(&victim).unwrap();
         }
         churn += 1;
+        // Buckets after this point belong to the post-event epoch.
+        replay.epoch = ctl.epoch();
         event_t += Nanos::from_millis(500);
     }
     replay.finish();
@@ -74,10 +78,28 @@ fn case_a_impact_on_traffic() {
         .map(|s| s.rx_rate_bps(Nanos::from_millis(BUCKET_MS)) / 1e6)
         .collect();
     print_series("RX rate Mbps (p4runpro, churn from t=5s)", &rates, 24);
-    let before = bench::mean(&rates[..90.min(rates.len())]);
-    let after = bench::mean(&rates[100.min(rates.len() - 1)..]);
+    // The epoch tags split the series without timestamp arithmetic: epoch
+    // 1 is pre-churn (only basefwd installed), later epochs are mid-churn.
+    let split = |pre: bool| -> Vec<f64> {
+        replay
+            .stats
+            .iter()
+            .filter(|s| (s.epoch <= 1) == pre)
+            .map(|s| s.rx_rate_bps(Nanos::from_millis(BUCKET_MS)) / 1e6)
+            .collect()
+    };
+    let before = bench::mean(&split(true));
+    let after = bench::mean(&split(false));
     println!("mean RX before churn: {before:.1} Mbps, during churn: {after:.1} Mbps");
-    println!("({churn} deploy/delete events; spikes are large TCP transfers)\n");
+    println!("({churn} deploy/delete events; spikes are large TCP transfers)");
+    let report = ctl.telemetry_report();
+    let tm = &report.dataplane.as_ref().expect("telemetry enabled").tm;
+    println!(
+        "telemetry: {} lifecycle spans across {} epochs; TM drops during churn: {} (must be 0)\n",
+        report.spans.len(),
+        report.epoch,
+        tm.dropped.get()
+    );
 }
 
 /// (b) In-network cache: hit rate 0.6; misses (40 Mbps) reach the server.

@@ -41,8 +41,11 @@ fn main() {
                 WorkloadParams::default(),
             );
             let ok = ctl.deploy(&src).is_ok();
-            mem_snaps.push(ctl.resources().memory_utilization_per_rpb());
-            te_snaps.push(ctl.resources().entry_utilization_per_rpb());
+            // Heatmap rows come from the telemetry gauges — the same
+            // per-RPB vectors `status --metrics` serializes.
+            let gauges = p4rp_ctl::ResourceGauges::collect(ctl.resources());
+            mem_snaps.push(gauges.memory_per_rpb);
+            te_snaps.push(gauges.entries_per_rpb);
             if !ok {
                 break;
             }
@@ -52,6 +55,7 @@ fn main() {
         println!("== {name} ({epochs} epochs) ==");
         for (label, snaps) in [("mem  (Fig 18)", &mem_snaps), ("entry (Fig 19)", &te_snaps)] {
             println!("{label}:");
+            #[allow(clippy::needless_range_loop)] // rpb indexes the inner vec across snapshots
             for rpb in 0..22 {
                 let mut row = String::new();
                 for s in 0..segments {

@@ -15,7 +15,7 @@ use traffic::moving_average;
 
 fn main() {
     let epochs = scaled(500);
-    let repeats = scaled(30).min(3).max(1);
+    let repeats = scaled(30).clamp(1, 3);
     println!("Figure 7(a): allocation delay over {epochs} deployment epochs (ms, moving avg w=31)\n");
 
     for workload in [Workload::Cache, Workload::Lb, Workload::Hh, Workload::Mixed] {

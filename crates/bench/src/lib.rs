@@ -46,6 +46,11 @@ pub struct EpochRecord {
 
 /// Deploy `epochs` programs of `workload` sequentially (the §6.2.1
 /// methodology). Stops early only at `stop_on_failure`.
+///
+/// Timings and utilization come from the controller's telemetry — the
+/// lifecycle span each deploy emits and the resource gauges — rather than
+/// the ad-hoc `DeployReport` fields, so the figures read exactly what
+/// `status --metrics` reports.
 pub fn run_deploy_stream(
     ctl: &mut Controller,
     workload: Workload,
@@ -58,23 +63,16 @@ pub fn run_deploy_stream(
     let mut records = Vec::new();
     for epoch in 0..epochs {
         let src = workload.program(epoch, rng.random::<u32>() as usize, params);
-        let rec = match ctl.deploy(&src) {
-            Ok(reports) => EpochRecord {
-                epoch,
-                alloc_ms: reports[0].alloc_wall.as_secs_f64() * 1e3,
-                update_ms: reports[0].update_delay.as_millis_f64(),
-                ok: true,
-                mem_util: ctl.resources().memory_utilization(),
-                te_util: ctl.resources().entry_utilization(),
-            },
-            Err(_) => EpochRecord {
-                epoch,
-                alloc_ms: 0.0,
-                update_ms: 0.0,
-                ok: false,
-                mem_util: ctl.resources().memory_utilization(),
-                te_util: ctl.resources().entry_utilization(),
-            },
+        let ok = ctl.deploy(&src).is_ok();
+        let gauges = p4rp_ctl::ResourceGauges::collect(ctl.resources());
+        let span = ctl.lifecycle_spans().last().filter(|_| ok);
+        let rec = EpochRecord {
+            epoch,
+            alloc_ms: span.map_or(0.0, |s| s.solver_wall_ns as f64 / 1e6),
+            update_ms: span.map_or(0.0, |s| s.update_delay_ns as f64 / 1e6),
+            ok,
+            mem_util: gauges.memory_utilization,
+            te_util: gauges.entry_utilization,
         };
         let failed = !rec.ok;
         records.push(rec);

@@ -11,6 +11,9 @@
 //! update <name> <source…>      incremental update: revoke + redeploy
 //! programs                     list deployed programs
 //! status                       resource-manager summary
+//! status --metrics             full telemetry summary (spans, gauges,
+//!                              latency, dataplane counters)
+//! status --json                the same report as one JSON document
 //! mem <program> <memory>       dump a program's virtual memory (non-zero)
 //! memwrite <prog> <mem> <addr> <value>
 //! help                         this text
@@ -48,7 +51,11 @@ impl Cli {
             }),
             "update" => self.update(rest),
             "programs" => Ok(self.programs()),
-            "status" => Ok(self.status()),
+            "status" => Ok(match rest {
+                "--metrics" => self.ctl.telemetry_report().summary(),
+                "--json" => self.ctl.telemetry_report().to_json(),
+                _ => self.status(),
+            }),
             "mem" => self.mem(rest),
             "memwrite" => self.memwrite(rest),
             other => Ok(format!("unknown command `{other}` — try `help`")),
@@ -155,7 +162,7 @@ impl Cli {
     }
 }
 
-const HELP: &str = "commands: deploy <src> | revoke <name> | update <name> <src> | programs | status | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | help";
+const HELP: &str = "commands: deploy <src> | revoke <name> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | help";
 
 #[cfg(test)]
 mod tests {
@@ -200,6 +207,33 @@ mod tests {
         let out = cli.exec("mem q m");
         assert!(out.contains("[5]=42"), "{out}");
         assert!(cli.exec("mem q ghost").starts_with("error:"));
+    }
+
+    #[test]
+    fn status_metrics_renders_lifecycle_spans() {
+        let mut cli = cli();
+        cli.ctl.enable_telemetry();
+        cli.exec(&format!("deploy {SRC}"));
+        let out = cli.exec("status --metrics");
+        assert!(out.contains("telemetry epoch 1"), "{out}");
+        assert!(out.contains("#0 deploy"), "{out}");
+        assert!(out.contains("entries"), "{out}");
+        assert!(out.contains("dataplane (epoch 1)"), "{out}");
+        cli.exec("revoke p");
+        let out = cli.exec("status --metrics");
+        assert!(out.contains("#1 revoke"), "{out}");
+    }
+
+    #[test]
+    fn status_json_roundtrips() {
+        let mut cli = cli();
+        cli.exec(&format!("deploy {SRC}"));
+        let text = cli.exec("status --json");
+        let report = crate::telemetry::TelemetryReport::from_json(&text).unwrap();
+        assert_eq!(report, cli.ctl.telemetry_report());
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].kind, "deploy");
+        assert!(report.spans[0].entries_written > 0);
     }
 
     #[test]

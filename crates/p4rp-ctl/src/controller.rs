@@ -11,6 +11,7 @@
 //! channel (Table 1).
 
 use crate::resman::ResourceManager;
+use crate::telemetry::{LifecycleSpan, ResourceGauges, TelemetryReport};
 use p4rp_compiler::alloc::{allocate, AllocConfig, Allocation};
 use p4rp_compiler::consistency::{plan_install, plan_remove, InstalledHandles};
 use p4rp_compiler::entrygen::{generate, ProgramImage};
@@ -130,6 +131,10 @@ pub struct Controller {
     free_ids: Vec<u16>,
     alloc_cfg: AllocConfig,
     check_ctx: CheckContext,
+    /// Telemetry epoch: bumped at every lifecycle event that mutates the
+    /// data plane, mirrored into the switch's recorder when enabled.
+    epoch: u64,
+    spans: Vec<LifecycleSpan>,
 }
 
 impl Controller {
@@ -148,6 +153,8 @@ impl Controller {
             free_ids: Vec::new(),
             alloc_cfg,
             check_ctx,
+            epoch: 0,
+            spans: Vec::new(),
         })
     }
 
@@ -200,6 +207,47 @@ impl Controller {
     /// Program.
     pub fn program(&self, name: &str) -> Option<&InstalledProgram> {
         self.programs.get(name)
+    }
+
+    /// Turn on packet-side telemetry in the switch, synchronized to the
+    /// controller's current epoch.
+    pub fn enable_telemetry(&mut self) {
+        let epoch = self.epoch;
+        self.switch.enable_telemetry().epoch = epoch;
+    }
+
+    /// Current telemetry epoch (number of lifecycle events so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Every lifecycle span recorded so far, oldest first.
+    pub fn lifecycle_spans(&self) -> &[LifecycleSpan] {
+        &self.spans
+    }
+
+    /// Snapshot the full telemetry report: spans + gauges + control-channel
+    /// latency + (when enabled) the data plane's packet-side counters.
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        TelemetryReport {
+            epoch: self.epoch,
+            programs_deployed: self.programs.len() as u64,
+            spans: self.spans.clone(),
+            resources: ResourceGauges::collect(&self.resman),
+            control_write_latency: self.channel.write_latency.clone(),
+            dataplane: self.switch.telemetry().cloned(),
+        }
+    }
+
+    /// A lifecycle event is about to mutate the data plane: open a new
+    /// epoch so packet-side series split at this boundary.
+    fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        if let Some(rec) = self.switch.telemetry_mut() {
+            rec.epoch = epoch;
+        }
+        epoch
     }
 
     fn take_prog_id(&mut self) -> CtlResult<u16> {
@@ -309,8 +357,13 @@ impl Controller {
             }
 
             // Consistent install: program components first, filters last.
+            // The install mutates the data plane, so it opens a new
+            // telemetry epoch before the first batch lands.
+            let memory_claimed: u64 = ir.memories.iter().map(|m| u64::from(m.size)).sum();
+            let epoch = self.bump_epoch();
             let batches = plan_install(&image, &self.dp, self.switch.field_table())?;
             let mut update_delay = Nanos::ZERO;
+            let mut entries_written = 0u64;
             let mut handles = InstalledHandles {
                 mem_regions: image.mem_regions.clone(),
                 ..Default::default()
@@ -321,6 +374,7 @@ impl Controller {
                 for (op, res) in batch.ops.iter().zip(&results) {
                     if let (ControlOp::InsertEntry { table, .. }, OpResult::Inserted(h)) = (op, res)
                     {
+                        entries_written += 1;
                         let rec: &mut Vec<(TableRef, _)> = if bi == 0 {
                             &mut handles.body_handles
                         } else {
@@ -330,6 +384,22 @@ impl Controller {
                     }
                 }
             }
+
+            self.spans.push(LifecycleSpan {
+                seq: self.spans.len() as u64,
+                kind: "deploy".into(),
+                program: prog.name.clone(),
+                prog_id: u64::from(prog_id),
+                epoch,
+                parse_wall_ns: parse_wall.as_nanos() as u64,
+                solver_wall_ns: alloc_wall.as_nanos() as u64,
+                solver_nodes: allocation.nodes_explored,
+                entries_written,
+                entries_revoked: 0,
+                memory_claimed,
+                memory_released: 0,
+                update_delay_ns: update_delay.0,
+            });
 
             reports.push(DeployReport {
                 name: prog.name.clone(),
@@ -361,11 +431,19 @@ impl Controller {
             self.resman.lock_memory(r.rpb, r.offset, r.size);
         }
 
+        // The remove batches mutate the data plane: new telemetry epoch.
+        let epoch = self.bump_epoch();
         let batches = plan_remove(&installed.handles);
         let mut update_delay = Nanos::ZERO;
+        let mut entries_revoked = 0u64;
         for batch in &batches {
             let (_, cost) = self.channel.apply_batch(&mut self.switch, &batch.ops)?;
             update_delay += cost;
+            entries_revoked += batch
+                .ops
+                .iter()
+                .filter(|op| matches!(op, ControlOp::DeleteEntry { .. }))
+                .count() as u64;
         }
 
         // Reset complete → return memory to the free lists.
@@ -383,6 +461,28 @@ impl Controller {
         self.resman.refund_init(1);
         self.resman.refund_recirc(installed.image.recirc_ids.len());
         self.free_ids.push(installed.image.prog_id);
+
+        let memory_released: u64 = installed
+            .handles
+            .mem_regions
+            .iter()
+            .map(|r| u64::from(r.size))
+            .sum();
+        self.spans.push(LifecycleSpan {
+            seq: self.spans.len() as u64,
+            kind: "revoke".into(),
+            program: name.to_string(),
+            prog_id: u64::from(installed.image.prog_id),
+            epoch,
+            parse_wall_ns: 0,
+            solver_wall_ns: 0,
+            solver_nodes: 0,
+            entries_written: 0,
+            entries_revoked,
+            memory_claimed: 0,
+            memory_released,
+            update_delay_ns: update_delay.0,
+        });
 
         Ok(RevokeReport { name: name.to_string(), update_delay })
     }

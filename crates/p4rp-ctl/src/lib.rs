@@ -6,12 +6,17 @@
 //!   discipline of Figure 6;
 //! * [`controller`] — the deploy / revoke / monitor lifecycle, tying
 //!   together the language front end, the runtime compiler, the resource
-//!   manager, and the `bfrt`-calibrated control channel.
+//!   manager, and the `bfrt`-calibrated control channel;
+//! * [`telemetry`] — lifecycle spans, resource gauges, and the unified
+//!   [`TelemetryReport`] joining control-side and packet-side series
+//!   (rendered by `status --metrics`, documented in `docs/TELEMETRY.md`).
 
 pub mod cli;
 pub mod controller;
 pub mod resman;
+pub mod telemetry;
 
 pub use cli::Cli;
 pub use controller::{Controller, CtlError, CtlResult, DeployReport, InstalledProgram, RevokeReport};
 pub use resman::ResourceManager;
+pub use telemetry::{LifecycleSpan, ResourceGauges, TelemetryReport};

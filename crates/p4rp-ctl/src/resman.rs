@@ -138,6 +138,11 @@ impl ResourceManager {
         self.init_used
     }
 
+    /// Filter entries currently installed in the recirculation block.
+    pub fn recirc_entries_used(&self) -> usize {
+        self.recirc_used
+    }
+
     /// Charge recirc.
     pub fn charge_recirc(&mut self, n: usize) -> bool {
         if self.recirc_used + n > RECIRC_TABLE_SIZE {

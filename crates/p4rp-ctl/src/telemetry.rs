@@ -1,0 +1,327 @@
+//! Control-plane telemetry: program lifecycle spans, resource-utilization
+//! gauges, and the unified [`TelemetryReport`] that joins them with the
+//! data plane's packet-side counters.
+//!
+//! The split mirrors the paper's measurement methodology: Figure 7 and
+//! Table 1 are *control-side* quantities (solver wall-clock, update
+//! delay), Figures 8/18/19 are *resource* gauges, and the case studies of
+//! §6.4 correlate *packet-side* series with lifecycle events. The
+//! [`LifecycleSpan`] carries the telemetry **epoch** so those series can
+//! be cut at exactly the right packet (see `rmt_sim::telemetry` and
+//! `traffic::replay::BucketStats::epoch`).
+//!
+//! Everything serializes to one JSON document through the workspace
+//! `serde`; `docs/TELEMETRY.md` documents the schema.
+
+use crate::resman::ResourceManager;
+use p4rp_dataplane::{INIT_TABLE_SIZE, RECIRC_TABLE_SIZE};
+use rmt_sim::telemetry::{Histogram, MetricsRecorder};
+
+/// One program lifecycle event as the controller executed it.
+///
+/// A `deploy` span carries the compile-side timings and what it wrote; a
+/// `revoke` span carries what it removed. `update` is revoke + deploy and
+/// therefore emits two spans. All durations are nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleSpan {
+    /// Monotonic span index within this controller.
+    pub seq: u64,
+    /// `"deploy"` or `"revoke"`.
+    pub kind: String,
+    /// Program name.
+    pub program: String,
+    /// Program identifier carried in recirculation headers.
+    pub prog_id: u64,
+    /// Telemetry epoch active *after* this event: packet-side series
+    /// tagged with this epoch saw the post-event data plane.
+    pub epoch: u64,
+    /// Wall-clock parse + semantic check time (deploy only).
+    pub parse_wall_ns: u64,
+    /// Wall-clock allocation-scheme computation (Figure 7; deploy only).
+    pub solver_wall_ns: u64,
+    /// Branch-and-bound nodes the solver explored (deploy only).
+    pub solver_nodes: u64,
+    /// Table entries inserted through the control channel.
+    pub entries_written: u64,
+    /// Table entries deleted through the control channel.
+    pub entries_revoked: u64,
+    /// Register-memory buckets granted from the free lists.
+    pub memory_claimed: u64,
+    /// Register-memory buckets returned to the free lists after reset.
+    pub memory_released: u64,
+    /// Simulated data plane update latency (Table 1).
+    pub update_delay_ns: u64,
+}
+
+serde::impl_serde_struct!(LifecycleSpan {
+    seq,
+    kind,
+    program,
+    prog_id,
+    epoch,
+    parse_wall_ns,
+    solver_wall_ns,
+    solver_nodes,
+    entries_written,
+    entries_revoked,
+    memory_claimed,
+    memory_released,
+    update_delay_ns,
+});
+
+impl LifecycleSpan {
+    /// One human-readable row (the `status --metrics` rendering).
+    pub fn render(&self) -> String {
+        format!(
+            "#{} {:<6} {:<12} id {:<3} epoch {:<3} +{} entries, -{} entries, \
+             +{}/-{} buckets, alloc {:.2} ms, update {:.2} ms",
+            self.seq,
+            self.kind,
+            self.program,
+            self.prog_id,
+            self.epoch,
+            self.entries_written,
+            self.entries_revoked,
+            self.memory_claimed,
+            self.memory_released,
+            self.solver_wall_ns as f64 / 1e6,
+            self.update_delay_ns as f64 / 1e6,
+        )
+    }
+}
+
+/// Point-in-time utilization gauges from the resource manager (the
+/// Figure 8 / 18 / 19 quantities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceGauges {
+    /// Fraction of RPB register memory allocated, whole data plane.
+    pub memory_utilization: f64,
+    /// Fraction of RPB table entries in use, whole data plane.
+    pub entry_utilization: f64,
+    /// Per-RPB memory utilization (Figure 18 heatmap rows).
+    pub memory_per_rpb: Vec<f64>,
+    /// Per-RPB entry utilization (Figure 19 heatmap rows).
+    pub entries_per_rpb: Vec<f64>,
+    /// Initialization-table filter entries in use.
+    pub init_used: u64,
+    /// Initialization-table capacity.
+    pub init_capacity: u64,
+    /// Recirculation-block filter entries in use.
+    pub recirc_used: u64,
+    /// Recirculation-block capacity.
+    pub recirc_capacity: u64,
+}
+
+serde::impl_serde_struct!(ResourceGauges {
+    memory_utilization,
+    entry_utilization,
+    memory_per_rpb,
+    entries_per_rpb,
+    init_used,
+    init_capacity,
+    recirc_used,
+    recirc_capacity,
+});
+
+impl ResourceGauges {
+    /// Snapshot the gauges from a live resource manager.
+    pub fn collect(rm: &ResourceManager) -> ResourceGauges {
+        ResourceGauges {
+            memory_utilization: rm.memory_utilization(),
+            entry_utilization: rm.entry_utilization(),
+            memory_per_rpb: rm.memory_utilization_per_rpb(),
+            entries_per_rpb: rm.entry_utilization_per_rpb(),
+            init_used: rm.init_entries_used() as u64,
+            init_capacity: INIT_TABLE_SIZE as u64,
+            recirc_used: rm.recirc_entries_used() as u64,
+            recirc_capacity: RECIRC_TABLE_SIZE as u64,
+        }
+    }
+}
+
+/// The single JSON document `status --metrics` is built from: control
+/// spans + resource gauges + control-channel write latency + (when
+/// enabled) the data plane's packet-side counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Current telemetry epoch (number of lifecycle events so far).
+    pub epoch: u64,
+    /// Programs currently deployed.
+    pub programs_deployed: u64,
+    /// Every lifecycle event, oldest first.
+    pub spans: Vec<LifecycleSpan>,
+    /// Resource-manager gauges at snapshot time.
+    pub resources: ResourceGauges,
+    /// Latency histogram over every mutating control-channel operation.
+    pub control_write_latency: Histogram,
+    /// Packet-side counters; `None` when dataplane telemetry is disabled.
+    pub dataplane: Option<MetricsRecorder>,
+}
+
+serde::impl_serde_struct!(TelemetryReport {
+    epoch,
+    programs_deployed,
+    spans,
+    resources,
+    control_write_latency,
+    dataplane,
+});
+
+impl TelemetryReport {
+    /// Serialize to the canonical pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse a document produced by [`TelemetryReport::to_json`].
+    pub fn from_json(text: &str) -> Result<TelemetryReport, serde::Error> {
+        serde::json::from_str(text)
+    }
+
+    /// The human-readable multi-section summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry epoch {} | programs deployed: {}\n",
+            self.epoch, self.programs_deployed
+        ));
+        let r = &self.resources;
+        out.push_str(&format!(
+            "resources: memory {:.1}% | entries {:.1}% | init {}/{} | recirc {}/{}\n",
+            r.memory_utilization * 100.0,
+            r.entry_utilization * 100.0,
+            r.init_used,
+            r.init_capacity,
+            r.recirc_used,
+            r.recirc_capacity
+        ));
+        let h = &self.control_write_latency;
+        match h.mean() {
+            Some(mean) => out.push_str(&format!(
+                "control writes: {} ops, mean {:.1} µs, p99 ≤ {:.0} µs, max {:.0} µs\n",
+                h.count(),
+                mean / 1e3,
+                h.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+                h.max().unwrap_or(0) as f64 / 1e3
+            )),
+            None => out.push_str("control writes: none\n"),
+        }
+        if self.spans.is_empty() {
+            out.push_str("lifecycle spans: none\n");
+        } else {
+            out.push_str("lifecycle spans:\n");
+            for s in &self.spans {
+                out.push_str("  ");
+                out.push_str(&s.render());
+                out.push('\n');
+            }
+        }
+        match &self.dataplane {
+            None => out.push_str("dataplane telemetry: disabled\n"),
+            Some(dp) => {
+                let ig = dp.ingress.total();
+                let eg = dp.egress.total();
+                out.push_str(&format!(
+                    "dataplane (epoch {}): ingress {} hits / {} misses / {} salu writes, \
+                     egress {} hits, tm fwd {} drop {} recirc {} report {}\n",
+                    dp.epoch,
+                    ig.hits.get(),
+                    ig.misses.get(),
+                    ig.salu_writes.get(),
+                    eg.hits.get(),
+                    dp.tm.forwarded.get(),
+                    dp.tm.dropped.get(),
+                    dp.tm.recirculated.get(),
+                    dp.tm.reports.get()
+                ));
+                if !dp.parser_paths.is_empty() {
+                    let paths: Vec<String> = dp
+                        .parser_paths
+                        .iter()
+                        .map(|(k, v)| format!("{k}×{v}"))
+                        .collect();
+                    out.push_str(&format!("parser paths: {}\n", paths.join(" ")));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(seq: u64, kind: &str) -> LifecycleSpan {
+        LifecycleSpan {
+            seq,
+            kind: kind.into(),
+            program: "p".into(),
+            prog_id: 1,
+            epoch: seq + 1,
+            parse_wall_ns: 80_000,
+            solver_wall_ns: 1_500_000,
+            solver_nodes: 42,
+            entries_written: if kind == "deploy" { 9 } else { 0 },
+            entries_revoked: if kind == "revoke" { 9 } else { 0 },
+            memory_claimed: if kind == "deploy" { 64 } else { 0 },
+            memory_released: if kind == "revoke" { 64 } else { 0 },
+            update_delay_ns: 4_000_000,
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut h = Histogram::exponential(10_000, 2, 12);
+        h.observe(330_000);
+        h.observe(25_000);
+        let report = TelemetryReport {
+            epoch: 2,
+            programs_deployed: 0,
+            spans: vec![span(0, "deploy"), span(1, "revoke")],
+            resources: ResourceGauges::collect(&ResourceManager::new()),
+            control_write_latency: h,
+            dataplane: Some(MetricsRecorder::new()),
+        };
+        let text = report.to_json();
+        let back = TelemetryReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        // And with dataplane telemetry disabled.
+        let disabled = TelemetryReport { dataplane: None, ..report };
+        let back = TelemetryReport::from_json(&disabled.to_json()).unwrap();
+        assert_eq!(back, disabled);
+    }
+
+    #[test]
+    fn summary_renders_every_section() {
+        let report = TelemetryReport {
+            epoch: 2,
+            programs_deployed: 1,
+            spans: vec![span(0, "deploy")],
+            resources: ResourceGauges::collect(&ResourceManager::new()),
+            control_write_latency: Histogram::exponential(10_000, 2, 12),
+            dataplane: None,
+        };
+        let s = report.summary();
+        assert!(s.contains("telemetry epoch 2"), "{s}");
+        assert!(s.contains("deploy"), "{s}");
+        assert!(s.contains("+9 entries"), "{s}");
+        assert!(s.contains("control writes: none"), "{s}");
+        assert!(s.contains("dataplane telemetry: disabled"), "{s}");
+    }
+
+    #[test]
+    fn gauges_track_resource_manager() {
+        use p4rp_dataplane::RpbId;
+        let mut rm = ResourceManager::new();
+        rm.grant_memory(RpbId(1), 1024).unwrap();
+        rm.charge_init(2);
+        rm.charge_recirc(3);
+        let g = ResourceGauges::collect(&rm);
+        assert!(g.memory_utilization > 0.0);
+        assert_eq!(g.init_used, 2);
+        assert_eq!(g.recirc_used, 3);
+        assert_eq!(g.init_capacity, INIT_TABLE_SIZE as u64);
+        assert!(g.memory_per_rpb[0] > 0.0 && g.memory_per_rpb[1] == 0.0);
+    }
+}

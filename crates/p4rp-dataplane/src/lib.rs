@@ -4,8 +4,8 @@
 //! switch: the three PHV registers and control flags, the fixed parser,
 //! the initialization block (per-parse-path filtering tables), 10 ingress
 //! + 12 egress runtime programming blocks (RPBs) with their pre-installed
-//! atomic-operation catalogues and 65,536-bucket memories, and the
-//! recirculation block.
+//!   atomic-operation catalogues and 65,536-bucket memories, and the
+//!   recirculation block.
 //!
 //! After [`provision::provision`] the data plane never changes again:
 //! every program deployment is entry/register traffic produced by the

@@ -114,6 +114,17 @@ pub struct SaluCall {
     pub output: Option<FieldId>,
 }
 
+/// Observable side effects of one action execution, reported so the
+/// telemetry layer can count SALU activity without the SALU knowing about
+/// recorders.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActionEffects {
+    /// A SALU read-modify-write cycle ran (memory was read).
+    pub salu_read: bool,
+    /// The SALU cycle committed a memory write.
+    pub salu_wrote: bool,
+}
+
 /// A complete action definition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActionDef {
@@ -153,7 +164,8 @@ impl ActionDef {
         phv: &mut Phv,
         data: &[u64],
         arrays: &mut [RegArray],
-    ) -> SimResult<()> {
+    ) -> SimResult<ActionEffects> {
+        let mut effects = ActionEffects::default();
         let read = |phv: &Phv, op: Operand| -> u64 {
             match op {
                 Operand::Const(c) => c,
@@ -209,9 +221,11 @@ impl ActionDef {
                 .get_mut(salu.array)
                 .ok_or_else(|| SimError::NoSuchRegArray(format!("array index {}", salu.array)))?;
             let mem = array.read(addr)?;
+            effects.salu_read = true;
             let (new_mem, out) = instr.execute(mem, operand);
             if new_mem != mem {
                 array.write(addr, new_mem)?;
+                effects.salu_wrote = true;
             }
             if let (Some(dst), Some(v)) = (salu.output, out) {
                 writes.push((dst, u64::from(v)));
@@ -221,7 +235,7 @@ impl ActionDef {
         for (dst, v) in writes {
             phv.set(table, dst, v);
         }
-        Ok(())
+        Ok(effects)
     }
 }
 

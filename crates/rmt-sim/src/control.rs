@@ -11,6 +11,7 @@
 use crate::clock::{Nanos, SimClock};
 use crate::error::SimResult;
 use crate::switch::{ControlOp, OpResult, Switch};
+use crate::telemetry::Histogram;
 
 /// Per-operation latency model, calibrated against the prototype's
 /// `bfrt_grpc` measurements (see EXPERIMENTS.md, Table 1).
@@ -56,18 +57,35 @@ impl LatencyModel {
 }
 
 /// A control session against one switch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ControlChannel {
     /// Model.
     pub model: LatencyModel,
     /// Clock.
     pub clock: SimClock,
+    /// Latency histogram over every *mutating* operation applied through
+    /// this channel (inserts, deletes, register writes, range resets), in
+    /// nanoseconds. Always on: the control path is cold, so the histogram
+    /// update is free compared to the modeled RPC itself.
+    pub write_latency: Histogram,
+}
+
+impl Default for ControlChannel {
+    fn default() -> Self {
+        ControlChannel::new(LatencyModel::default())
+    }
 }
 
 impl ControlChannel {
     /// Construct with defaults appropriate to the type.
     pub fn new(model: LatencyModel) -> ControlChannel {
-        ControlChannel { model, clock: SimClock::new() }
+        ControlChannel {
+            model,
+            clock: SimClock::new(),
+            // Geometric 10 µs … 20.5 ms edges bracket the calibrated
+            // per-op costs (25 µs register writes, 330 µs inserts).
+            write_latency: Histogram::exponential(10_000, 2, 12),
+        }
     }
 
     /// Apply a batch of operations in order, advancing the simulated clock.
@@ -86,7 +104,17 @@ impl ControlChannel {
         let mut results = Vec::with_capacity(ops.len());
         for op in ops {
             let r = sw.apply_op(op)?;
-            total += self.model.cost_of(op);
+            let cost = self.model.cost_of(op);
+            total += cost;
+            if matches!(
+                op,
+                ControlOp::InsertEntry { .. }
+                    | ControlOp::DeleteEntry { .. }
+                    | ControlOp::WriteReg { .. }
+                    | ControlOp::ResetRegRange { .. }
+            ) {
+                self.write_latency.observe(cost.0);
+            }
             results.push(r);
         }
         self.clock.advance(total);

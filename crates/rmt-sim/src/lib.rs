@@ -102,6 +102,7 @@ pub mod resources;
 pub mod salu;
 pub mod switch;
 pub mod table;
+pub mod telemetry;
 pub mod tm;
 
 /// Convenient glob-import surface for downstream crates.
@@ -123,6 +124,9 @@ pub mod prelude {
     };
     pub use crate::table::{
         EntryHandle, KeySpec, MatchKind, MatchValue, Table, TableEntry,
+    };
+    pub use crate::telemetry::{
+        Counter, Histogram, MetricsRecorder, NopRecorder, Recorder, StageMetrics, TmMetrics,
     };
     pub use crate::tm::{RecircModel, TmDecision, Verdict};
 }

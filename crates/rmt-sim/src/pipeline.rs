@@ -12,6 +12,7 @@ use crate::error::{SimError, SimResult};
 use crate::phv::{FieldTable, Phv};
 use crate::salu::RegArray;
 use crate::table::Table;
+use crate::telemetry::{NopRecorder, Recorder};
 
 /// Which pipeline a stage belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -133,13 +134,33 @@ impl Stage {
 
     /// Execute all tables of this stage against `phv`, in order.
     pub fn execute(&mut self, ft: &FieldTable, phv: &mut Phv) -> SimResult<()> {
+        self.execute_with(ft, phv, &mut NopRecorder)
+    }
+
+    /// [`Stage::execute`], reporting lookup/action/SALU events into `rec`.
+    pub fn execute_with(
+        &mut self,
+        ft: &FieldTable,
+        phv: &mut Phv,
+        rec: &mut dyn Recorder,
+    ) -> SimResult<()> {
+        let (gress, index) = (self.gress, self.index);
         for table in &mut self.tables {
             // The borrow dance: lookup borrows the table immutably through
             // its action reference; clone the small action + data so the
             // SALU can mutate this stage's arrays.
-            let hit = table.lookup(phv).map(|r| (r.action.clone(), r.data.to_vec()));
-            if let Some((action, data)) = hit {
-                action.execute(ft, phv, &data, &mut self.arrays)?;
+            let hit = table.lookup(phv).map(|r| (r.action.clone(), r.data.to_vec(), r.hit));
+            match hit {
+                Some((action, data, was_hit)) => {
+                    rec.table_lookup(gress, index, was_hit);
+                    let effects = action.execute(ft, phv, &data, &mut self.arrays)?;
+                    rec.action_executed(gress, index);
+                    if effects.salu_read {
+                        rec.salu_rmw(gress, index, effects.salu_wrote);
+                    }
+                }
+                // A miss with no default action still consumed a lookup.
+                None => rec.table_lookup(gress, index, false),
             }
         }
         Ok(())
@@ -186,8 +207,18 @@ impl Pipeline {
 
     /// Run the PHV through every stage front-to-back.
     pub fn process(&mut self, ft: &FieldTable, phv: &mut Phv) -> SimResult<()> {
+        self.process_with(ft, phv, &mut NopRecorder)
+    }
+
+    /// [`Pipeline::process`], reporting per-stage events into `rec`.
+    pub fn process_with(
+        &mut self,
+        ft: &FieldTable,
+        phv: &mut Phv,
+        rec: &mut dyn Recorder,
+    ) -> SimResult<()> {
         for stage in &mut self.stages {
-            stage.execute(ft, phv)?;
+            stage.execute_with(ft, phv, rec)?;
         }
         Ok(())
     }

@@ -17,6 +17,7 @@ use crate::pipeline::{Gress, Pipeline};
 use crate::resources::{check_stage, ChipReport};
 use crate::salu::RegArray;
 use crate::table::{EntryHandle, Table, TableEntry};
+use crate::telemetry::{MetricsRecorder, NopRecorder, Recorder};
 use crate::tm::{decide, Verdict};
 
 /// Static configuration of a switch.
@@ -162,6 +163,9 @@ pub struct Switch {
     pub drops: u64,
     /// Recirc passes.
     pub recirc_passes: u64,
+    /// Telemetry storage; `None` (the default) keeps the data path on the
+    /// no-op recorder.
+    telemetry: Option<MetricsRecorder>,
 }
 
 impl Switch {
@@ -189,7 +193,29 @@ impl Switch {
             cpu_counters: PortCounters::default(),
             drops: 0,
             recirc_passes: 0,
+            telemetry: None,
         }
+    }
+
+    /// Turn telemetry on (idempotent); subsequent frames record into the
+    /// returned [`MetricsRecorder`].
+    pub fn enable_telemetry(&mut self) -> &mut MetricsRecorder {
+        self.telemetry.get_or_insert_with(MetricsRecorder::new)
+    }
+
+    /// Turn telemetry off, returning the accumulated metrics if any.
+    pub fn disable_telemetry(&mut self) -> Option<MetricsRecorder> {
+        self.telemetry.take()
+    }
+
+    /// The accumulated metrics, if telemetry is enabled.
+    pub fn telemetry(&self) -> Option<&MetricsRecorder> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mutable access to the metrics (epoch bumps, resets).
+    pub fn telemetry_mut(&mut self) -> Option<&mut MetricsRecorder> {
+        self.telemetry.as_mut()
     }
 
     /// Mark headers to strip at final emission (by presence field).
@@ -367,6 +393,7 @@ impl Switch {
             phv: Phv::new(&self.ft),
         };
 
+        let mut nop = NopRecorder;
         loop {
             passes += 1;
             let mut phv = Phv::new(&self.ft);
@@ -383,8 +410,16 @@ impl Switch {
             let payload = current[parse.payload_offset..].to_vec();
             phv.set(&self.ft, intr.ingress_port, u64::from(ingress_port));
 
-            self.ingress.process(&self.ft, &mut phv)?;
+            // One recorder borrow per pass; the no-op recorder keeps the
+            // disabled path monomorphic and empty.
+            let rec: &mut dyn Recorder = match self.telemetry.as_mut() {
+                Some(r) => r,
+                None => &mut nop,
+            };
+            rec.parser_path(parse.bitmap);
+            self.ingress.process_with(&self.ft, &mut phv, rec)?;
             let decision = decide(&self.ft, &phv);
+            rec.tm_decision(decision.verdict, decision.report_copy);
             // REPORT copies are punted once, on the packet's final pass
             // (the flag rides the recirculation header between passes).
             if decision.report_copy && decision.verdict != Verdict::Recirculate {
@@ -404,7 +439,7 @@ impl Switch {
                     // packet still traverses the egress pipeline so that
                     // egress-RPB state updates (e.g. the cache-write
                     // MEMWRITE before a DROP verdict) take effect.
-                    self.egress.process(&self.ft, &mut phv)?;
+                    self.egress.process_with(&self.ft, &mut phv, rec)?;
                     self.drops += 1;
                     outcome.dropped = true;
                     outcome.phv = phv;
@@ -417,7 +452,7 @@ impl Switch {
                         outcome.phv = phv;
                         break;
                     }
-                    self.egress.process(&self.ft, &mut phv)?;
+                    self.egress.process_with(&self.ft, &mut phv, rec)?;
                     self.recirc_passes += 1;
                     // Multi-switch chain: hand the state-headered frame to
                     // the next switch over the wire (the header is *not*
@@ -450,7 +485,7 @@ impl Switch {
                     // clones before the egress pipeline; with identical
                     // egress state the results coincide, so one egress pass
                     // is processed and the frame replicated).
-                    self.egress.process(&self.ft, &mut phv)?;
+                    self.egress.process_with(&self.ft, &mut phv, rec)?;
                     for f in &self.strip_on_emit {
                         phv.set(&self.ft, *f, 0);
                     }

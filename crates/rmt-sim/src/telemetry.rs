@@ -1,0 +1,546 @@
+//! Pipeline-wide telemetry: counters, histograms, and the recorder hooks
+//! the rest of the simulator reports into.
+//!
+//! The design splits *instrumentation points* from *storage*:
+//!
+//! * [`Recorder`] is the hook trait. Every method has a no-op default
+//!   body, and the simulator's hot paths call it through a `&mut dyn
+//!   Recorder` that is the shared [`NopRecorder`] unless telemetry was
+//!   explicitly enabled — disabled telemetry costs one virtual call to an
+//!   empty body per event, which is below measurement noise next to a
+//!   table lookup (see `bench/benches/dataplane.rs`).
+//! * [`MetricsRecorder`] is the storage implementation: per-stage
+//!   match/miss/action counters, SALU read-modify-write counts, the
+//!   parser-path histogram keyed by parse bitmap, traffic-manager verdict
+//!   counters, and the active telemetry **epoch** — a label the control
+//!   plane bumps at every program lifecycle event so packet-side
+//!   observations can be correlated with control-side spans.
+//!
+//! Everything here serializes through the workspace's `serde` to one JSON
+//! document (see `docs/TELEMETRY.md` for the schema).
+
+use std::collections::BTreeMap;
+
+use crate::pipeline::Gress;
+use crate::tm::Verdict;
+
+/// A monotonically increasing event count.
+///
+/// Wraps `u64` so merging and rate math live in one place and so the JSON
+/// schema can evolve independently of the storage type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Zero.
+    pub const ZERO: Counter = Counter(0);
+
+    /// Increment by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Fold another counter in (snapshot aggregation).
+    pub fn merge(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
+
+    /// Difference against an earlier snapshot of the same counter.
+    pub fn delta_since(self, earlier: Counter) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl serde::Serialize for Counter {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::U64(self.0)
+    }
+}
+
+impl serde::Deserialize for Counter {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        <u64 as serde::Deserialize>::from_value(v).map(Counter)
+    }
+}
+
+/// A fixed-bound histogram over `u64` samples (latencies in nanoseconds,
+/// sizes in bytes).
+///
+/// `bounds` are inclusive upper bucket edges in ascending order; one
+/// overflow bucket past the last edge is implicit, so `counts.len() ==
+/// bounds.len() + 1`. Exact `count`/`sum`/`min`/`max` ride alongside the
+/// buckets, so means are exact and only quantiles are bucket-resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+serde::impl_serde_struct!(Histogram { bounds, counts, count, sum, min, max });
+
+impl Histogram {
+    /// Build with explicit ascending bucket edges.
+    pub fn new(bounds: Vec<u64>) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "edges must ascend");
+        let counts = vec![0; bounds.len() + 1];
+        Histogram { bounds, counts, count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Build with `n` geometric edges `start, start*factor, …` — the
+    /// natural shape for latency distributions.
+    pub fn exponential(start: u64, factor: u64, n: usize) -> Histogram {
+        assert!(start > 0 && factor > 1, "degenerate geometric edges");
+        let mut edge = start;
+        let bounds = (0..n)
+            .map(|_| {
+                let e = edge;
+                edge = edge.saturating_mul(factor);
+                e
+            })
+            .collect();
+        Histogram::new(bounds)
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Bucket edges.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Bucket counts (`bounds.len() + 1` entries, last is overflow).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper-edge estimate of the `q`-quantile (0 ≤ q ≤ 1), `None` when
+    /// empty. Resolution is one bucket; the overflow bucket reports the
+    /// exact observed maximum.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds.get(idx).copied().unwrap_or(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Fold another histogram with identical edges in.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram edges differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Match/action/SALU counters of one physical stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Table lookups that matched an installed entry.
+    pub hits: Counter,
+    /// Table lookups that fell through (default action or no-op).
+    pub misses: Counter,
+    /// Actions executed (hit or default).
+    pub actions: Counter,
+    /// SALU read-modify-write invocations touching register memory.
+    pub salu_reads: Counter,
+    /// SALU invocations that committed a write.
+    pub salu_writes: Counter,
+}
+
+serde::impl_serde_struct!(StageMetrics { hits, misses, actions, salu_reads, salu_writes });
+
+impl StageMetrics {
+    /// Fold another stage's counters in.
+    pub fn merge(&mut self, other: &StageMetrics) {
+        self.hits.merge(other.hits);
+        self.misses.merge(other.misses);
+        self.actions.merge(other.actions);
+        self.salu_reads.merge(other.salu_reads);
+        self.salu_writes.merge(other.salu_writes);
+    }
+}
+
+/// Traffic-manager outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TmMetrics {
+    /// Unicast forwards enqueued toward an egress port.
+    pub forwarded: Counter,
+    /// `RETURN` reflections out the ingress port.
+    pub returned: Counter,
+    /// Drops (explicit verdict, no route, or recirculation cap).
+    pub dropped: Counter,
+    /// Recirculation passes enqueued on the loopback port.
+    pub recirculated: Counter,
+    /// Multicast replications enqueued.
+    pub multicast: Counter,
+    /// `REPORT` copies punted to the CPU port.
+    pub reports: Counter,
+}
+
+serde::impl_serde_struct!(TmMetrics {
+    forwarded,
+    returned,
+    dropped,
+    recirculated,
+    multicast,
+    reports,
+});
+
+impl TmMetrics {
+    /// Everything the TM enqueued somewhere (drops excluded).
+    pub fn enqueued(&self) -> u64 {
+        self.forwarded.get()
+            + self.returned.get()
+            + self.recirculated.get()
+            + self.multicast.get()
+    }
+}
+
+/// The hook trait the simulator reports events into.
+///
+/// Every method has an empty default body: implementors override only
+/// what they store, and the [`NopRecorder`] overrides nothing.
+pub trait Recorder {
+    /// One table lookup finished in `gress` stage `stage`; `hit` is true
+    /// for an installed-entry match (default actions count as misses).
+    fn table_lookup(&mut self, gress: Gress, stage: usize, hit: bool) {
+        let _ = (gress, stage, hit);
+    }
+
+    /// One action body executed in `gress` stage `stage`.
+    fn action_executed(&mut self, gress: Gress, stage: usize) {
+        let _ = (gress, stage);
+    }
+
+    /// One SALU read-modify-write in `gress` stage `stage`; `wrote` is
+    /// true when the cycle committed a memory write.
+    fn salu_rmw(&mut self, gress: Gress, stage: usize, wrote: bool) {
+        let _ = (gress, stage, wrote);
+    }
+
+    /// The parser accepted a packet along the path named by `bitmap`.
+    fn parser_path(&mut self, bitmap: u16) {
+        let _ = bitmap;
+    }
+
+    /// The traffic manager resolved a verdict (`report_copy` riding along).
+    fn tm_decision(&mut self, verdict: Verdict, report_copy: bool) {
+        let _ = (verdict, report_copy);
+    }
+}
+
+/// The recorder used when telemetry is disabled: stores nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopRecorder;
+
+impl Recorder for NopRecorder {}
+
+/// Per-gress stage metric vectors, grown on demand.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineMetrics {
+    /// Per-stage counters, index = physical stage.
+    pub stages: Vec<StageMetrics>,
+}
+
+serde::impl_serde_struct!(PipelineMetrics { stages });
+
+impl PipelineMetrics {
+    fn stage_mut(&mut self, idx: usize) -> &mut StageMetrics {
+        if idx >= self.stages.len() {
+            self.stages.resize(idx + 1, StageMetrics::default());
+        }
+        &mut self.stages[idx]
+    }
+
+    /// Aggregate over all stages.
+    pub fn total(&self) -> StageMetrics {
+        let mut t = StageMetrics::default();
+        for s in &self.stages {
+            t.merge(s);
+        }
+        t
+    }
+}
+
+/// The storing [`Recorder`]: everything the data plane reports, plus the
+/// control plane's current epoch label.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRecorder {
+    /// Telemetry epoch: bumped by the control plane at every deploy /
+    /// revoke / update so packet-side series can be cut at lifecycle
+    /// boundaries.
+    pub epoch: u64,
+    /// Ingress stage counters.
+    pub ingress: PipelineMetrics,
+    /// Egress stage counters.
+    pub egress: PipelineMetrics,
+    /// Packets per accepted parser path, keyed by the parse bitmap
+    /// formatted as `0x%04x`.
+    pub parser_paths: BTreeMap<String, u64>,
+    /// Traffic-manager counters.
+    pub tm: TmMetrics,
+}
+
+serde::impl_serde_struct!(MetricsRecorder { epoch, ingress, egress, parser_paths, tm });
+
+impl MetricsRecorder {
+    /// Fresh, epoch 0.
+    pub fn new() -> MetricsRecorder {
+        MetricsRecorder::default()
+    }
+
+    /// Format a parse bitmap the way [`MetricsRecorder::parser_paths`]
+    /// keys it.
+    pub fn path_key(bitmap: u16) -> String {
+        format!("{bitmap:#06x}")
+    }
+
+    fn gress_mut(&mut self, gress: Gress) -> &mut PipelineMetrics {
+        match gress {
+            Gress::Ingress => &mut self.ingress,
+            Gress::Egress => &mut self.egress,
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn table_lookup(&mut self, gress: Gress, stage: usize, hit: bool) {
+        let s = self.gress_mut(gress).stage_mut(stage);
+        if hit {
+            s.hits.incr();
+        } else {
+            s.misses.incr();
+        }
+    }
+
+    fn action_executed(&mut self, gress: Gress, stage: usize) {
+        self.gress_mut(gress).stage_mut(stage).actions.incr();
+    }
+
+    fn salu_rmw(&mut self, gress: Gress, stage: usize, wrote: bool) {
+        let s = self.gress_mut(gress).stage_mut(stage);
+        s.salu_reads.incr();
+        if wrote {
+            s.salu_writes.incr();
+        }
+    }
+
+    fn parser_path(&mut self, bitmap: u16) {
+        *self.parser_paths.entry(Self::path_key(bitmap)).or_insert(0) += 1;
+    }
+
+    fn tm_decision(&mut self, verdict: Verdict, report_copy: bool) {
+        match verdict {
+            Verdict::Forward(_) => self.tm.forwarded.incr(),
+            Verdict::Return => self.tm.returned.incr(),
+            Verdict::Drop => self.tm.dropped.incr(),
+            Verdict::Recirculate => self.tm.recirculated.incr(),
+            Verdict::Multicast(_) => self.tm.multicast.incr(),
+        }
+        if report_copy {
+            self.tm.reports.incr();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_arithmetic() {
+        let mut c = Counter::ZERO;
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let snap = c;
+        c.add(8);
+        assert_eq!(c.delta_since(snap), 8);
+        assert_eq!(snap.delta_since(c), 0, "reversed delta saturates");
+        let mut m = Counter::ZERO;
+        m.merge(c);
+        m.merge(snap);
+        assert_eq!(m.get(), 92);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        for v in [5, 10, 11, 100, 101, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 5 + 10 + 11 + 100 + 101 + 5000);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(5000));
+        let mean = h.mean().unwrap();
+        assert!((mean - (5227.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_resolve_to_bucket_edges() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        for _ in 0..90 {
+            h.observe(7);
+        }
+        for _ in 0..10 {
+            h.observe(600);
+        }
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(0.95), Some(1000));
+        assert_eq!(h.quantile(1.0), Some(1000));
+        assert_eq!(Histogram::new(vec![1]).quantile(0.5), None);
+        // Overflow bucket reports the observed maximum.
+        let mut o = Histogram::new(vec![10]);
+        o.observe(99);
+        assert_eq!(o.quantile(1.0), Some(99));
+    }
+
+    #[test]
+    fn histogram_merge_requires_same_edges() {
+        let mut a = Histogram::exponential(10, 4, 4);
+        let mut b = Histogram::exponential(10, 4, 4);
+        a.observe(12);
+        b.observe(700);
+        b.observe(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(3));
+        assert_eq!(a.max(), Some(700));
+        assert_eq!(a.sum(), 715);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges differ")]
+    fn histogram_merge_mismatch_panics() {
+        let mut a = Histogram::new(vec![1, 2]);
+        a.merge(&Histogram::new(vec![1, 3]));
+    }
+
+    #[test]
+    fn exponential_edges() {
+        let h = Histogram::exponential(1_000, 10, 4);
+        assert_eq!(h.bounds(), &[1_000, 10_000, 100_000, 1_000_000]);
+        assert_eq!(h.bucket_counts().len(), 5);
+    }
+
+    #[test]
+    fn metrics_recorder_routes_events() {
+        let mut r = MetricsRecorder::new();
+        r.table_lookup(Gress::Ingress, 2, true);
+        r.table_lookup(Gress::Ingress, 2, false);
+        r.action_executed(Gress::Ingress, 2);
+        r.salu_rmw(Gress::Ingress, 2, true);
+        r.salu_rmw(Gress::Ingress, 2, false);
+        r.table_lookup(Gress::Egress, 0, false);
+        r.parser_path(0x0003);
+        r.parser_path(0x0003);
+        r.parser_path(0x0001);
+        r.tm_decision(Verdict::Forward(5), true);
+        r.tm_decision(Verdict::Drop, false);
+        r.tm_decision(Verdict::Recirculate, false);
+
+        let ig = &r.ingress.stages[2];
+        assert_eq!((ig.hits.get(), ig.misses.get(), ig.actions.get()), (1, 1, 1));
+        assert_eq!((ig.salu_reads.get(), ig.salu_writes.get()), (2, 1));
+        assert_eq!(r.ingress.stages[0], StageMetrics::default(), "untouched stage stays zero");
+        assert_eq!(r.egress.stages[0].misses.get(), 1);
+        assert_eq!(r.parser_paths.get("0x0003"), Some(&2));
+        assert_eq!(r.parser_paths.get("0x0001"), Some(&1));
+        assert_eq!(r.tm.forwarded.get(), 1);
+        assert_eq!(r.tm.dropped.get(), 1);
+        assert_eq!(r.tm.reports.get(), 1);
+        assert_eq!(r.tm.enqueued(), 2);
+    }
+
+    #[test]
+    fn nop_recorder_stores_nothing() {
+        // Compile-time check that every hook has a default body; the
+        // NopRecorder must accept the full event stream.
+        let mut n = NopRecorder;
+        n.table_lookup(Gress::Ingress, 0, true);
+        n.action_executed(Gress::Egress, 1);
+        n.salu_rmw(Gress::Ingress, 3, false);
+        n.parser_path(7);
+        n.tm_decision(Verdict::Return, true);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = MetricsRecorder::new();
+        r.epoch = 9;
+        r.table_lookup(Gress::Ingress, 1, true);
+        r.parser_path(0x00ff);
+        r.tm_decision(Verdict::Multicast(3), false);
+        let text = serde::json::to_string_pretty(&r);
+        let back: MetricsRecorder = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+
+        let mut h = Histogram::exponential(25_000, 2, 8);
+        h.observe(330_000);
+        h.observe(25_000);
+        let text = serde::json::to_string(&h);
+        let back: Histogram = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -45,6 +45,11 @@ pub struct BucketStats {
     pub dropped: u64,
     /// Reports.
     pub reports: u64,
+    /// Telemetry epoch active when the bucket's first packet was injected
+    /// (see `rmt_sim::telemetry`): control-plane lifecycle events bump the
+    /// epoch, so a series of buckets can be cut at deploy/revoke
+    /// boundaries without timestamp arithmetic.
+    pub epoch: u64,
 }
 
 impl BucketStats {
@@ -70,6 +75,10 @@ pub struct Replay {
     /// Five-tuples of reported (punted) packets — the heavy-hitter result
     /// set.
     pub reported_flows: HashSet<FiveTuple>,
+    /// Active telemetry epoch; the experiment harness copies the
+    /// controller's epoch here after each control action, and every bucket
+    /// is tagged with the epoch its first packet saw.
+    pub epoch: u64,
 }
 
 impl Replay {
@@ -89,6 +98,7 @@ impl Replay {
             bucket_end: bucket,
             port_tx_bytes: std::collections::HashMap::new(),
             reported_flows: HashSet::new(),
+            epoch: 0,
         }
     }
 
@@ -116,6 +126,9 @@ impl Replay {
             }
             let pkt = &self.packets[self.idx];
             let out = inject(pkt.port, &pkt.frame);
+            if self.current.offered_pkts == 0 {
+                self.current.epoch = self.epoch;
+            }
             self.current.offered_bytes += pkt.frame.len() as u64;
             self.current.offered_pkts += 1;
             for (port, bytes) in &out.emitted {
@@ -150,6 +163,11 @@ impl Replay {
     fn rotate_bucket(&mut self) {
         let mut s = std::mem::take(&mut self.current);
         s.t_secs = (self.bucket_end - self.bucket).as_secs_f64();
+        if s.offered_pkts == 0 {
+            // An idle bucket never saw a packet: tag it with the epoch
+            // active when it rotated out.
+            s.epoch = self.epoch;
+        }
         self.stats.push(s);
         self.bucket_end += self.bucket;
     }
@@ -229,6 +247,18 @@ mod tests {
         assert!(r.done());
         r.finish();
         assert_eq!(r.stats.iter().map(|s| s.dropped).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn buckets_are_tagged_with_the_active_epoch() {
+        let mut r = Replay::new(vec![pkt(10, 100), pkt(60, 100), pkt(120, 100)]);
+        // Bucket [0,50) under epoch 0; "deploy" before 60 ms bumps to 1.
+        r.run_until(Nanos::from_millis(50), |_, _| fake_outcome(None, false, false));
+        r.epoch = 1;
+        r.run_until(Nanos::from_millis(100), |_, _| fake_outcome(None, false, false));
+        r.epoch = 2;
+        r.run_all(|_, _| fake_outcome(None, false, false));
+        assert_eq!(r.stats.iter().map(|s| s.epoch).collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 
     #[test]

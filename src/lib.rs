@@ -45,5 +45,5 @@ pub use p4rp_progs;
 pub use rmt_sim;
 pub use traffic;
 
-pub use p4rp_ctl::{Controller, CtlError, DeployReport, RevokeReport};
+pub use p4rp_ctl::{Controller, CtlError, DeployReport, RevokeReport, TelemetryReport};
 pub use p4rp_lang::{count_loc, parse};

@@ -131,3 +131,70 @@ fn terminate_then_add_is_isolated() {
     ctl.deploy(&prog1).unwrap();
     assert_eq!(ctl.read_memory("cache", "mem1").unwrap()[512], 0);
 }
+
+/// The same invariant read off the telemetry event stream: while the
+/// install's entry writes land one by one, every probe packet injected
+/// between two writes must produce exactly one terminal traffic-manager
+/// verdict — "dropped" (old state) or "returned with the full answer"
+/// (new state) — and never a forward/multicast to some half-configured
+/// destination. The telemetry epoch must not move either: entry writes
+/// within one lifecycle event never split an epoch, so no packet-visible
+/// event can be attributed to a state between them.
+#[test]
+fn event_stream_shows_no_packet_event_between_entry_writes() {
+    let mut scratch = Controller::with_defaults().unwrap();
+    scratch.deploy(&cache_source()).unwrap();
+    let installed = scratch.program("cache").unwrap().clone();
+    let batches = plan_install(
+        &installed.image,
+        scratch.dataplane(),
+        scratch.switch().field_table(),
+    )
+    .unwrap();
+    let ops: Vec<ControlOp> = batches.into_iter().flat_map(|b| b.ops).collect();
+    let region = installed.image.mem_regions[0].clone();
+
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.enable_telemetry();
+    let epoch0 = ctl.switch().telemetry().unwrap().epoch;
+    let mut prev = ctl.switch().telemetry().unwrap().clone();
+    let mut served = 0usize;
+    for (k, op) in ops.iter().enumerate() {
+        ctl.switch_mut().apply_op(op).unwrap();
+        // Pre-load the cached value so a "new state" probe can answer.
+        ctl.switch_mut()
+            .apply_op(&ControlOp::WriteReg {
+                array: region.rpb.array_ref(),
+                addr: region.offset + 512,
+                value: 777,
+            })
+            .unwrap();
+        let out = ctl.switch_mut().process_frame(0, &read_frame(0x8888)).unwrap();
+
+        let now = ctl.switch().telemetry().unwrap().clone();
+        let dropped = now.tm.dropped.get() - prev.tm.dropped.get();
+        let returned = now.tm.returned.get() - prev.tm.returned.get();
+        let forwarded = now.tm.forwarded.get() - prev.tm.forwarded.get();
+        let multicast = now.tm.multicast.get() - prev.tm.multicast.get();
+        assert_eq!(
+            dropped + returned,
+            1,
+            "write {k}/{}: exactly one terminal verdict per probe",
+            ops.len()
+        );
+        assert_eq!(forwarded + multicast, 0, "write {k}: no mis-route mid-install");
+        assert_eq!(now.epoch, epoch0, "write {k}: entry writes never split an epoch");
+        if returned == 1 {
+            served += 1;
+            let reply = ParsedPacket::parse(&out.emitted[0].1).unwrap();
+            assert_eq!(reply.netcache.unwrap().value, 777, "write {k}: complete answer");
+        }
+        prev = now;
+    }
+    assert!(served >= 1, "the probe after the final write is served");
+    assert_eq!(
+        prev.tm.dropped.get() + prev.tm.returned.get(),
+        ops.len() as u64,
+        "event stream accounts for every probe"
+    );
+}

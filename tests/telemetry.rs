@@ -1,0 +1,123 @@
+//! End-to-end telemetry: a deploy → replay → revoke cycle must leave the
+//! control-side spans, the resource gauges, and the packet-side counters
+//! mutually consistent — the invariants `status --metrics` is trusted to
+//! report (see `docs/TELEMETRY.md`).
+
+use p4runpro::p4rp_progs::{instance, Family, WorkloadParams};
+use p4runpro::rmt_sim::clock::Nanos;
+use p4runpro::traffic::{synthesize, CampusParams, Replay};
+use p4runpro::{Controller, TelemetryReport};
+
+/// The Figure 13(a) scenario in miniature: running traffic with program
+/// churn interleaved. After revoking everything, every write must be
+/// matched by a revocation, every claimed bucket released, and the churn
+/// must not have dropped a single packet of the running traffic.
+#[test]
+fn deploy_replay_revoke_counters_are_consistent() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.enable_telemetry();
+    // The basic forwarding program carrying the traffic (all IPv4 → 1).
+    ctl.deploy("program basefwd(<hdr.ipv4.src, 0.0.0.0, 0x00000000>) { FORWARD(1); }")
+        .unwrap();
+
+    let p = CampusParams { duration: Nanos::from_secs(2), ..Default::default() };
+    let trace = synthesize(&p);
+    let mut replay = Replay::new(trace.packets.clone());
+    replay.epoch = ctl.epoch();
+
+    // Churn: deploy three Table-1 programs mid-replay. Their filters use
+    // instance ids ≥ 1000 (10.0.x.x), independent of the 10.1/10.2 trace.
+    let mut deployed: Vec<String> = Vec::new();
+    let mut event_t = Nanos::from_millis(500);
+    for (i, fam) in [Family::ALL[0], Family::ALL[3], Family::ALL[7]].iter().enumerate() {
+        replay.run_until(event_t, |port, frame| ctl.inject(port, frame).unwrap());
+        let src = instance(*fam, 1000 + i, WorkloadParams::default());
+        deployed.push(ctl.deploy(&src).unwrap()[0].name.clone());
+        replay.epoch = ctl.epoch();
+        event_t += Nanos::from_millis(400);
+    }
+    replay.run_all(|port, frame| ctl.inject(port, frame).unwrap());
+
+    for name in &deployed {
+        ctl.revoke(name).unwrap();
+    }
+    ctl.revoke("basefwd").unwrap();
+
+    let report = ctl.telemetry_report();
+
+    // Per-program: the deploy span's writes equal the revoke span's
+    // revocations, and claimed memory equals released memory.
+    for name in deployed.iter().chain(std::iter::once(&"basefwd".to_string())) {
+        let dep = report
+            .spans
+            .iter()
+            .find(|s| s.kind == "deploy" && &s.program == name)
+            .unwrap_or_else(|| panic!("no deploy span for {name}"));
+        let rev = report
+            .spans
+            .iter()
+            .find(|s| s.kind == "revoke" && &s.program == name)
+            .unwrap_or_else(|| panic!("no revoke span for {name}"));
+        assert_eq!(dep.entries_written, rev.entries_revoked, "{name}: entry balance");
+        assert_eq!(dep.memory_claimed, rev.memory_released, "{name}: memory balance");
+        assert!(dep.entries_written > 0, "{name}: a deploy writes entries");
+        assert!(rev.epoch > dep.epoch, "{name}: revoke follows deploy");
+    }
+    let written: u64 = report.spans.iter().map(|s| s.entries_written).sum();
+    let revoked: u64 = report.spans.iter().map(|s| s.entries_revoked).sum();
+    assert_eq!(written, revoked, "all writes matched by revocations");
+
+    // Gauges: everything returned to the free lists.
+    assert_eq!(report.resources.memory_utilization, 0.0);
+    assert_eq!(report.resources.entry_utilization, 0.0);
+    assert_eq!(report.resources.init_used, 0);
+    assert_eq!(report.resources.recirc_used, 0);
+    assert_eq!(report.programs_deployed, 0);
+
+    // One epoch per lifecycle event, and the data plane recorder carries
+    // the latest.
+    assert_eq!(report.epoch, report.spans.len() as u64);
+    let dp = report.dataplane.as_ref().expect("telemetry enabled");
+    assert_eq!(dp.epoch, report.epoch);
+
+    // The Figure 13(a) claim: churn never drops running traffic.
+    assert_eq!(dp.tm.dropped.get(), 0, "no TM drops during churn");
+    assert!(dp.tm.forwarded.get() > 0, "traffic flowed");
+    assert!(report.control_write_latency.count() > 0, "writes were timed");
+
+    // Replay buckets carry monotone epoch tags spanning the churn.
+    assert!(replay.stats.windows(2).all(|w| w[0].epoch <= w[1].epoch));
+    assert_eq!(replay.stats.first().unwrap().epoch, 1, "first bucket: only basefwd");
+    assert!(replay.stats.last().unwrap().epoch >= 4, "last bucket saw all deploys");
+
+    // The whole report — live dataplane counters included — round-trips
+    // through the JSON document `status --json` emits.
+    let back = TelemetryReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(back, report);
+}
+
+/// Disabling telemetry detaches the recorder and returns the snapshot;
+/// subsequent traffic must not touch it.
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.deploy("program fwd(<hdr.ipv4.src, 0.0.0.0, 0x00000000>) { FORWARD(1); }")
+        .unwrap();
+    let frame = p4runpro::traffic::frame_for(
+        &p4runpro::traffic::make_flows(1, 1, 0.0)[0].tuple,
+        64,
+    );
+    ctl.inject(0, &frame).unwrap();
+    let report = ctl.telemetry_report();
+    assert!(report.dataplane.is_none(), "telemetry off → no packet counters");
+    // Spans and the control-channel histogram are always on.
+    assert_eq!(report.spans.len(), 1);
+    assert!(report.control_write_latency.count() > 0);
+
+    // Enabling later starts from zero, synchronized to the current epoch.
+    ctl.enable_telemetry();
+    ctl.inject(0, &frame).unwrap();
+    let dp = ctl.telemetry_report().dataplane.unwrap();
+    assert_eq!(dp.epoch, 1);
+    assert_eq!(dp.tm.forwarded.get(), 1);
+}

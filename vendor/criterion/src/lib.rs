@@ -1,0 +1,210 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!` — over a simple
+//! warmup-then-measure wall-clock loop. No statistics machinery: each
+//! benchmark reports mean ns/iter (and throughput when configured), which
+//! is enough to compare runs by eye and to keep `cargo bench` green
+//! offline. Honors `CRITERION_QUICK=1` for smoke runs.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier (`BenchmarkId::from_parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build from a displayable parameter.
+    pub fn from_parameter<P: core::fmt::Display>(p: P) -> BenchmarkId {
+        BenchmarkId { name: p.to_string() }
+    }
+
+    /// Build from a function name and parameter.
+    pub fn new<P: core::fmt::Display>(function: &str, p: P) -> BenchmarkId {
+        BenchmarkId { name: format!("{function}/{p}") }
+    }
+}
+
+impl core::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// The per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: f64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its mean wall-clock cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let caches/branch predictors settle and estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.budget / 4 {
+            std_black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_nanos().max(1) as f64 / warm_iters.max(1) as f64;
+        // Measure: as many iterations as fit the remaining budget.
+        let iters = ((self.budget.as_nanos() as f64 * 0.75 / est) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn budget() -> Duration {
+    if std::env::var("CRITERION_QUICK").is_ok() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(200)
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let per = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gbps = b as f64 / ns; // bytes per ns == GB/s
+            format!("  ({gbps:.3} GB/s)")
+        }
+        Some(Throughput::Elements(e)) => {
+            format!("  ({:.1} Melem/s)", e as f64 / ns * 1e3)
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<40} {ns:>12.1} ns/iter{per}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Upstream tunes sample counts; the stand-in keeps its fixed budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark one closure under `name`.
+    pub fn bench_function<F>(&mut self, name: impl core::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0, budget: budget() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0, budget: budget() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark one closure under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0, budget: budget() };
+        f(&mut b);
+        report(name, b.ns_per_iter, None);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+    }
+}
+
+/// Bundle benchmark functions, as upstream's macro does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("in_group", |b| b.iter(|| black_box(3u64) * 7));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &5u64, |b, v| {
+            b.iter(|| black_box(*v) + 1)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,567 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators and macros this workspace's property
+//! tests use — `proptest!`, `any`, ranges, tuples, `prop_map`,
+//! `prop_filter`, `prop_filter_map`, `prop_oneof!`, `sample::select`,
+//! `collection::vec`, simple string patterns — over a deterministic seeded
+//! generator. Two deliberate simplifications versus upstream:
+//!
+//! * **no shrinking** — a failing case reports its inputs via the panic
+//!   message (every generated case is reproducible from the fixed seed);
+//! * **string "regexes"** are interpreted structurally: `\PC{a,b}` (and the
+//!   general `…{a,b}` suffix form) produce printable ASCII soup of the
+//!   requested length, which is what the robustness suites need.
+
+use rand::prelude::*;
+
+/// Deterministic per-test RNG.
+pub type TestRng = StdRng;
+
+pub mod test_runner {
+    use super::*;
+
+    /// Runner configuration (`ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Base seed; each case derives its own stream from it.
+        pub seed: u64,
+    }
+
+    impl Config {
+        /// `ProptestConfig::with_cases(n)`.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases, ..Config::default() }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, seed: 0x9_7457_0057 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    /// Drives the cases of one property.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// Construct from a config.
+        pub fn new(config: Config) -> TestRunner {
+            TestRunner { config }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The RNG for one case: derived, so cases are independent.
+        pub fn rng_for(&self, case: u32) -> TestRng {
+            TestRng::seed_from_u64(self.config.seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+    }
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map the generated value.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values satisfying `f` (regenerating otherwise).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, f }
+        }
+
+        /// Filter and map in one step.
+        fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap { inner: self, whence, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Boxed, type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// How many regenerations a filter may burn before giving up.
+    const MAX_FILTER_ATTEMPTS: usize = 10_000;
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` adapter.
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_FILTER_ATTEMPTS {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter `{}`: too many rejections", self.whence);
+        }
+    }
+
+    /// `prop_filter_map` adapter.
+    pub struct FilterMap<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            for _ in 0..MAX_FILTER_ATTEMPTS {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map `{}`: too many rejections", self.whence);
+        }
+    }
+
+    /// A constant strategy (`Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// From options.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.random_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    // ---- primitive strategies ------------------------------------------
+
+    /// Full-domain strategy returned by [`any`](super::arbitrary::any).
+    pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+    impl<T: super::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if hi == <$t>::MAX {
+                        if lo == <$t>::MIN { return rng.random_range(<$t>::MIN..<$t>::MAX) }
+                        return rng.random_range((lo - 1)..hi) + 1;
+                    }
+                    rng.random_range(lo..hi + 1)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident/$idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A/0);
+    impl_tuple_strategy!(A/0, B/1);
+    impl_tuple_strategy!(A/0, B/1, C/2);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+
+    /// String "pattern" strategy: `\PC{a,b}` → printable ASCII of length
+    /// `a..=b`; a bare pattern without a `{a,b}` suffix produces one char.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = match self.rfind('{').zip(self.rfind('}')) {
+                Some((open, close)) if open < close => {
+                    let body = &self[open + 1..close];
+                    let mut it = body.splitn(2, ',');
+                    let lo: usize = it.next().and_then(|s| s.trim().parse().ok()).unwrap_or(0);
+                    let hi: usize = it.next().and_then(|s| s.trim().parse().ok()).unwrap_or(lo);
+                    (lo, hi.max(lo))
+                }
+                _ => (1, 1),
+            };
+            let len = if hi == lo { lo } else { rng.random_range(lo..hi + 1) };
+            (0..len).map(|_| rng.random_range(0x20u8..0x7f) as char).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Any;
+    use super::TestRng;
+    use rand::prelude::*;
+
+    /// Types generatable over their full domain.
+    pub trait Arbitrary {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(u8, u16, u32, u64, usize, bool, f64);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+            rng.random()
+        }
+    }
+
+    /// `any::<T>()`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::prelude::*;
+
+    /// Uniform choice from a fixed set (`prop::sample::select`).
+    #[derive(Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.random_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// Select one of the given values.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select from an empty set");
+        Select(values)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::prelude::*;
+
+    /// Vec strategy with a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len =
+                if self.hi == self.lo { self.lo } else { rng.random_range(self.lo..self.hi) };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, lo: len.start, hi: len.end }
+    }
+}
+
+/// The `prop::` module path used by the prelude (`prop::sample::select`).
+pub mod prop {
+    pub use super::collection;
+    pub use super::sample;
+}
+
+/// Everything a property test conventionally imports.
+pub mod prelude {
+    pub use super::arbitrary::any;
+    pub use super::prop;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Define property tests.
+///
+/// Supports the upstream surface this workspace uses: an optional
+/// `#![proptest_config(expr)]` header and any number of
+/// `#[test] fn name(pat in strategy, …) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Internal: expand each test item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let runner = $crate::test_runner::TestRunner::new(config);
+            for __case in 0..runner.cases() {
+                let mut __rng = runner.rng_for(__case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match __result {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {}/{} failed: {}", __case + 1, runner.cases(), msg)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Assert inside a property (records the failing case instead of tearing
+/// down the whole runner — here: early-returns the case as failed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{:?} == {:?}", a, b);
+    }};
+}
+
+/// Discard cases whose inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in 0usize..3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn maps_and_filters_compose(s in (0u32..100).prop_map(|v| v * 2)
+                                        .prop_filter("nonzero", |v| *v != 0)) {
+            prop_assert!(s % 2 == 0);
+            prop_assert!(s != 0);
+        }
+
+        #[test]
+        fn oneof_and_select(v in prop_oneof![
+            prop::sample::select(vec!["a", "b"]).prop_map(str::to_string),
+            (0u32..10).prop_map(|i| i.to_string()),
+        ]) {
+            prop_assert!(!v.is_empty());
+        }
+
+        #[test]
+        fn vecs_have_requested_lengths(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn string_patterns_are_printable(s in "\\PC{0,40}") {
+            prop_assert!(s.len() <= 40);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x != 5);
+            prop_assert!(x != 5);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        let r = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(_x in 0u32..10) {
+                    prop_assert!(false, "forced failure");
+                }
+            }
+            always_fails();
+        });
+        assert!(r.is_err());
+    }
+}

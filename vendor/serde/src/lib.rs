@@ -1,0 +1,669 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! small value-tree serialization model under the same crate name:
+//!
+//! * [`Value`] — a JSON-shaped document tree (null/bool/number/string/
+//!   array/object, object key order preserved),
+//! * [`Serialize`] / [`Deserialize`] — conversion to and from [`Value`],
+//! * [`json`] — a compact/pretty writer and a strict recursive-descent
+//!   reader, so `to_string` → `from_str` round-trips losslessly,
+//! * [`impl_serde_struct!`] — generates both impls for a named-field
+//!   struct, standing in for `#[derive(Serialize, Deserialize)]`.
+//!
+//! Unlike upstream serde there is no `Serializer`/`Deserializer` visitor
+//! machinery; everything goes through the value tree. That is ample for
+//! the telemetry reports this workspace exchanges, and it keeps the stub
+//! auditable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-shaped document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (kept exact; never routed through f64).
+    U64(u64),
+    /// Signed integer, used when a number is negative.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved on write.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up an object field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Deserialization error with a short human-readable cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build from any message.
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+
+    /// A value had the wrong shape.
+    pub fn expected(what: &str) -> Error {
+        Error::msg(format!("expected {what}"))
+    }
+
+    /// An object was missing a required field.
+    pub fn missing(field: &str) -> Error {
+        Error::msg(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the value tree.
+pub trait Serialize {
+    /// Represent `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the value tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::expected(stringify!($t))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::expected(stringify!($t))),
+                    _ => Err(Error::expected(stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::expected(stringify!($t))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::expected(stringify!($t))),
+                    _ => Err(Error::expected(stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(Error::expected("number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::expected("2-element array")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Generates [`Serialize`] and [`Deserialize`] for a named-field struct,
+/// standing in for `#[derive(Serialize, Deserialize)]`. Every field must
+/// be listed and itself implement both traits:
+///
+/// ```ignore
+/// serde::impl_serde_struct!(StageMetrics { hits, misses, salu_ops });
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                $(let $field = $crate::Deserialize::from_value(
+                    v.get(stringify!($field))
+                        .ok_or_else(|| $crate::Error::missing(stringify!($field)))?,
+                )?;)+
+                Ok(Self { $($field),+ })
+            }
+        }
+    };
+}
+
+/// JSON text encoding and decoding for the value tree.
+pub mod json {
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Serialize to compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value(), None, 0);
+        out
+    }
+
+    /// Serialize to human-indented JSON (two spaces).
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value(), Some(2), 0);
+        out
+    }
+
+    /// Parse JSON text into `T`.
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+        T::from_value(&parse(text)?)
+    }
+
+    /// Parse JSON text into a raw [`Value`].
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::msg(format!("trailing data at byte {pos}")));
+        }
+        Ok(v)
+    }
+
+    fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(x) => {
+                if x.is_finite() {
+                    // Keep integral floats distinguishable from ints so
+                    // round-trips preserve the F64 variant.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{x:.1}");
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_value(out, item, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, item)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, item, indent, depth + 1);
+                }
+                if !fields.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * depth {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+        if *pos < bytes.len() && bytes[*pos] == b {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{}` at byte {}", b as char, *pos)))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+            Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::msg(format!("bad array at byte {}", *pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, b':')?;
+                    fields.push((key, parse_value(bytes, pos)?));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(Error::msg(format!("bad object at byte {}", *pos))),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+            _ => Err(Error::msg(format!("unexpected byte at {}", *pos))),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("bad literal at byte {}", *pos)))
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::msg("bad \\u escape"))?;
+                            // Surrogate pairs are not produced by our
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(Error::msg("bad escape")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let s = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| Error::msg("bad utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+                None => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        if bytes.get(*pos) == Some(&b'.') {
+            is_float = true;
+            *pos += 1;
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+            is_float = true;
+            *pos += 1;
+            if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+                *pos += 1;
+            }
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| Error::msg("bad number"))?;
+        if is_float {
+            text.parse::<f64>().map(Value::F64).map_err(|_| Error::msg("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Value::I64).map_err(|_| Error::msg("bad number"))
+        } else {
+            text.parse::<u64>().map(Value::U64).map_err(|_| Error::msg("bad number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Sample {
+        count: u64,
+        label: String,
+        ratio: f64,
+        tags: Vec<u32>,
+        note: Option<String>,
+    }
+
+    crate::impl_serde_struct!(Sample { count, label, ratio, tags, note });
+
+    #[test]
+    fn struct_roundtrip_compact_and_pretty() {
+        let s = Sample {
+            count: u64::MAX,
+            label: "quoted \"name\"\nline".into(),
+            ratio: 0.375,
+            tags: vec![1, 2, 3],
+            note: None,
+        };
+        for text in [json::to_string(&s), json::to_string_pretty(&s)] {
+            let back: Sample = json::from_str(&text).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = json::parse(r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "d"}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 5);
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Str("d".into())));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+        assert!(json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let text = json::to_string(&2.0f64);
+        assert_eq!(text, "2.0");
+        let v: f64 = json::from_str(&text).unwrap();
+        assert_eq!(v, 2.0);
+    }
+}
