@@ -1,11 +1,10 @@
 //! Criterion micro-benchmarks of the data plane substrate: packet
-//! processing and the hash engines.
+//! processing, table lookup scaling, and the hash engines.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use netpkt::CacheOp;
-use p4rp_ctl::Controller;
-use p4rp_progs::sources;
+use bench::fixtures::{cache_controller, exact_fixture, ternary_fixture};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rmt_sim::hash::{CRC16_BUYPASS, CRC32};
+use rmt_sim::switch::ProcessOutcome;
 use std::hint::black_box;
 
 fn bench_crc(c: &mut Criterion) {
@@ -22,13 +21,7 @@ fn bench_crc(c: &mut Criterion) {
 fn bench_pipeline(c: &mut Criterion) {
     // End-to-end frame processing through the provisioned P4runpro data
     // plane with the cache program linked.
-    let mut ctl = Controller::with_defaults().unwrap();
-    let src = sources::cache("cache", "<hdr.udp.dst_port, 7777, 0xffff>", 1024, &[(0x8888, 512)]);
-    ctl.deploy(&src).unwrap();
-    let flows = traffic::make_flows(5, 1, 0.0);
-    let hit = traffic::netcache_frame(&flows[0].tuple, CacheOp::Read, 0x8888, 0);
-    let miss = traffic::netcache_frame(&flows[0].tuple, CacheOp::Read, 0x9999, 0);
-    let plain = traffic::frame_for(&flows[0].tuple, 64);
+    let (mut ctl, hit, miss, plain) = cache_controller();
 
     let mut group = c.benchmark_group("switch/process_frame");
     group.bench_function("cache_hit", |b| b.iter(|| ctl.inject(0, black_box(&hit)).unwrap()));
@@ -37,15 +30,60 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// Table lookup scaling: the indexed fast paths against the forced linear
+/// scan at 16 / 256 / 4096 entries.
+fn bench_lookup_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table/lookup");
+    for &n in &[16usize, 256, 4096] {
+        let (mut tbl, probes) = exact_fixture(n);
+        let mut i = 0;
+        group.bench_function(BenchmarkId::new("exact_indexed", n), |b| {
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                tbl.lookup(black_box(&probes[i])).is_some()
+            })
+        });
+        tbl.set_indexed(false);
+        let mut i = 0;
+        group.bench_function(BenchmarkId::new("exact_scan", n), |b| {
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                tbl.lookup(black_box(&probes[i])).is_some()
+            })
+        });
+        let (mut tbl, probes) = ternary_fixture(n);
+        let mut i = 0;
+        group.bench_function(BenchmarkId::new("ternary_scan", n), |b| {
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                tbl.lookup(black_box(&probes[i])).is_some()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The pooled-outcome injection path (`process_frame_into`) against the
+/// per-call-allocating wrapper, on the same cache-hit frame.
+fn bench_outcome_reuse(c: &mut Criterion) {
+    let (mut ctl, hit, _, _) = cache_controller();
+
+    let mut group = c.benchmark_group("switch/outcome");
+    group.bench_function("alloc_per_call", |b| {
+        b.iter(|| ctl.inject(0, black_box(&hit)).unwrap())
+    });
+    let mut out = ProcessOutcome::empty();
+    group.bench_function("reused", |b| {
+        b.iter(|| ctl.inject_into(0, black_box(&hit), &mut out).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_telemetry(c: &mut Criterion) {
     // The zero-cost-when-disabled claim of `rmt_sim::telemetry`: with the
     // recorder off, the hot path pays one virtual call to an empty body
     // per event, which must be invisible next to a table lookup.
-    let mut ctl = Controller::with_defaults().unwrap();
-    let src = sources::cache("cache", "<hdr.udp.dst_port, 7777, 0xffff>", 1024, &[(0x8888, 512)]);
-    ctl.deploy(&src).unwrap();
-    let flows = traffic::make_flows(5, 1, 0.0);
-    let hit = traffic::netcache_frame(&flows[0].tuple, CacheOp::Read, 0x8888, 0);
+    let (mut ctl, hit, _, _) = cache_controller();
 
     let mut group = c.benchmark_group("switch/telemetry");
     group.bench_function("disabled", |b| b.iter(|| ctl.inject(0, black_box(&hit)).unwrap()));
@@ -54,5 +92,12 @@ fn bench_telemetry(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crc, bench_pipeline, bench_telemetry);
+criterion_group!(
+    benches,
+    bench_crc,
+    bench_pipeline,
+    bench_lookup_scaling,
+    bench_outcome_reuse,
+    bench_telemetry
+);
 criterion_main!(benches);

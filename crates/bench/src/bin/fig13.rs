@@ -47,8 +47,8 @@ fn case_a_impact_on_traffic() {
     let mut churn = 0usize;
     while !replay.done() {
         let until = replay.next_time().map(|t| t.max(event_t)).unwrap_or(event_t);
-        replay.run_until(event_t.min(until + Nanos(1)), |port, frame| {
-            ctl.inject(port, frame).unwrap()
+        replay.run_until_into(event_t.min(until + Nanos(1)), |port, frame, out| {
+            ctl.inject_into(port, frame, out).unwrap()
         });
         if replay.done() {
             break;
@@ -146,14 +146,13 @@ fn case_b_cache() {
             server_bytes = 0;
             bucket_end += Nanos::from_millis(BUCKET_MS);
         }
-        replay.run_until(t + Nanos(1), |port, frame| {
-            let out = ctl.inject(port, frame).unwrap();
+        replay.run_until_into(t + Nanos(1), |port, frame, out| {
+            ctl.inject_into(port, frame, out).unwrap();
             for (p, bytes) in &out.emitted {
                 if *p == 32 {
                     server_bytes += bytes.len() as u64;
                 }
             }
-            out
         });
     }
     let series: Vec<f64> = server_bytes_per_bucket
@@ -225,8 +224,8 @@ fn case_c_lb() {
             b = 0;
             bucket_end += Nanos::from_millis(BUCKET_MS);
         }
-        replay.run_until(t + Nanos(1), |port, frame| {
-            let out = ctl.inject(port, frame).unwrap();
+        replay.run_until_into(t + Nanos(1), |port, frame, out| {
+            ctl.inject_into(port, frame, out).unwrap();
             for (p, bytes) in &out.emitted {
                 match p {
                     2 => a += bytes.len() as u64,
@@ -234,7 +233,6 @@ fn case_c_lb() {
                     _ => {}
                 }
             }
-            out
         });
     }
     let imb: Vec<f64> = per_bucket
@@ -290,7 +288,9 @@ fn case_d_hh() {
     let step = Nanos::from_millis(250);
     let mut next = step;
     while !replay.done() {
-        replay.run_until(next, |port, frame| ctl.inject(port, frame).unwrap());
+        replay.run_until_into(next, |port, frame, out| {
+            ctl.inject_into(port, frame, out).unwrap()
+        });
         f1_series.push(f1_score(&replay.reported_flows, &truth).f1);
         next += step;
     }
@@ -304,7 +304,9 @@ fn case_d_hh() {
     // Native equivalent.
     let mut native = baselines::NativeHh::build(1024, 1024).unwrap();
     let mut replay = Replay::new(timed);
-    replay.run_all(|port, frame| native.switch.process_frame(port, frame).unwrap());
+    replay.run_all_into(|port, frame, out| {
+        native.switch.process_frame_into(port, frame, out).unwrap()
+    });
     let theirs = f1_score(&replay.reported_flows, &truth);
     println!(
         "native   final: precision {:.3} recall {:.3} F1 {:.3}",

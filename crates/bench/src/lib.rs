@@ -198,6 +198,95 @@ pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Data-plane fixtures shared by the Criterion benches and the
+/// `bench_dataplane` headline harness, so both measure exactly the same
+/// workloads.
+pub mod fixtures {
+    use netpkt::CacheOp;
+    use p4rp_ctl::Controller;
+    use p4rp_progs::sources;
+    use rmt_sim::action::ActionDef;
+    use rmt_sim::phv::{FieldTable, Phv};
+    use rmt_sim::table::{EntryHandle, KeySpec, MatchKind, MatchValue, Table, TableEntry};
+
+    /// Controller with the cache program deployed, plus (hit, miss, plain)
+    /// probe frames for its key space.
+    pub fn cache_controller() -> (Controller, Vec<u8>, Vec<u8>, Vec<u8>) {
+        let mut ctl = Controller::with_defaults().unwrap();
+        let src =
+            sources::cache("cache", "<hdr.udp.dst_port, 7777, 0xffff>", 1024, &[(0x8888, 512)]);
+        ctl.deploy(&src).unwrap();
+        let flows = traffic::make_flows(5, 1, 0.0);
+        let hit = traffic::netcache_frame(&flows[0].tuple, CacheOp::Read, 0x8888, 0);
+        let miss = traffic::netcache_frame(&flows[0].tuple, CacheOp::Read, 0x9999, 0);
+        let plain = traffic::frame_for(&flows[0].tuple, 64);
+        (ctl, hit, miss, plain)
+    }
+
+    /// An exact-key two-field table with `n` entries, plus probe PHVs
+    /// cycling over the stored keys (so the scan cost is the average
+    /// position, not the lucky first entry).
+    pub fn exact_fixture(n: usize) -> (Table, Vec<Phv>) {
+        let mut ft = FieldTable::new();
+        let a = ft.register("meta.a", 32).unwrap();
+        let b = ft.register("meta.b", 16).unwrap();
+        let key = KeySpec::new(vec![(a, MatchKind::Exact), (b, MatchKind::Exact)]);
+        let mut tbl = Table::new("bench_exact", key, vec![ActionDef::noop("hit")], n);
+        for i in 0..n as u64 {
+            tbl.insert(
+                EntryHandle(i),
+                TableEntry {
+                    matches: vec![MatchValue::Exact(i * 7 + 1), MatchValue::Exact(i & 0xffff)],
+                    priority: 0,
+                    action: 0,
+                    data: vec![i],
+                },
+            )
+            .unwrap();
+        }
+        let probes = (0..64u64)
+            .map(|p| {
+                let i = (p * 17) % n as u64;
+                let mut phv = Phv::new(&ft);
+                phv.set(&ft, a, i * 7 + 1);
+                phv.set(&ft, b, i & 0xffff);
+                phv
+            })
+            .collect();
+        (tbl, probes)
+    }
+
+    /// A single-field ternary table with `n` disjoint entries — the TCAM
+    /// stand-in, always a priority-ordered scan.
+    pub fn ternary_fixture(n: usize) -> (Table, Vec<Phv>) {
+        let mut ft = FieldTable::new();
+        let a = ft.register("meta.a", 32).unwrap();
+        let key = KeySpec::new(vec![(a, MatchKind::Ternary)]);
+        let mut tbl = Table::new("bench_ternary", key, vec![ActionDef::noop("hit")], n);
+        for i in 0..n as u64 {
+            tbl.insert(
+                EntryHandle(i),
+                TableEntry {
+                    matches: vec![MatchValue::Ternary { value: i << 8, mask: 0xffff_ff00 }],
+                    priority: 0,
+                    action: 0,
+                    data: vec![i],
+                },
+            )
+            .unwrap();
+        }
+        let probes = (0..64u64)
+            .map(|p| {
+                let i = (p * 17) % n as u64;
+                let mut phv = Phv::new(&ft);
+                phv.set(&ft, a, (i << 8) | 0x42);
+                phv
+            })
+            .collect();
+        (tbl, probes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

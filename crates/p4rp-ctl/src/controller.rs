@@ -552,4 +552,15 @@ impl Controller {
     pub fn inject(&mut self, port: u16, frame: &[u8]) -> CtlResult<ProcessOutcome> {
         Ok(self.switch.process_frame(port, frame)?)
     }
+
+    /// [`Controller::inject`] into a caller-owned outcome — the allocation-free
+    /// variant used by replay loops that reuse one outcome across packets.
+    pub fn inject_into(
+        &mut self,
+        port: u16,
+        frame: &[u8],
+        outcome: &mut ProcessOutcome,
+    ) -> CtlResult<()> {
+        Ok(self.switch.process_frame_into(port, frame, outcome)?)
+    }
 }

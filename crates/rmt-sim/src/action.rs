@@ -125,6 +125,15 @@ pub struct ActionEffects {
     pub salu_wrote: bool,
 }
 
+/// Reusable buffers for [`ActionDef::execute_scratch`]: the deferred
+/// parallel-issue write set and the hash input bytes. Owning one per stage
+/// keeps the match-action loop free of per-execution heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ActionScratch {
+    writes: Vec<(FieldId, u64)>,
+    hash_bytes: Vec<u8>,
+}
+
 /// A complete action definition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActionDef {
@@ -165,6 +174,19 @@ impl ActionDef {
         data: &[u64],
         arrays: &mut [RegArray],
     ) -> SimResult<ActionEffects> {
+        self.execute_scratch(table, phv, data, arrays, &mut ActionScratch::default())
+    }
+
+    /// [`ActionDef::execute`] with caller-owned scratch buffers, so repeated
+    /// executions (every table of every stage, every pass) allocate nothing.
+    pub fn execute_scratch(
+        &self,
+        table: &FieldTable,
+        phv: &mut Phv,
+        data: &[u64],
+        arrays: &mut [RegArray],
+        scratch: &mut ActionScratch,
+    ) -> SimResult<ActionEffects> {
         let mut effects = ActionEffects::default();
         let read = |phv: &Phv, op: Operand| -> u64 {
             match op {
@@ -174,18 +196,20 @@ impl ActionDef {
             }
         };
 
-        let mut writes: Vec<(FieldId, u64)> = Vec::with_capacity(self.ops.len() + 2);
+        let writes = &mut scratch.writes;
+        writes.clear();
 
         if let Some(hash) = &self.hash {
             let HashInput::Fields(fields) = &hash.input;
-            let mut bytes = Vec::with_capacity(fields.len() * 4);
+            let bytes = &mut scratch.hash_bytes;
+            bytes.clear();
             for f in fields {
                 let spec = table.spec(*f);
                 let nbytes = usize::from(spec.bits.div_ceil(8));
                 let v = phv.get(*f);
                 bytes.extend_from_slice(&v.to_be_bytes()[8 - nbytes..]);
             }
-            let mut h = u64::from(hash.spec.compute(&bytes));
+            let mut h = u64::from(hash.spec.compute(bytes));
             if let Some(m) = hash.mask {
                 h &= read(phv, m);
             }
@@ -232,7 +256,7 @@ impl ActionDef {
             }
         }
 
-        for (dst, v) in writes {
+        for &(dst, v) in writes.iter() {
             phv.set(table, dst, v);
         }
         Ok(effects)

@@ -72,27 +72,94 @@ fn reflect(value: u32, bits: u8) -> u32 {
     out
 }
 
+/// Byte-at-a-time CRC step table for an MSB-first LFSR of the given width
+/// and polynomial, built at compile time.
+const fn make_crc_table(width: u8, poly: u32) -> [u32; 256] {
+    let topbit = 1u32 << (width - 1);
+    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = (i as u32) << (width - 8);
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & topbit != 0 { ((crc << 1) ^ poly) & mask } else { (crc << 1) & mask };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Bit-reversal of a byte, for `refin` algorithms.
+const fn make_reflect8_table() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut out = 0u8;
+        let mut bit = 0;
+        while bit < 8 {
+            if i & (1 << bit) != 0 {
+                out |= 1 << (7 - bit);
+            }
+            bit += 1;
+        }
+        table[i] = out;
+        i += 1;
+    }
+    table
+}
+
+const REFLECT8: [u8; 256] = make_reflect8_table();
+
+// The hash engines sit on the per-packet hot path (every sketch update and
+// memory-address translation goes through one), so the known polynomials
+// get compile-time byte tables; an exotic spec falls back to the bitwise
+// LFSR below, which remains the semantic definition.
+const TABLE_16_8005: [u32; 256] = make_crc_table(16, 0x8005);
+const TABLE_16_1021: [u32; 256] = make_crc_table(16, 0x1021);
+const TABLE_32_04C11DB7: [u32; 256] = make_crc_table(32, 0x04C11DB7);
+
+fn crc_table_for(width: u8, poly: u32) -> Option<&'static [u32; 256]> {
+    match (width, poly) {
+        (16, 0x8005) => Some(&TABLE_16_8005),
+        (16, 0x1021) => Some(&TABLE_16_1021),
+        (32, 0x04C11DB7) => Some(&TABLE_32_04C11DB7),
+        _ => None,
+    }
+}
+
 impl CrcSpec {
     /// Compute the CRC of `data`.
     ///
-    /// A straightforward bitwise implementation: the simulator hashes a few
-    /// dozen bytes per invocation, so table generation would not pay off,
-    /// and the bitwise form mirrors the hardware LFSR directly.
+    /// Byte-table-driven for the polynomials the workspace provisions
+    /// (verified bit-identical to the LFSR by the check-value tests); the
+    /// bitwise form below handles any other spec and mirrors the hardware
+    /// LFSR directly.
     pub fn compute(&self, data: &[u8]) -> u32 {
         debug_assert!(self.width <= 32 && self.width > 0);
         let width = u32::from(self.width);
-        let topbit = 1u32 << (width - 1);
         let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
         let mut crc = self.init & mask;
-        for &byte in data {
-            let b = if self.refin { reflect(u32::from(byte), 8) as u8 } else { byte };
-            crc ^= (u32::from(b)) << (width - 8);
-            crc &= mask;
-            for _ in 0..8 {
-                if crc & topbit != 0 {
-                    crc = ((crc << 1) ^ self.poly) & mask;
-                } else {
-                    crc = (crc << 1) & mask;
+        if let Some(table) = crc_table_for(self.width, self.poly) {
+            for &byte in data {
+                let b = if self.refin { REFLECT8[usize::from(byte)] } else { byte };
+                let idx = ((crc >> (width - 8)) as u8) ^ b;
+                crc = ((crc << 8) ^ table[usize::from(idx)]) & mask;
+            }
+        } else {
+            let topbit = 1u32 << (width - 1);
+            for &byte in data {
+                let b = if self.refin { reflect(u32::from(byte), 8) as u8 } else { byte };
+                crc ^= (u32::from(b)) << (width - 8);
+                crc &= mask;
+                for _ in 0..8 {
+                    if crc & topbit != 0 {
+                        crc = ((crc << 1) ^ self.poly) & mask;
+                    } else {
+                        crc = (crc << 1) & mask;
+                    }
                 }
             }
         }
@@ -183,6 +250,64 @@ mod tests {
                 assert_ne!(outs[i], outs[j], "algorithms {i} and {j} collide on check input");
             }
         }
+    }
+
+    #[test]
+    fn table_path_matches_lfsr() {
+        // The compile-time byte tables must be bit-identical to the bitwise
+        // LFSR for every provisioned algorithm, across lengths and offsets.
+        fn lfsr(spec: &CrcSpec, data: &[u8]) -> u32 {
+            let width = u32::from(spec.width);
+            let topbit = 1u32 << (width - 1);
+            let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+            let mut crc = spec.init & mask;
+            for &byte in data {
+                let b = if spec.refin { reflect(u32::from(byte), 8) as u8 } else { byte };
+                crc ^= u32::from(b) << (width - 8);
+                crc &= mask;
+                for _ in 0..8 {
+                    crc = if crc & topbit != 0 {
+                        ((crc << 1) ^ spec.poly) & mask
+                    } else {
+                        (crc << 1) & mask
+                    };
+                }
+            }
+            if spec.refout {
+                crc = reflect(crc, spec.width);
+            }
+            (crc ^ spec.xorout) & mask
+        }
+        let data: Vec<u8> = (0u32..64).map(|i| (i.wrapping_mul(0x9E37) >> 3) as u8).collect();
+        for spec in [
+            CRC16_BUYPASS,
+            CRC16_MCRF4XX,
+            CRC16_AUG_CCITT,
+            CRC16_DDS_110,
+            CRC16_CCITT_FALSE,
+            CRC32,
+        ] {
+            for len in [0usize, 1, 4, 13, 64] {
+                assert_eq!(spec.compute(&data[..len]), lfsr(&spec, &data[..len]), "{spec:?}/{len}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_poly_uses_lfsr_fallback() {
+        let odd = CrcSpec {
+            width: 16,
+            poly: 0x3D65,
+            init: 0,
+            refin: false,
+            refout: false,
+            xorout: 0xFFFF,
+        };
+        // CRC-16/DNP check value (reveng catalogue; refin/refout stripped
+        // variants differ, so just require determinism + masking here).
+        let h = odd.compute(CHECK);
+        assert_eq!(h, odd.compute(CHECK));
+        assert!(h <= 0xFFFF);
     }
 
     #[test]

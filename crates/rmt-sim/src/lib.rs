@@ -93,6 +93,7 @@ pub mod action;
 pub mod clock;
 pub mod control;
 pub mod error;
+pub mod fxhash;
 pub mod hash;
 pub mod parser;
 pub mod phv;

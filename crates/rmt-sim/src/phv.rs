@@ -186,7 +186,10 @@ impl Default for FieldTable {
 }
 
 /// One packet's header vector: a value and a validity bit per field.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Default` is the zero-field PHV: a valid pooling placeholder (see
+/// [`Phv::reset_for`]), not a usable packet state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Phv {
     values: Vec<u64>,
     valid: Vec<bool>,
@@ -196,6 +199,15 @@ impl Phv {
     /// An all-invalid PHV sized for `table`.
     pub fn new(table: &FieldTable) -> Phv {
         Phv { values: vec![0; table.len()], valid: vec![false; table.len()] }
+    }
+
+    /// Make this PHV equivalent to `Phv::new(table)` in place, reusing its
+    /// allocations — the per-pass reset of the switch's scratch PHV.
+    pub fn reset_for(&mut self, table: &FieldTable) {
+        self.values.clear();
+        self.values.resize(table.len(), 0);
+        self.valid.clear();
+        self.valid.resize(table.len(), false);
     }
 
     /// Read a field. Invalid fields read as 0, matching how RMT match keys

@@ -8,6 +8,7 @@
 //! compiler must align same-memory primitives to the same physical RPB
 //! (allocation constraint (5) in §4.3).
 
+use crate::action::ActionScratch;
 use crate::error::{SimError, SimResult};
 use crate::phv::{FieldTable, Phv};
 use crate::salu::RegArray;
@@ -80,12 +81,22 @@ pub struct Stage {
     pub tables: Vec<Table>,
     /// Arrays.
     pub arrays: Vec<RegArray>,
+    /// Reusable action-execution buffers (write set, hash input), so the
+    /// per-packet match-action loop performs no heap allocation.
+    scratch: ActionScratch,
 }
 
 impl Stage {
     /// Construct with defaults appropriate to the type.
     pub fn new(gress: Gress, index: usize, limits: StageLimits) -> Stage {
-        Stage { gress, index, limits, tables: Vec::new(), arrays: Vec::new() }
+        Stage {
+            gress,
+            index,
+            limits,
+            tables: Vec::new(),
+            arrays: Vec::new(),
+            scratch: ActionScratch::default(),
+        }
     }
 
     /// Add a table; returns its index within the stage.
@@ -144,16 +155,19 @@ impl Stage {
         phv: &mut Phv,
         rec: &mut dyn Recorder,
     ) -> SimResult<()> {
-        let (gress, index) = (self.gress, self.index);
-        for table in &mut self.tables {
-            // The borrow dance: lookup borrows the table immutably through
-            // its action reference; clone the small action + data so the
-            // SALU can mutate this stage's arrays.
-            let hit = table.lookup(phv).map(|r| (r.action.clone(), r.data.to_vec(), r.hit));
-            match hit {
-                Some((action, data, was_hit)) => {
-                    rec.table_lookup(gress, index, was_hit);
-                    let effects = action.execute(ft, phv, &data, &mut self.arrays)?;
+        let Stage { gress, index, tables, arrays, scratch, .. } = self;
+        let (gress, index) = (*gress, *index);
+        for table in tables.iter_mut() {
+            // `lookup_slot` returns plain indices, so the matched action and
+            // its data can be borrowed from the table while the SALU mutates
+            // this stage's arrays — no clone, no allocation per hit.
+            match table.lookup_slot(phv) {
+                Some(r) => {
+                    rec.table_lookup(gress, index, r.hit);
+                    let table = &*table;
+                    let action = &table.actions[r.action];
+                    let data = table.data_of(r.src);
+                    let effects = action.execute_scratch(ft, phv, data, arrays, scratch)?;
                     rec.action_executed(gress, index);
                     if effects.salu_read {
                         rec.salu_rmw(gress, index, effects.salu_wrote);

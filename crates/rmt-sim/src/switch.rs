@@ -82,6 +82,27 @@ pub struct ProcessOutcome {
     pub phv: Phv,
 }
 
+impl ProcessOutcome {
+    /// An empty outcome to pass to [`Switch::process_frame_into`]; reusing
+    /// one across calls reuses its buffers.
+    pub fn empty() -> ProcessOutcome {
+        ProcessOutcome {
+            emitted: Vec::new(),
+            reports: Vec::new(),
+            dropped: false,
+            passes: 0,
+            phv: Phv::default(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.emitted.clear();
+        self.reports.clear();
+        self.dropped = false;
+        self.passes = 0;
+    }
+}
+
 /// Addresses a table inside the switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TableRef {
@@ -166,6 +187,12 @@ pub struct Switch {
     /// Telemetry storage; `None` (the default) keeps the data path on the
     /// no-op recorder.
     telemetry: Option<MetricsRecorder>,
+    /// Scratch pool reused across packets and recirculation passes: the
+    /// working PHV and two ping-pong frame buffers. `process_frame` resets
+    /// them per pass instead of allocating fresh ones.
+    scratch_phv: Phv,
+    scratch_frame: Vec<u8>,
+    scratch_next: Vec<u8>,
 }
 
 impl Switch {
@@ -179,6 +206,7 @@ impl Switch {
         egress: Pipeline,
     ) -> Switch {
         let ports = usize::from(cfg.num_ports);
+        let scratch_phv = Phv::new(&ft);
         Switch {
             cfg,
             ft,
@@ -194,6 +222,9 @@ impl Switch {
             drops: 0,
             recirc_passes: 0,
             telemetry: None,
+            scratch_phv,
+            scratch_frame: Vec::new(),
+            scratch_next: Vec::new(),
         }
     }
 
@@ -370,6 +401,22 @@ impl Switch {
     /// parser → ingress → TM → egress → deparser path, following
     /// recirculations internally until the packet is emitted or dropped.
     pub fn process_frame(&mut self, port: u16, frame: &[u8]) -> SimResult<ProcessOutcome> {
+        let mut outcome = ProcessOutcome::empty();
+        self.process_frame_into(port, frame, &mut outcome)?;
+        Ok(outcome)
+    }
+
+    /// [`Switch::process_frame`] into a caller-owned outcome: `outcome` is
+    /// cleared and refilled, so an injection loop that keeps one outcome
+    /// alive reuses its buffers instead of allocating per packet. The
+    /// working PHV and the recirculation frame buffers come from the
+    /// switch's scratch pool, reused across passes and across packets.
+    pub fn process_frame_into(
+        &mut self,
+        port: u16,
+        frame: &[u8],
+        outcome: &mut ProcessOutcome,
+    ) -> SimResult<()> {
         if !self.provisioned {
             return Err(SimError::Config("switch not provisioned".into()));
         }
@@ -378,36 +425,36 @@ impl Switch {
         }
         self.counters[usize::from(port)].rx_pkts += 1;
         self.counters[usize::from(port)].rx_bytes += frame.len() as u64;
+        outcome.clear();
 
         let intr = self.ft.intrinsics();
         let external_port = port;
-        let mut current: Vec<u8> = frame.to_vec();
+        // Borrow-check the scratch pool as locals for the duration of the
+        // frame; an early `?` return forfeits the buffers' capacity (they
+        // re-grow on the next frame), never their correctness.
+        let mut current = std::mem::take(&mut self.scratch_frame);
+        let mut next = std::mem::take(&mut self.scratch_next);
+        let mut phv = std::mem::take(&mut self.scratch_phv);
+        current.clear();
+        current.extend_from_slice(frame);
         let mut from_recirc = self.cfg.recirc_ingress_ports.contains(&port);
         let mut ingress_port = port;
         let mut passes: u8 = 0;
-        let mut outcome = ProcessOutcome {
-            emitted: Vec::new(),
-            reports: Vec::new(),
-            dropped: false,
-            passes: 0,
-            phv: Phv::new(&self.ft),
-        };
 
         let mut nop = NopRecorder;
         loop {
             passes += 1;
-            let mut phv = Phv::new(&self.ft);
+            phv.reset_for(&self.ft);
             let parse = match self.parser.parse(&self.ft, &current, &mut phv, from_recirc) {
                 Ok(p) => p,
                 Err(SimError::ParserReject) => {
                     self.drops += 1;
                     outcome.dropped = true;
-                    outcome.phv = phv;
                     break;
                 }
                 Err(e) => return Err(e),
             };
-            let payload = current[parse.payload_offset..].to_vec();
+            let payload_offset = parse.payload_offset;
             phv.set(&self.ft, intr.ingress_port, u64::from(ingress_port));
 
             // One recorder borrow per pass; the no-op recorder keeps the
@@ -427,7 +474,8 @@ impl Switch {
                 for f in &self.strip_on_emit {
                     copy_phv.set(&self.ft, *f, 0);
                 }
-                let bytes = self.parser.deparse(&self.ft, &copy_phv, &payload);
+                let bytes =
+                    self.parser.deparse(&self.ft, &copy_phv, &current[payload_offset..]);
                 self.cpu_counters.tx_pkts += 1;
                 self.cpu_counters.tx_bytes += bytes.len() as u64;
                 outcome.reports.push(bytes);
@@ -442,14 +490,12 @@ impl Switch {
                     self.egress.process_with(&self.ft, &mut phv, rec)?;
                     self.drops += 1;
                     outcome.dropped = true;
-                    outcome.phv = phv;
                     break;
                 }
                 Verdict::Recirculate => {
                     if passes > self.cfg.max_recirc {
                         self.drops += 1;
                         outcome.dropped = true;
-                        outcome.phv = phv;
                         break;
                     }
                     self.egress.process_with(&self.ft, &mut phv, rec)?;
@@ -458,29 +504,28 @@ impl Switch {
                     // the next switch over the wire (the header is *not*
                     // stripped on this port).
                     if let Some(wire) = self.cfg.recirc_wire_port {
-                        let bytes = self.parser.deparse(&self.ft, &phv, &payload);
+                        let bytes =
+                            self.parser.deparse(&self.ft, &phv, &current[payload_offset..]);
                         if let Some(c) = self.counters.get_mut(usize::from(wire)) {
                             c.tx_pkts += 1;
                             c.tx_bytes += bytes.len() as u64;
                         }
                         outcome.emitted.push((wire, bytes));
-                        outcome.phv = phv;
                         break;
                     }
-                    current = self.parser.deparse(&self.ft, &phv, &payload);
+                    // Rebuild the frame for the next pass into the spare
+                    // buffer and swap — no allocation per recirculation.
+                    self.parser.deparse_into(
+                        &self.ft,
+                        &phv,
+                        &current[payload_offset..],
+                        &mut next,
+                    );
+                    std::mem::swap(&mut current, &mut next);
                     from_recirc = true;
                     ingress_port = self.cfg.recirc_port;
-                    outcome.phv = phv;
                 }
                 Verdict::Return | Verdict::Forward(_) | Verdict::Multicast(_) => {
-                    let out_ports: Vec<u16> = match decision.verdict {
-                        Verdict::Return => vec![external_port],
-                        Verdict::Forward(p) => vec![p],
-                        Verdict::Multicast(g) => {
-                            self.mcast_groups.get(&g).cloned().unwrap_or_default()
-                        }
-                        _ => unreachable!(),
-                    };
                     // Each replica traverses egress independently (the PRE
                     // clones before the egress pipeline; with identical
                     // egress state the results coincide, so one egress pass
@@ -489,25 +534,51 @@ impl Switch {
                     for f in &self.strip_on_emit {
                         phv.set(&self.ft, *f, 0);
                     }
-                    let bytes = self.parser.deparse(&self.ft, &phv, &payload);
+                    let mut bytes =
+                        self.parser.deparse(&self.ft, &phv, &current[payload_offset..]);
+                    let single;
+                    let out_ports: &[u16] = match decision.verdict {
+                        Verdict::Return => {
+                            single = [external_port];
+                            &single
+                        }
+                        Verdict::Forward(p) => {
+                            single = [p];
+                            &single
+                        }
+                        Verdict::Multicast(g) => {
+                            self.mcast_groups.get(&g).map(Vec::as_slice).unwrap_or(&[])
+                        }
+                        _ => unreachable!(),
+                    };
                     if out_ports.is_empty() {
                         self.drops += 1;
                         outcome.dropped = true;
                     }
-                    for out_port in out_ports {
+                    for (k, &out_port) in out_ports.iter().enumerate() {
                         if let Some(c) = self.counters.get_mut(usize::from(out_port)) {
                             c.tx_pkts += 1;
                             c.tx_bytes += bytes.len() as u64;
                         }
-                        outcome.emitted.push((out_port, bytes.clone()));
+                        // The last replica takes the deparsed frame itself;
+                        // earlier ones clone.
+                        let frame = if k + 1 == out_ports.len() {
+                            std::mem::take(&mut bytes)
+                        } else {
+                            bytes.clone()
+                        };
+                        outcome.emitted.push((out_port, frame));
                     }
-                    outcome.phv = phv;
                     break;
                 }
             }
         }
         outcome.passes = passes;
-        Ok(outcome)
+        outcome.phv.clone_from(&phv);
+        self.scratch_frame = current;
+        self.scratch_next = next;
+        self.scratch_phv = phv;
+        Ok(())
     }
 }
 

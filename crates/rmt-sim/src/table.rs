@@ -6,9 +6,30 @@
 //! per-entry update atomicity, which is the foundation of the paper's
 //! consistent-update argument (§4.3): a packet observes either the table
 //! before or after any single entry write, never a torn state.
+//!
+//! # Lookup fast paths
+//!
+//! Lookup mirrors the physical memories of a Tofino-class stage instead of
+//! scanning entries linearly:
+//!
+//! * **all-exact keys** — a hash index from the key tuple to the winning
+//!   entry, the software analogue of hash-addressed exact-match SRAM;
+//! * **single-field LPM** — per-prefix-length hash buckets probed longest
+//!   prefix first, the classic algorithmic-LPM decomposition;
+//! * **ternary / range / mixed keys** — the priority-ordered scan, standing
+//!   in for the TCAM's combinational priority resolution.
+//!
+//! Both indexes are maintained incrementally by `insert`/`delete`, so RMT's
+//! per-entry update atomicity is untouched: every control-plane operation
+//! leaves the index consistent with the entry store. Entries whose match
+//! values do not conform to the declared key spec (or exotic shapes such as
+//! mixed LPM widths or mixed LPM priorities) permanently degrade the table
+//! to the ordered scan, which is always semantically authoritative — the
+//! indexes are pure accelerations of it.
 
 use crate::action::ActionDef;
 use crate::error::{SimError, SimResult};
+use crate::fxhash::FxHashMap;
 use crate::phv::{FieldId, Phv};
 
 /// How one key field matches.
@@ -92,6 +113,17 @@ impl MatchValue {
     }
 }
 
+/// The prefix key a value hashes to in an LPM bucket of `prefix_len` over a
+/// `bits`-wide field: both stored values and probe values map through this,
+/// so equality in the bucket is exactly [`MatchValue::matches`].
+fn lpm_bucket_key(v: u64, prefix_len: u8, bits: u8) -> u64 {
+    if prefix_len == 0 {
+        0
+    } else {
+        v >> u32::from(bits - prefix_len.min(bits))
+    }
+}
+
 /// A stable handle to an inserted entry, unique per switch lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EntryHandle(pub u64);
@@ -110,11 +142,56 @@ pub struct TableEntry {
     pub data: Vec<u64>,
 }
 
+impl TableEntry {
+    fn lpm_sum(&self) -> u32 {
+        self.matches.iter().map(|m| u32::from(m.lpm_len())).sum()
+    }
+}
+
 #[derive(Debug, Clone)]
 struct StoredEntry {
     handle: EntryHandle,
     seq: u64,
     entry: TableEntry,
+}
+
+impl StoredEntry {
+    /// Total order of first-match precedence: priority desc, LPM length
+    /// desc, insertion order asc. `seq` is unique, so the order is strict.
+    fn rank(&self) -> (i64, i64, u64) {
+        (
+            -i64::from(self.entry.priority),
+            -i64::from(self.entry.lpm_sum()),
+            self.seq,
+        )
+    }
+}
+
+/// Exact-index keys wider than this fall back to the ordered scan (the
+/// probe tuple lives on the stack during lookup).
+const MAX_EXACT_KEY_FIELDS: usize = 16;
+
+/// The per-prefix-length buckets of the single-field LPM index, sorted by
+/// `prefix_len` descending so the first probe hit is the longest match.
+#[derive(Debug, Clone, Default)]
+struct LpmIndex {
+    /// Field width shared by every entry; mixed widths degrade the table.
+    bits: Option<u8>,
+    /// Priority shared by every entry: the scan orders priority above
+    /// prefix length, so a mixed-priority LPM table cannot use
+    /// longest-prefix-first probing and degrades.
+    priority: Option<i32>,
+    buckets: Vec<(u8, FxHashMap<u64, u32>)>,
+}
+
+#[derive(Debug, Clone)]
+enum Index {
+    /// Key tuple → winning (first-match) slot.
+    Exact(FxHashMap<Box<[u64]>, u32>),
+    /// Single-field longest-prefix match.
+    Lpm(LpmIndex),
+    /// Priority-ordered scan only (TCAM/range/mixed keys, or degraded).
+    Scan,
 }
 
 /// A match-action table.
@@ -134,7 +211,18 @@ pub struct Table {
     pub atcam: bool,
     /// Action executed on a miss, if any.
     pub default_action: Option<(usize, Vec<u64>)>,
-    entries: Vec<StoredEntry>,
+    /// Slab of entries; slots are stable across unrelated inserts/deletes,
+    /// so the indexes and the handle map can reference them by id.
+    slots: Vec<Option<StoredEntry>>,
+    free_slots: Vec<u32>,
+    /// Slot ids in first-match precedence order (see [`StoredEntry::rank`]),
+    /// maintained by binary-search insertion.
+    order: Vec<u32>,
+    by_handle: FxHashMap<EntryHandle, u32>,
+    index: Index,
+    /// When false, lookups take the ordered scan even if an index is
+    /// maintained — the measurement baseline for the indexed fast path.
+    indexed: bool,
     next_seq: u64,
     /// Lookup counter for utilization statistics.
     pub hits: u64,
@@ -153,9 +241,41 @@ pub struct LookupResult<'a> {
     pub hit: bool,
 }
 
+/// Where a [`Table::lookup_slot`] hit found its action data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSrc {
+    /// The matched entry's immediate data.
+    Entry(u32),
+    /// The default action's data.
+    Default,
+}
+
+/// Outcome of a [`Table::lookup_slot`]: plain indices, so the caller can
+/// split-borrow the action and data against its own mutable state without
+/// cloning either (the zero-allocation dispatch path in
+/// [`crate::pipeline::Stage::execute_with`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SlotLookup {
+    /// Index into [`Table::actions`].
+    pub action: usize,
+    /// Where the action data lives.
+    pub src: DataSrc,
+    /// Hit.
+    pub hit: bool,
+}
+
 impl Table {
     /// Construct with defaults appropriate to the type.
     pub fn new(name: impl Into<String>, key: KeySpec, actions: Vec<ActionDef>, capacity: usize) -> Table {
+        let index = if key.fields.len() == 1 && key.fields[0].1 == MatchKind::Lpm {
+            Index::Lpm(LpmIndex::default())
+        } else if key.fields.len() <= MAX_EXACT_KEY_FIELDS
+            && key.fields.iter().all(|(_, k)| *k == MatchKind::Exact)
+        {
+            Index::Exact(FxHashMap::default())
+        } else {
+            Index::Scan
+        };
         Table {
             name: name.into(),
             key,
@@ -163,7 +283,12 @@ impl Table {
             capacity,
             atcam: false,
             default_action: None,
-            entries: Vec::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            order: Vec::new(),
+            by_handle: FxHashMap::default(),
+            index,
+            indexed: true,
             next_seq: 0,
             hits: 0,
             misses: 0,
@@ -181,25 +306,185 @@ impl Table {
         self.default_action = Some((action, data));
     }
 
+    /// Force lookups onto the priority-ordered scan (`false`) or the
+    /// maintained index (`true`, the default). The scan is the semantic
+    /// reference; this knob exists to measure the index against it.
+    pub fn set_indexed(&mut self, on: bool) {
+        self.indexed = on;
+    }
+
+    /// Whether lookups currently take an index fast path (an index exists
+    /// and is enabled).
+    pub fn is_indexed(&self) -> bool {
+        self.indexed && !matches!(self.index, Index::Scan)
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.order.len()
     }
 
     /// Whether there are no elements.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.order.is_empty()
     }
 
     /// Free entries.
     pub fn free_entries(&self) -> usize {
-        self.capacity - self.entries.len()
+        self.capacity - self.order.len()
+    }
+
+    fn stored(&self, slot: u32) -> &StoredEntry {
+        self.slots[slot as usize].as_ref().expect("live slot")
+    }
+
+    /// Drop the index permanently: the ordered scan remains authoritative.
+    fn degrade(&mut self) {
+        self.index = Index::Scan;
+    }
+
+    /// Exact-index key of a conforming entry, or `None` if the entry does
+    /// not consist purely of `Exact` match values.
+    fn exact_key_of(entry: &TableEntry) -> Option<Box<[u64]>> {
+        entry
+            .matches
+            .iter()
+            .map(|m| match *m {
+                MatchValue::Exact(v) => Some(v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Hook an already-stored entry into the index. Returns `false` if the
+    /// entry cannot be indexed (the caller degrades).
+    fn index_insert(&mut self, slot: u32) -> bool {
+        let stored = self.slots[slot as usize].as_ref().expect("live slot");
+        match &mut self.index {
+            Index::Scan => true,
+            Index::Exact(map) => {
+                let Some(key) = Self::exact_key_of(&stored.entry) else {
+                    return false;
+                };
+                let rank = stored.rank();
+                match map.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(slot);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        // Duplicate key tuple: keep the first-match winner.
+                        let cur = *o.get();
+                        if rank < self.slots[cur as usize].as_ref().expect("live slot").rank() {
+                            o.insert(slot);
+                        }
+                    }
+                }
+                true
+            }
+            Index::Lpm(lpm) => {
+                let MatchValue::Lpm { value, prefix_len, bits } = stored.entry.matches[0] else {
+                    return false;
+                };
+                if *lpm.bits.get_or_insert(bits) != bits {
+                    return false;
+                }
+                if *lpm.priority.get_or_insert(stored.entry.priority) != stored.entry.priority {
+                    return false;
+                }
+                let pos = match lpm
+                    .buckets
+                    .binary_search_by(|(len, _)| prefix_len.cmp(len))
+                {
+                    Ok(p) => p,
+                    Err(p) => {
+                        lpm.buckets.insert(p, (prefix_len, FxHashMap::default()));
+                        p
+                    }
+                };
+                // `seq` is monotonic, so among same-key duplicates the
+                // already-stored entry is the earlier one and keeps winning.
+                lpm.buckets[pos]
+                    .1
+                    .entry(lpm_bucket_key(value, prefix_len, bits))
+                    .or_insert(slot);
+                true
+            }
+        }
+    }
+
+    /// Unhook a just-removed entry from the index, promoting the next
+    /// first-match winner for its key if one exists.
+    fn index_remove(&mut self, slot: u32, entry: &TableEntry) {
+        match &self.index {
+            Index::Scan => {}
+            Index::Exact(map) => {
+                let Some(key) = Self::exact_key_of(entry) else {
+                    return;
+                };
+                if map.get(&key) != Some(&slot) {
+                    return;
+                }
+                // `order` is rank-sorted, so the first remaining entry with
+                // this key tuple is the new winner.
+                let next = self.order.iter().copied().find(|&s| {
+                    Self::exact_key_of(&self.stored(s).entry).as_deref() == Some(&key[..])
+                });
+                let Index::Exact(map) = &mut self.index else { unreachable!() };
+                match next {
+                    Some(s) => {
+                        map.insert(key, s);
+                    }
+                    None => {
+                        map.remove(&key);
+                    }
+                }
+            }
+            Index::Lpm(lpm) => {
+                let MatchValue::Lpm { value, prefix_len, bits } = entry.matches[0] else {
+                    return;
+                };
+                let key = lpm_bucket_key(value, prefix_len, bits);
+                let Some(pos) = lpm.buckets.iter().position(|(len, _)| *len == prefix_len) else {
+                    return;
+                };
+                if lpm.buckets[pos].1.get(&key) != Some(&slot) {
+                    return;
+                }
+                let next = self.order.iter().copied().find(|&s| {
+                    matches!(
+                        self.stored(s).entry.matches[0],
+                        MatchValue::Lpm { value: v, prefix_len: p, bits: b }
+                            if p == prefix_len && b == bits
+                                && lpm_bucket_key(v, p, b) == key
+                    )
+                });
+                let Index::Lpm(lpm) = &mut self.index else { unreachable!() };
+                match next {
+                    Some(s) => {
+                        lpm.buckets[pos].1.insert(key, s);
+                    }
+                    None => {
+                        lpm.buckets[pos].1.remove(&key);
+                        if lpm.buckets[pos].1.is_empty() {
+                            lpm.buckets.remove(pos);
+                        }
+                    }
+                }
+                if self.order.is_empty() {
+                    // An emptied table may be refilled with a different
+                    // width or priority; start afresh.
+                    let Index::Lpm(lpm) = &mut self.index else { unreachable!() };
+                    lpm.bits = None;
+                    lpm.priority = None;
+                }
+            }
+        }
     }
 
     /// Insert an entry atomically. `handle` must be globally unique (the
     /// switch's control plane allocates them).
     pub fn insert(&mut self, handle: EntryHandle, entry: TableEntry) -> SimResult<()> {
-        if self.entries.len() >= self.capacity {
+        if self.order.len() >= self.capacity {
             return Err(SimError::TableFull { table: self.name.clone(), capacity: self.capacity });
         }
         if entry.matches.len() != self.key.fields.len() {
@@ -214,69 +499,145 @@ impl Table {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.entries.push(StoredEntry { handle, seq, entry });
-        // Keep entries ordered so lookup is a linear first-match scan:
-        // priority desc, then LPM length desc, then insertion order asc.
-        self.entries.sort_by(|a, b| {
-            b.entry
-                .priority
-                .cmp(&a.entry.priority)
-                .then_with(|| {
-                    let la: u32 = a.entry.matches.iter().map(|m| u32::from(m.lpm_len())).sum();
-                    let lb: u32 = b.entry.matches.iter().map(|m| u32::from(m.lpm_len())).sum();
-                    lb.cmp(&la)
-                })
-                .then_with(|| a.seq.cmp(&b.seq))
-        });
+        let stored = StoredEntry { handle, seq, entry };
+        let rank = stored.rank();
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(stored);
+                s
+            }
+            None => {
+                self.slots.push(Some(stored));
+                u32::try_from(self.slots.len() - 1).expect("slot id fits u32")
+            }
+        };
+        // Binary-search insertion into the rank-sorted order: O(log n)
+        // compare + one shift, instead of re-sorting the whole table.
+        let pos = self
+            .order
+            .binary_search_by(|&s| self.slots[s as usize].as_ref().expect("live slot").rank().cmp(&rank))
+            .unwrap_err();
+        self.order.insert(pos, slot);
+        self.by_handle.insert(handle, slot);
+        if !self.index_insert(slot) {
+            self.degrade();
+        }
         Ok(())
     }
 
     /// Delete an entry atomically.
     pub fn delete(&mut self, handle: EntryHandle) -> SimResult<TableEntry> {
-        match self.entries.iter().position(|e| e.handle == handle) {
-            Some(pos) => Ok(self.entries.remove(pos).entry),
-            None => Err(SimError::NoSuchEntry(handle.0)),
-        }
+        let Some(slot) = self.by_handle.remove(&handle) else {
+            return Err(SimError::NoSuchEntry(handle.0));
+        };
+        let stored = self.slots[slot as usize].take().expect("live slot");
+        let pos = self
+            .order
+            .iter()
+            .position(|&s| s == slot)
+            .expect("slot in order");
+        self.order.remove(pos);
+        self.index_remove(slot, &stored.entry);
+        self.free_slots.push(slot);
+        Ok(stored.entry)
     }
 
     /// Contains.
     pub fn contains(&self, handle: EntryHandle) -> bool {
-        self.entries.iter().any(|e| e.handle == handle)
+        self.by_handle.contains_key(&handle)
+    }
+
+    /// The slot the indexed or scanned lookup selects, if any. Does not
+    /// touch the hit/miss counters.
+    fn find_slot(&self, phv: &Phv) -> Option<u32> {
+        if self.indexed {
+            match &self.index {
+                Index::Exact(map) => {
+                    if map.is_empty() {
+                        return None;
+                    }
+                    let n = self.key.fields.len();
+                    let mut probe = [0u64; MAX_EXACT_KEY_FIELDS];
+                    for (i, (field, _)) in self.key.fields.iter().enumerate() {
+                        probe[i] = phv.get(*field);
+                    }
+                    return map.get(&probe[..n]).copied();
+                }
+                Index::Lpm(lpm) => {
+                    let v = phv.get(self.key.fields[0].0);
+                    let bits = lpm.bits.unwrap_or(0);
+                    return lpm
+                        .buckets
+                        .iter()
+                        .find_map(|(len, map)| map.get(&lpm_bucket_key(v, *len, bits)).copied());
+                }
+                Index::Scan => {}
+            }
+        }
+        'entries: for &slot in &self.order {
+            let e = &self.stored(slot).entry;
+            for ((field, _kind), mv) in self.key.fields.iter().zip(&e.matches) {
+                if !mv.matches(phv.get(*field)) {
+                    continue 'entries;
+                }
+            }
+            return Some(slot);
+        }
+        None
+    }
+
+    /// Look up the PHV, returning plain indices into the table instead of
+    /// borrows — the allocation-free dispatch interface. Bumps hit/miss
+    /// counters exactly as [`Table::lookup`] does.
+    pub fn lookup_slot(&mut self, phv: &Phv) -> Option<SlotLookup> {
+        match self.find_slot(phv) {
+            Some(slot) => {
+                self.hits += 1;
+                Some(SlotLookup {
+                    action: self.stored(slot).entry.action,
+                    src: DataSrc::Entry(slot),
+                    hit: true,
+                })
+            }
+            None => {
+                self.misses += 1;
+                self.default_action
+                    .as_ref()
+                    .map(|(a, _)| SlotLookup { action: *a, src: DataSrc::Default, hit: false })
+            }
+        }
+    }
+
+    /// The action data a [`SlotLookup`] refers to.
+    pub fn data_of(&self, src: DataSrc) -> &[u64] {
+        match src {
+            DataSrc::Entry(slot) => &self.stored(slot).entry.data,
+            DataSrc::Default => self
+                .default_action
+                .as_ref()
+                .map(|(_, d)| d.as_slice())
+                .unwrap_or(&[]),
+        }
     }
 
     /// Look up the PHV against this table, returning the matched (or
     /// default) action. Also bumps hit/miss counters.
     pub fn lookup(&mut self, phv: &Phv) -> Option<LookupResult<'_>> {
-        let mut found: Option<usize> = None;
-        'entries: for (idx, stored) in self.entries.iter().enumerate() {
-            for ((field, _kind), mv) in self.key.fields.iter().zip(&stored.entry.matches) {
-                if !mv.matches(phv.get(*field)) {
-                    continue 'entries;
-                }
-            }
-            found = Some(idx);
-            break;
-        }
-        match found {
-            Some(idx) => {
-                self.hits += 1;
-                let e = &self.entries[idx].entry;
-                Some(LookupResult { action: &self.actions[e.action], data: &e.data, hit: true })
-            }
-            None => {
-                self.misses += 1;
-                self.default_action.as_ref().map(|(a, data)| LookupResult {
-                    action: &self.actions[*a],
-                    data,
-                    hit: false,
-                })
-            }
-        }
+        let r = self.lookup_slot(phv)?;
+        Some(LookupResult {
+            action: &self.actions[r.action],
+            data: self.data_of(r.src),
+            hit: r.hit,
+        })
     }
 
-    /// Iterate entries (for resource accounting and debugging).
+    /// Iterate entries in first-match precedence order (for resource
+    /// accounting and debugging).
     pub fn iter_entries(&self) -> impl Iterator<Item = (EntryHandle, &TableEntry)> {
-        self.entries.iter().map(|e| (e.handle, &e.entry))
+        self.order.iter().map(|&s| {
+            let e = self.stored(s);
+            (e.handle, &e.entry)
+        })
     }
 
     /// Total key width in bits, used for TCAM/SRAM block accounting.
@@ -307,6 +668,7 @@ mod tests {
         let (ft, a, b) = setup();
         let key = KeySpec::new(vec![(a, MatchKind::Exact), (b, MatchKind::Exact)]);
         let mut tbl = Table::new("t", key, noop_actions(1), 8);
+        assert!(tbl.is_indexed());
         tbl.insert(
             EntryHandle(1),
             TableEntry { matches: vec![MatchValue::Exact(5), MatchValue::Exact(7)], priority: 0, action: 0, data: vec![] },
@@ -327,6 +689,7 @@ mod tests {
         let (ft, a, _) = setup();
         let key = KeySpec::new(vec![(a, MatchKind::Ternary)]);
         let mut tbl = Table::new("t", key, noop_actions(2), 8);
+        assert!(!tbl.is_indexed());
         // Low-priority catch-all inserted first.
         tbl.insert(
             EntryHandle(1),
@@ -377,6 +740,7 @@ mod tests {
         let (ft, a, _) = setup();
         let key = KeySpec::new(vec![(a, MatchKind::Lpm)]);
         let mut tbl = Table::new("t", key, noop_actions(2), 8);
+        assert!(tbl.is_indexed());
         tbl.insert(
             EntryHandle(1),
             TableEntry {
@@ -499,5 +863,165 @@ mod tests {
             TableEntry { matches: vec![MatchValue::Exact(5)], priority: 0, action: 7, data: vec![] },
         );
         assert!(matches!(err, Err(SimError::NoSuchAction { .. })));
+    }
+
+    #[test]
+    fn exact_duplicate_key_first_match_semantics() {
+        // Two entries with the same key tuple: higher priority wins; among
+        // equal priorities the earlier insertion wins — with and without
+        // the index.
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Exact)]);
+        let mut tbl = Table::new("t", key, noop_actions(3), 8);
+        tbl.insert(
+            EntryHandle(1),
+            TableEntry { matches: vec![MatchValue::Exact(5)], priority: 0, action: 0, data: vec![] },
+        )
+        .unwrap();
+        tbl.insert(
+            EntryHandle(2),
+            TableEntry { matches: vec![MatchValue::Exact(5)], priority: 0, action: 1, data: vec![] },
+        )
+        .unwrap();
+        tbl.insert(
+            EntryHandle(3),
+            TableEntry { matches: vec![MatchValue::Exact(5)], priority: 9, action: 2, data: vec![] },
+        )
+        .unwrap();
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 5);
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act2");
+        // Deleting the winner promotes the next in precedence order.
+        tbl.delete(EntryHandle(3)).unwrap();
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act0");
+        tbl.delete(EntryHandle(1)).unwrap();
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act1");
+        // Scan mode agrees at every step.
+        tbl.set_indexed(false);
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act1");
+    }
+
+    #[test]
+    fn lpm_winner_promoted_on_delete() {
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Lpm)]);
+        let mut tbl = Table::new("t", key, noop_actions(2), 8);
+        let lpm16 = MatchValue::Lpm { value: 0x0a010000, prefix_len: 16, bits: 32 };
+        tbl.insert(
+            EntryHandle(1),
+            TableEntry { matches: vec![lpm16], priority: 0, action: 0, data: vec![] },
+        )
+        .unwrap();
+        tbl.insert(
+            EntryHandle(2),
+            TableEntry { matches: vec![lpm16], priority: 0, action: 1, data: vec![] },
+        )
+        .unwrap();
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 0x0a010203);
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act0");
+        tbl.delete(EntryHandle(1)).unwrap();
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act1");
+        tbl.delete(EntryHandle(2)).unwrap();
+        assert!(tbl.lookup(&phv).is_none());
+    }
+
+    #[test]
+    fn mixed_priority_lpm_degrades_to_scan() {
+        // Priority outranks prefix length in first-match order, so a
+        // mixed-priority LPM table cannot probe longest-first: it must
+        // degrade — and still answer correctly via the scan.
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Lpm)]);
+        let mut tbl = Table::new("t", key, noop_actions(2), 8);
+        tbl.insert(
+            EntryHandle(1),
+            TableEntry {
+                matches: vec![MatchValue::Lpm { value: 0x0a000000, prefix_len: 8, bits: 32 }],
+                priority: 10,
+                action: 0,
+                data: vec![],
+            },
+        )
+        .unwrap();
+        tbl.insert(
+            EntryHandle(2),
+            TableEntry {
+                matches: vec![MatchValue::Lpm { value: 0x0a010000, prefix_len: 16, bits: 32 }],
+                priority: 0,
+                action: 1,
+                data: vec![],
+            },
+        )
+        .unwrap();
+        assert!(!tbl.is_indexed());
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 0x0a010203);
+        // Priority 10 /8 beats priority 0 /16.
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act0");
+    }
+
+    #[test]
+    fn nonconforming_entry_degrades_exact_index() {
+        // A ternary match value slipped into an exact-key table: the index
+        // cannot represent it, so the table degrades and the scan answers.
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Exact)]);
+        let mut tbl = Table::new("t", key, noop_actions(2), 8);
+        tbl.insert(
+            EntryHandle(1),
+            TableEntry { matches: vec![MatchValue::Exact(5)], priority: 0, action: 0, data: vec![] },
+        )
+        .unwrap();
+        tbl.insert(
+            EntryHandle(2),
+            TableEntry {
+                matches: vec![MatchValue::Ternary { value: 0, mask: 0 }],
+                priority: -1,
+                action: 1,
+                data: vec![],
+            },
+        )
+        .unwrap();
+        assert!(!tbl.is_indexed());
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 5);
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act0");
+        phv.set(&ft, a, 6);
+        assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act1");
+    }
+
+    #[test]
+    fn scan_and_index_agree_after_churn() {
+        let (ft, a, b) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Exact), (b, MatchKind::Exact)]);
+        let mut tbl = Table::new("t", key, noop_actions(1), 64);
+        for i in 0..32u64 {
+            tbl.insert(
+                EntryHandle(i),
+                TableEntry {
+                    matches: vec![MatchValue::Exact(i % 8), MatchValue::Exact(i / 8)],
+                    priority: (i % 3) as i32,
+                    action: 0,
+                    data: vec![i],
+                },
+            )
+            .unwrap();
+        }
+        for i in (0..32u64).step_by(3) {
+            tbl.delete(EntryHandle(i)).unwrap();
+        }
+        let mut phv = Phv::new(&ft);
+        for va in 0..8u64 {
+            for vb in 0..4u64 {
+                phv.set(&ft, a, va);
+                phv.set(&ft, b, vb);
+                let indexed = tbl.lookup(&phv).map(|r| r.data.to_vec());
+                tbl.set_indexed(false);
+                let scanned = tbl.lookup(&phv).map(|r| r.data.to_vec());
+                tbl.set_indexed(true);
+                assert_eq!(indexed, scanned, "probe ({va},{vb})");
+            }
+        }
     }
 }

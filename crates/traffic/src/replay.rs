@@ -79,6 +79,9 @@ pub struct Replay {
     /// controller's epoch here after each control action, and every bucket
     /// is tagged with the epoch its first packet saw.
     pub epoch: u64,
+    /// Scratch outcome reused across the injection loop so the switch's
+    /// `process_frame_into` path never allocates a fresh outcome per packet.
+    scratch: ProcessOutcome,
 }
 
 impl Replay {
@@ -99,6 +102,7 @@ impl Replay {
             port_tx_bytes: std::collections::HashMap::new(),
             reported_flows: HashSet::new(),
             epoch: 0,
+            scratch: ProcessOutcome::empty(),
         }
     }
 
@@ -119,13 +123,26 @@ impl Replay {
         until: Nanos,
         mut inject: impl FnMut(u16, &[u8]) -> ProcessOutcome,
     ) -> usize {
+        self.run_until_into(until, |port, frame, out| *out = inject(port, frame))
+    }
+
+    /// Allocation-free variant of [`Replay::run_until`]: `inject` fills a
+    /// replay-owned scratch outcome in place (pair it with
+    /// `Switch::process_frame_into` / `Controller::inject_into`), so the
+    /// steady-state injection loop reuses one outcome's buffers throughout.
+    pub fn run_until_into(
+        &mut self,
+        until: Nanos,
+        mut inject: impl FnMut(u16, &[u8], &mut ProcessOutcome),
+    ) -> usize {
         let mut n = 0;
         while self.idx < self.packets.len() && self.packets[self.idx].t < until {
             while self.packets[self.idx].t >= self.bucket_end {
                 self.rotate_bucket();
             }
             let pkt = &self.packets[self.idx];
-            let out = inject(pkt.port, &pkt.frame);
+            inject(pkt.port, &pkt.frame, &mut self.scratch);
+            let out = &self.scratch;
             if self.current.offered_pkts == 0 {
                 self.current.epoch = self.epoch;
             }
@@ -154,9 +171,14 @@ impl Replay {
     }
 
     /// Run the whole trace.
-    pub fn run_all(&mut self, inject: impl FnMut(u16, &[u8]) -> ProcessOutcome) {
+    pub fn run_all(&mut self, mut inject: impl FnMut(u16, &[u8]) -> ProcessOutcome) {
+        self.run_all_into(|port, frame, out| *out = inject(port, frame));
+    }
+
+    /// Allocation-free variant of [`Replay::run_all`].
+    pub fn run_all_into(&mut self, inject: impl FnMut(u16, &[u8], &mut ProcessOutcome)) {
         let end = self.packets.last().map(|p| p.t + Nanos(1)).unwrap_or(Nanos::ZERO);
-        self.run_until(end, inject);
+        self.run_until_into(end, inject);
         self.finish();
     }
 

@@ -1,0 +1,333 @@
+//! Property tests: the indexed table lookup is observationally equivalent
+//! to a reference linear scan.
+//!
+//! The table's ordered scan is the semantic definition of first-match
+//! precedence (priority desc → LPM prefix-length sum desc → insertion
+//! order asc); the exact-key hash index and the per-prefix-length LPM
+//! buckets are pure accelerations of it. These properties rebuild that
+//! definition *independently* — a naive filter-then-minimize over a shadow
+//! entry list — and check the real table against it for random key specs,
+//! entries, priorities, churn, and probes, in both indexed and forced-scan
+//! modes.
+
+use proptest::prelude::*;
+use rmt_sim::action::ActionDef;
+use rmt_sim::phv::{FieldId, FieldTable, Phv};
+use rmt_sim::table::{EntryHandle, KeySpec, MatchKind, MatchValue, Table, TableEntry};
+
+const KINDS: [MatchKind; 4] =
+    [MatchKind::Exact, MatchKind::Ternary, MatchKind::Lpm, MatchKind::Range];
+const WIDTHS: [u8; 3] = [32, 16, 8];
+
+/// The shadow copy of one live entry.
+#[derive(Debug, Clone)]
+struct RefEntry {
+    matches: Vec<MatchValue>,
+    priority: i32,
+    seq: u64,
+    action: usize,
+    data: Vec<u64>,
+}
+
+/// The reference model: a plain list in insertion order plus the
+/// first-match rule written out directly.
+#[derive(Debug, Default)]
+struct RefTable {
+    entries: Vec<(u64, RefEntry)>, // (handle, entry)
+    default_action: Option<(usize, Vec<u64>)>,
+    next_seq: u64,
+}
+
+impl RefTable {
+    fn insert(&mut self, handle: u64, e: &TableEntry) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((
+            handle,
+            RefEntry {
+                matches: e.matches.clone(),
+                priority: e.priority,
+                seq,
+                action: e.action,
+                data: e.data.clone(),
+            },
+        ));
+    }
+
+    fn delete(&mut self, handle: u64) -> bool {
+        match self.entries.iter().position(|(h, _)| *h == handle) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// First match by the paper-facing precedence rule, computed the slow
+    /// obvious way: filter all matching entries, then minimize the rank.
+    fn lookup(&self, fields: &[FieldId], phv: &Phv) -> Option<(usize, Vec<u64>, bool)> {
+        let lpm_sum = |e: &RefEntry| -> i64 {
+            e.matches
+                .iter()
+                .map(|m| match *m {
+                    MatchValue::Lpm { prefix_len, .. } => i64::from(prefix_len),
+                    _ => 0,
+                })
+                .sum()
+        };
+        self.entries
+            .iter()
+            .filter(|(_, e)| {
+                fields.iter().zip(&e.matches).all(|(f, m)| m.matches(phv.get(*f)))
+            })
+            .min_by_key(|(_, e)| (-i64::from(e.priority), -lpm_sum(e), e.seq))
+            .map(|(_, e)| (e.action, e.data.clone(), true))
+            .or_else(|| self.default_action.clone().map(|(a, d)| (a, d, false)))
+    }
+}
+
+/// Raw generated material for one entry: interpreted per key field kind.
+type RawEntry = (u64, u64, u8, u8, u8, u64);
+
+struct Scenario {
+    ft: FieldTable,
+    fields: Vec<(FieldId, MatchKind)>,
+    tbl: Table,
+    reference: RefTable,
+}
+
+fn noop_actions(n: usize) -> Vec<ActionDef> {
+    (0..n).map(|i| ActionDef::noop(format!("act{i}"))).collect()
+}
+
+fn field_width(ft: &FieldTable, f: FieldId) -> u8 {
+    ft.spec(f).bits
+}
+
+fn mask_of(bits: u8) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Build a key spec over up to three registered fields from generator soup.
+fn build_scenario(spec_seed: &[(u8, u8)], with_default: bool) -> Scenario {
+    let mut ft = FieldTable::new();
+    let regs = [
+        ft.register("meta.k0", WIDTHS[0]).unwrap(),
+        ft.register("meta.k1", WIDTHS[1]).unwrap(),
+        ft.register("meta.k2", WIDTHS[2]).unwrap(),
+    ];
+    // Distinct fields per key, in seed order.
+    let mut fields: Vec<(FieldId, MatchKind)> = Vec::new();
+    for &(f, k) in spec_seed {
+        let field = regs[f as usize % regs.len()];
+        if fields.iter().any(|(existing, _)| *existing == field) {
+            continue;
+        }
+        fields.push((field, KINDS[k as usize % KINDS.len()]));
+    }
+    if fields.is_empty() {
+        fields.push((regs[0], MatchKind::Exact));
+    }
+    let mut tbl = Table::new("prop", KeySpec::new(fields.clone()), noop_actions(4), 4096);
+    let mut reference = RefTable::default();
+    if with_default {
+        tbl.set_default_action(3, vec![0xdef]);
+        reference.default_action = Some((3, vec![0xdef]));
+    }
+    Scenario { ft, fields, tbl, reference }
+}
+
+/// Interpret one raw entry against the key spec, producing a conforming
+/// match value per field. `pri_mod` squeezes priorities into a small range
+/// so ties and collisions are common; `pri_mod == 1` keeps every priority
+/// at 0, which is what lets the single-field LPM index stay live.
+fn make_entry(
+    sc: &Scenario,
+    raw: RawEntry,
+    pri_mod: u8,
+    narrow_values: bool,
+) -> TableEntry {
+    let (v, aux, prefix, pri, action, data) = raw;
+    let matches = sc
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, (f, kind))| {
+            let bits = field_width(&sc.ft, *f);
+            let m = mask_of(bits);
+            // Rotate the raw words per field so multi-field keys don't
+            // repeat the same value in every position.
+            let v = v.rotate_left(i as u32 * 13) & m;
+            let v = if narrow_values { v % 5 } else { v };
+            let aux = aux.rotate_left(i as u32 * 7) & m;
+            match kind {
+                MatchKind::Exact => MatchValue::Exact(v),
+                MatchKind::Ternary => MatchValue::Ternary { value: v, mask: aux },
+                MatchKind::Lpm => {
+                    MatchValue::Lpm { value: v, prefix_len: prefix % (bits + 1), bits }
+                }
+                MatchKind::Range => {
+                    let (lo, hi) = if v <= aux { (v, aux) } else { (aux, v) };
+                    MatchValue::Range { lo, hi }
+                }
+            }
+        })
+        .collect();
+    TableEntry {
+        matches,
+        priority: i32::from(pri % pri_mod.max(1)),
+        action: usize::from(action % 3),
+        data: vec![data],
+    }
+}
+
+/// A probe PHV: either random or derived from a stored entry's own match
+/// values (with a small perturbation) so hits are common.
+fn probe_phv(sc: &Scenario, raw: (u64, u8, u8), entries: &[(u64, TableEntry)]) -> Phv {
+    let (rand_v, pick, tweak) = raw;
+    let mut phv = Phv::new(&sc.ft);
+    for (i, (f, _)) in sc.fields.iter().enumerate() {
+        let bits = field_width(&sc.ft, *f);
+        let base = if !entries.is_empty() && usize::from(pick) % 4 != 0 {
+            let (_, e) = &entries[usize::from(pick) % entries.len()];
+            match e.matches[i] {
+                MatchValue::Exact(v) => v,
+                MatchValue::Ternary { value, .. } => value,
+                MatchValue::Lpm { value, .. } => value,
+                MatchValue::Range { lo, .. } => lo,
+            }
+        } else {
+            rand_v.rotate_left(i as u32 * 13)
+        };
+        phv.set(&sc.ft, *f, (base ^ u64::from(tweak % 4)) & mask_of(bits));
+    }
+    phv
+}
+
+/// Run the generated scenario and check indexed lookup, forced-scan lookup,
+/// and the reference model all agree on every probe.
+fn check_equivalence(
+    spec_seed: &[(u8, u8)],
+    raw_entries: &[RawEntry],
+    deletes: &[u8],
+    probes: &[(u64, u8, u8)],
+    pri_mod: u8,
+    narrow_values: bool,
+    with_default: bool,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut sc = build_scenario(spec_seed, with_default);
+    let mut live: Vec<(u64, TableEntry)> = Vec::new();
+    for (h, raw) in raw_entries.iter().enumerate() {
+        let handle = h as u64;
+        let entry = make_entry(&sc, *raw, pri_mod, narrow_values);
+        sc.tbl.insert(EntryHandle(handle), entry.clone()).unwrap();
+        sc.reference.insert(handle, &entry);
+        live.push((handle, entry));
+    }
+    for &d in deletes {
+        if live.is_empty() {
+            break;
+        }
+        let handle = live[usize::from(d) % live.len()].0;
+        sc.tbl.delete(EntryHandle(handle)).unwrap();
+        assert!(sc.reference.delete(handle));
+        live.retain(|(h, _)| *h != handle);
+    }
+    prop_assert_eq!(sc.tbl.len(), live.len());
+
+    let field_ids: Vec<FieldId> = sc.fields.iter().map(|(f, _)| *f).collect();
+    for raw_probe in probes {
+        let phv = probe_phv(&sc, *raw_probe, &live);
+        // Compare on (action name, data, hit): the reference stores the
+        // action index, the table hands back the ActionDef borrow.
+        let expected = sc
+            .reference
+            .lookup(&field_ids, &phv)
+            .map(|(a, d, h)| (format!("act{a}"), d, h));
+        let indexed =
+            sc.tbl.lookup(&phv).map(|r| (r.action.name.clone(), r.data.to_vec(), r.hit));
+        sc.tbl.set_indexed(false);
+        let scanned =
+            sc.tbl.lookup(&phv).map(|r| (r.action.name.clone(), r.data.to_vec(), r.hit));
+        sc.tbl.set_indexed(true);
+        prop_assert_eq!(&indexed, &expected, "indexed vs reference");
+        prop_assert_eq!(&scanned, &expected, "scan vs reference");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mixed key kinds, duplicate-heavy values, interleaved deletes: the
+    /// indexed lookup (whatever path the table chose — exact index, LPM
+    /// buckets, degraded scan) agrees with the reference at every probe.
+    #[test]
+    fn indexed_lookup_matches_reference_scan(
+        spec_seed in prop::collection::vec((any::<u8>(), any::<u8>()), 1..4),
+        raw_entries in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()),
+            0..24,
+        ),
+        deletes in prop::collection::vec(any::<u8>(), 0..12),
+        probes in prop::collection::vec((any::<u64>(), any::<u8>(), any::<u8>()), 1..16),
+        pri_mod in 1u8..4,
+        narrow in any::<bool>(),
+        with_default in any::<bool>(),
+    ) {
+        check_equivalence(&spec_seed, &raw_entries, &deletes, &probes, pri_mod, narrow, with_default)?;
+    }
+
+    /// All-exact keys with values squeezed into a tiny domain: duplicate
+    /// key tuples are the common case, so winner selection and
+    /// delete-promotion inside the hash index get exercised hard.
+    #[test]
+    fn exact_index_survives_duplicate_churn(
+        nfields in 1u8..4,
+        raw_entries in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()),
+            0..32,
+        ),
+        deletes in prop::collection::vec(any::<u8>(), 0..24),
+        probes in prop::collection::vec((any::<u64>(), any::<u8>(), any::<u8>()), 1..16),
+        pri_mod in 1u8..4,
+    ) {
+        let spec_seed: Vec<(u8, u8)> = (0..nfields).map(|i| (i, 0)).collect();
+        check_equivalence(&spec_seed, &raw_entries, &deletes, &probes, pri_mod, true, false)?;
+    }
+
+    /// Single-field LPM with uniform priority — the shape the per-prefix
+    /// bucket index serves — including prefix-length ties, bucket-emptying
+    /// deletes, and /0 catch-alls.
+    #[test]
+    fn lpm_index_longest_prefix_equivalence(
+        raw_entries in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()),
+            0..24,
+        ),
+        deletes in prop::collection::vec(any::<u8>(), 0..16),
+        probes in prop::collection::vec((any::<u64>(), any::<u8>(), any::<u8>()), 1..16),
+    ) {
+        // spec_seed (0, 2): field 0, KINDS[2] = Lpm; pri_mod 1 keeps the
+        // priorities uniform so the table keeps its LPM index.
+        check_equivalence(&[(0, 2)], &raw_entries, &deletes, &probes, 1, false, false)?;
+    }
+
+    /// Mixed-priority LPM degrades to the scan; the result must *still*
+    /// track the reference (priority outranks prefix length).
+    #[test]
+    fn mixed_priority_lpm_stays_equivalent(
+        raw_entries in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()),
+            2..24,
+        ),
+        probes in prop::collection::vec((any::<u64>(), any::<u8>(), any::<u8>()), 1..16),
+    ) {
+        check_equivalence(&[(0, 2)], &raw_entries, &[], &probes, 3, false, true)?;
+    }
+}
