@@ -17,6 +17,7 @@
 
 use bench::fixtures::{cache_controller, exact_fixture, ternary_fixture};
 use rmt_sim::switch::ProcessOutcome;
+use rmt_sim::trace::TraceConfig;
 use serde::{json, Value};
 use std::hint::black_box;
 use std::time::Instant;
@@ -91,6 +92,23 @@ fn main() {
         ctl.inject_into(0, black_box(&hit), &mut out).unwrap();
     });
 
+    println!("measuring flight-recorder overhead ...");
+    // The `cache_hit` figure above doubles as the tracing-disabled
+    // measurement: with no ring attached, tracing is a `None` branch on
+    // the same code path. Enable the recorder and re-measure the identical
+    // workload; the ring wraps during the window (wraparound is
+    // allocation-free) and post-mortem dumps are disabled so the hot loop
+    // never touches the filesystem.
+    ctl.enable_trace(TraceConfig {
+        capacity: 1 << 16,
+        postmortem_dir: None,
+        ..TraceConfig::default()
+    });
+    let traced_hit = time_ns(|| {
+        ctl.inject(0, black_box(&hit)).unwrap();
+    });
+    ctl.disable_trace();
+
     println!("measuring table/lookup scaling ...");
     let mut lookups = Vec::new();
     for &n in &[16usize, 256, 4096] {
@@ -133,6 +151,14 @@ fn main() {
                 ("cache_miss", before_after(BEFORE_CACHE_MISS_NS, cache_miss)),
                 ("no_program", before_after(BEFORE_NO_PROGRAM_NS, no_program)),
                 ("reused_outcome_ns", Value::F64(round1(reused))),
+                (
+                    "tracing",
+                    obj(vec![
+                        ("disabled_cache_hit_ns", Value::F64(round1(cache_hit))),
+                        ("enabled_cache_hit_ns", Value::F64(round1(traced_hit))),
+                        ("overhead_ratio", Value::F64(round1(traced_hit / cache_hit))),
+                    ]),
+                ),
                 (
                     "seed_baseline_cache_hit_ns",
                     Value::F64(SEED_BASELINE_CACHE_HIT_NS),

@@ -16,6 +16,13 @@
 //! status --json                the same report as one JSON document
 //! mem <program> <memory>       dump a program's virtual memory (non-zero)
 //! memwrite <prog> <mem> <addr> <value>
+//! trace on [capacity]          enable the flight recorder
+//! trace off                    disable it, reporting final stats
+//! trace status                 ring statistics (capacity/recorded/dropped)
+//! trace dump [last <n>] [control|packets|table <gress> <stage> <table>
+//!                             |flow <a.b.c.d> [port]]
+//! trace journeys               per-packet journey reconstruction
+//! trace export [path]          Chrome trace-event JSON (Perfetto-viewable)
 //! help                         this text
 //! ```
 //!
@@ -23,6 +30,8 @@
 //! usable from a REPL binary, tests, or scripts.
 
 use crate::controller::{Controller, CtlResult};
+use rmt_sim::pipeline::Gress;
+use rmt_sim::trace::{chrome_trace_json, filter_events, journeys, TraceConfig, TraceFilter};
 
 /// The command interpreter.
 pub struct Cli {
@@ -58,6 +67,7 @@ impl Cli {
             }),
             "mem" => self.mem(rest),
             "memwrite" => self.memwrite(rest),
+            "trace" => Ok(self.trace_cmd(rest)),
             other => Ok(format!("unknown command `{other}` — try `help`")),
         };
         result.unwrap_or_else(|e| format!("error: {e}"))
@@ -150,6 +160,104 @@ impl Cli {
         ))
     }
 
+    fn trace_cmd(&mut self, rest: &str) -> String {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.first().copied() {
+            None | Some("status") => {
+                let s = self.ctl.trace_stats();
+                if s.enabled {
+                    format!(
+                        "tracing on: {} recorded, {} dropped, {} retained \
+                         (capacity {}), {} violation(s)",
+                        s.recorded, s.dropped, s.retained, s.capacity, s.violations
+                    )
+                } else {
+                    "tracing off".to_string()
+                }
+            }
+            Some("on") => {
+                let mut cfg = TraceConfig::default();
+                if let Some(cap) = parts.get(1) {
+                    match cap.parse::<usize>() {
+                        Ok(c) if c > 0 => cfg.capacity = c,
+                        _ => return format!("bad capacity `{cap}`"),
+                    }
+                }
+                let t = self.ctl.enable_trace(cfg);
+                format!("tracing on (capacity {})", t.capacity())
+            }
+            Some("off") => match self.ctl.disable_trace() {
+                Some(t) => {
+                    let s = t.stats();
+                    format!(
+                        "tracing off: {} recorded, {} dropped, {} violation(s)",
+                        s.recorded, s.dropped, s.violations
+                    )
+                }
+                None => "tracing was already off".to_string(),
+            },
+            Some("dump") => self.trace_dump(&parts[1..]),
+            Some("journeys") => match self.ctl.trace() {
+                None => "tracing off".to_string(),
+                Some(t) => {
+                    let js = journeys(t.events());
+                    if js.is_empty() {
+                        "no packet journeys retained".to_string()
+                    } else {
+                        js.iter().map(|j| j.render()).collect::<Vec<_>>().join("\n")
+                    }
+                }
+            },
+            Some("export") => {
+                let path = parts.get(1).copied().unwrap_or("results/trace.json");
+                let Some(t) = self.ctl.trace() else {
+                    return "tracing off".to_string();
+                };
+                let json = chrome_trace_json(t.events());
+                let n = t.len();
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                }
+                match std::fs::write(path, json) {
+                    Ok(()) => format!("wrote {n} event(s) to {path}"),
+                    Err(e) => format!("error writing {path}: {e}"),
+                }
+            }
+            Some(other) => format!("unknown trace subcommand `{other}` — try `help`"),
+        }
+    }
+
+    fn trace_dump(&self, args: &[&str]) -> String {
+        let Some(t) = self.ctl.trace() else {
+            return "tracing off".to_string();
+        };
+        let mut args = args;
+        let mut last = None;
+        if args.first() == Some(&"last") {
+            last = args.get(1).and_then(|n| n.parse::<usize>().ok());
+            if last.is_none() {
+                return "usage: trace dump [last <n>] [<filter>]".to_string();
+            }
+            args = &args[2..];
+        }
+        let filter = match parse_filter(args) {
+            Ok(f) => f,
+            Err(usage) => return usage,
+        };
+        let mut evs = filter_events(t.events(), filter);
+        if let Some(n) = last {
+            let skip = evs.len().saturating_sub(n);
+            evs.drain(..skip);
+        }
+        if evs.is_empty() {
+            "no matching events".to_string()
+        } else {
+            evs.iter().map(|e| e.render()).collect::<Vec<_>>().join("\n")
+        }
+    }
+
     fn memwrite(&mut self, rest: &str) -> CtlResult<String> {
         let parts: Vec<&str> = rest.split_whitespace().collect();
         if parts.len() != 4 {
@@ -162,7 +270,60 @@ impl Cli {
     }
 }
 
-const HELP: &str = "commands: deploy <src> | revoke <name> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | help";
+/// Parse a `trace dump` filter: nothing (all), `control`, `packets`,
+/// `table <gress> <stage> <table>`, or `flow <a.b.c.d> [port]`.
+fn parse_filter(args: &[&str]) -> Result<TraceFilter, String> {
+    const USAGE: &str =
+        "filters: control | packets | table <gress> <stage> <table> | flow <a.b.c.d> [port]";
+    match args.first().copied() {
+        None => Ok(TraceFilter::All),
+        Some("control") => Ok(TraceFilter::Control),
+        Some("packets") => Ok(TraceFilter::Packets),
+        Some("table") => {
+            let gress = match args.get(1).copied() {
+                Some("ingress") => Gress::Ingress,
+                Some("egress") => Gress::Egress,
+                _ => return Err(USAGE.to_string()),
+            };
+            let (Some(stage), Some(table)) = (
+                args.get(2).and_then(|s| s.parse::<u16>().ok()),
+                args.get(3).and_then(|s| s.parse::<u16>().ok()),
+            ) else {
+                return Err(USAGE.to_string());
+            };
+            Ok(TraceFilter::Table { gress, stage, table })
+        }
+        Some("flow") => {
+            let Some(addr) = args.get(1).and_then(|s| parse_ipv4(s)) else {
+                return Err(USAGE.to_string());
+            };
+            let port = match args.get(2) {
+                None => None,
+                Some(p) => match p.parse::<u16>() {
+                    Ok(p) => Some(p),
+                    Err(_) => return Err(USAGE.to_string()),
+                },
+            };
+            Ok(TraceFilter::Flow { addr, port })
+        }
+        Some(_) => Err(USAGE.to_string()),
+    }
+}
+
+/// Parse dotted-quad IPv4 into the big-endian u32 the trace events carry.
+fn parse_ipv4(s: &str) -> Option<u32> {
+    let mut octets = [0u8; 4];
+    let mut it = s.split('.');
+    for o in &mut octets {
+        *o = it.next()?.parse().ok()?;
+    }
+    if it.next().is_some() {
+        return None;
+    }
+    Some(u32::from_be_bytes(octets))
+}
+
+const HELP: &str = "commands: deploy <src> | revoke <name> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | help";
 
 #[cfg(test)]
 mod tests {
@@ -234,6 +395,62 @@ mod tests {
         assert_eq!(report.spans.len(), 1);
         assert_eq!(report.spans[0].kind, "deploy");
         assert!(report.spans[0].entries_written > 0);
+    }
+
+    #[test]
+    fn trace_lifecycle_and_dump() {
+        let mut cli = cli();
+        assert_eq!(cli.exec("trace"), "tracing off");
+        let out = cli.exec("trace on 1024");
+        assert!(out.contains("capacity 1024"), "{out}");
+        cli.exec(&format!("deploy {SRC}"));
+        let out = cli.exec("trace status");
+        assert!(out.contains("tracing on"), "{out}");
+        assert!(out.contains("0 violation(s)"), "{out}");
+        let out = cli.exec("trace dump control");
+        assert!(out.contains("ctl epoch → 1"), "{out}");
+        assert!(out.contains("begin ("), "{out}");
+        assert!(out.contains("ctl insert"), "{out}");
+        assert!(out.contains("ctl deploy prog"), "{out}");
+        // No packets injected yet → packet filter comes back empty.
+        assert_eq!(cli.exec("trace dump packets"), "no matching events");
+        let out = cli.exec("trace dump last 1 control");
+        assert_eq!(out.lines().count(), 1, "{out}");
+        // `status --json` carries the same stats the subcommand shows.
+        let report =
+            crate::telemetry::TelemetryReport::from_json(&cli.exec("status --json")).unwrap();
+        assert!(report.trace.enabled);
+        assert!(report.trace.recorded > 0);
+        let out = cli.exec("trace off");
+        assert!(out.contains("tracing off:"), "{out}");
+        assert_eq!(cli.exec("trace"), "tracing off");
+        assert_eq!(cli.exec("trace dump"), "tracing off");
+    }
+
+    #[test]
+    fn trace_dump_rejects_bad_filters() {
+        let mut cli = cli();
+        cli.exec("trace on 64");
+        assert!(cli.exec("trace dump table sideways 0 0").starts_with("filters:"));
+        assert!(cli.exec("trace dump flow not-an-ip").starts_with("filters:"));
+        assert!(cli.exec("trace bogus").contains("unknown trace subcommand"));
+        assert!(cli.exec("trace on zero").starts_with("bad capacity"));
+    }
+
+    #[test]
+    fn trace_export_writes_chrome_json() {
+        let dir = std::env::temp_dir().join(format!("p4rp-cli-trace-{}", std::process::id()));
+        let path = dir.join("trace.json");
+        let mut cli = cli();
+        cli.exec("trace on 4096");
+        cli.exec(&format!("deploy {SRC}"));
+        let out = cli.exec(&format!("trace export {}", path.display()));
+        assert!(out.starts_with("wrote"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = serde::json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert!(!events.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

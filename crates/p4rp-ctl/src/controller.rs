@@ -23,6 +23,7 @@ use rmt_sim::clock::Nanos;
 use rmt_sim::control::{ControlChannel, LatencyModel};
 use rmt_sim::error::SimError;
 use rmt_sim::switch::{ControlOp, OpResult, ProcessOutcome, Switch, SwitchConfig, TableRef};
+use rmt_sim::trace::{LifecycleKind, TraceBuffer, TraceConfig, TraceStats};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -221,6 +222,37 @@ impl Controller {
         self.epoch
     }
 
+    /// Turn on the flight recorder, synchronized to the controller's
+    /// current epoch and the control channel's simulated clock.
+    pub fn enable_trace(&mut self, cfg: TraceConfig) -> &mut TraceBuffer {
+        let epoch = self.epoch;
+        let now = self.channel.clock.now();
+        let t = self.switch.enable_trace(cfg);
+        t.set_epoch(epoch);
+        t.set_now(now);
+        t
+    }
+
+    /// Turn the flight recorder off, returning the final ring.
+    pub fn disable_trace(&mut self) -> Option<Box<TraceBuffer>> {
+        self.switch.disable_trace()
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.switch.trace()
+    }
+
+    /// Mutable access to the flight recorder, if enabled.
+    pub fn trace_mut(&mut self) -> Option<&mut TraceBuffer> {
+        self.switch.trace_mut()
+    }
+
+    /// Flight-recorder stats (the disabled sentinel when tracing is off).
+    pub fn trace_stats(&self) -> TraceStats {
+        self.switch.trace_stats()
+    }
+
     /// Every lifecycle span recorded so far, oldest first.
     pub fn lifecycle_spans(&self) -> &[LifecycleSpan] {
         &self.spans
@@ -236,6 +268,7 @@ impl Controller {
             resources: ResourceGauges::collect(&self.resman),
             control_write_latency: self.channel.write_latency.clone(),
             dataplane: self.switch.telemetry().cloned(),
+            trace: self.switch.trace_stats(),
         }
     }
 
@@ -246,6 +279,14 @@ impl Controller {
         let epoch = self.epoch;
         if let Some(rec) = self.switch.telemetry_mut() {
             rec.epoch = epoch;
+        }
+        // The bump lands in the trace *outside* any batch (the install /
+        // remove batches follow it), which is exactly what the
+        // epoch-splits-batch invariant demands.
+        let now = self.channel.clock.now();
+        if let Some(t) = self.switch.trace_mut() {
+            t.set_now(now);
+            t.note_epoch(epoch);
         }
         epoch
     }
@@ -385,6 +426,12 @@ impl Controller {
                 }
             }
 
+            let now = self.channel.clock.now();
+            if let Some(t) = self.switch.trace_mut() {
+                t.set_now(now);
+                t.lifecycle(LifecycleKind::Deploy, prog_id, epoch, update_delay);
+            }
+
             self.spans.push(LifecycleSpan {
                 seq: self.spans.len() as u64,
                 kind: "deploy".into(),
@@ -468,6 +515,11 @@ impl Controller {
             .iter()
             .map(|r| u64::from(r.size))
             .sum();
+        let now = self.channel.clock.now();
+        if let Some(t) = self.switch.trace_mut() {
+            t.set_now(now);
+            t.lifecycle(LifecycleKind::Revoke, installed.image.prog_id, epoch, update_delay);
+        }
         self.spans.push(LifecycleSpan {
             seq: self.spans.len() as u64,
             kind: "revoke".into(),

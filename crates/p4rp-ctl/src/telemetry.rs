@@ -16,6 +16,7 @@
 use crate::resman::ResourceManager;
 use p4rp_dataplane::{INIT_TABLE_SIZE, RECIRC_TABLE_SIZE};
 use rmt_sim::telemetry::{Histogram, MetricsRecorder};
+use rmt_sim::trace::TraceStats;
 
 /// One program lifecycle event as the controller executed it.
 ///
@@ -156,6 +157,9 @@ pub struct TelemetryReport {
     pub control_write_latency: Histogram,
     /// Packet-side counters; `None` when dataplane telemetry is disabled.
     pub dataplane: Option<MetricsRecorder>,
+    /// Flight-recorder statistics (`TraceStats::disabled()` when the
+    /// flight recorder is off — see `docs/TRACING.md`).
+    pub trace: TraceStats,
 }
 
 serde::impl_serde_struct!(TelemetryReport {
@@ -165,6 +169,7 @@ serde::impl_serde_struct!(TelemetryReport {
     resources,
     control_write_latency,
     dataplane,
+    trace,
 });
 
 impl TelemetryReport {
@@ -215,6 +220,19 @@ impl TelemetryReport {
                 out.push_str(&s.render());
                 out.push('\n');
             }
+        }
+        if self.trace.enabled {
+            out.push_str(&format!(
+                "flight recorder: {} recorded, {} dropped, {} retained (capacity {}), \
+                 {} violations\n",
+                self.trace.recorded,
+                self.trace.dropped,
+                self.trace.retained,
+                self.trace.capacity,
+                self.trace.violations
+            ));
+        } else {
+            out.push_str("flight recorder: disabled\n");
         }
         match &self.dataplane {
             None => out.push_str("dataplane telemetry: disabled\n"),
@@ -282,6 +300,14 @@ mod tests {
             resources: ResourceGauges::collect(&ResourceManager::new()),
             control_write_latency: h,
             dataplane: Some(MetricsRecorder::new()),
+            trace: TraceStats {
+                enabled: true,
+                capacity: 1 << 18,
+                recorded: 1234,
+                dropped: 0,
+                retained: 1234,
+                violations: 0,
+            },
         };
         let text = report.to_json();
         let back = TelemetryReport::from_json(&text).unwrap();
@@ -301,12 +327,14 @@ mod tests {
             resources: ResourceGauges::collect(&ResourceManager::new()),
             control_write_latency: Histogram::exponential(10_000, 2, 12),
             dataplane: None,
+            trace: TraceStats::disabled(),
         };
         let s = report.summary();
         assert!(s.contains("telemetry epoch 2"), "{s}");
         assert!(s.contains("deploy"), "{s}");
         assert!(s.contains("+9 entries"), "{s}");
         assert!(s.contains("control writes: none"), "{s}");
+        assert!(s.contains("flight recorder: disabled"), "{s}");
         assert!(s.contains("dataplane telemetry: disabled"), "{s}");
     }
 

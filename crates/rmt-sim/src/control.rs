@@ -102,8 +102,27 @@ impl ControlChannel {
     ) -> SimResult<(Vec<OpResult>, Nanos)> {
         let mut total = self.model.per_batch;
         let mut results = Vec::with_capacity(ops.len());
+        // Open a control-track batch span in the flight recorder (no-op
+        // when tracing is off). The batch id lets the invariant checker
+        // flag any packet event that lands inside the critical section.
+        let start = self.clock.now();
+        let batch = sw.trace_mut().map(|t| {
+            t.set_now(start);
+            t.batch_begin(ops.len())
+        });
         for op in ops {
-            let r = sw.apply_op(op)?;
+            let r = match sw.apply_op(op) {
+                Ok(r) => r,
+                Err(e) => {
+                    // Fail-stop still closes the batch span: the trace
+                    // shows the truncated batch, and the checker's
+                    // critical section does not leak into later packets.
+                    if let (Some(b), Some(t)) = (batch, sw.trace_mut()) {
+                        t.batch_end(b, results.len(), total);
+                    }
+                    return Err(e);
+                }
+            };
             let cost = self.model.cost_of(op);
             total += cost;
             if matches!(
@@ -115,9 +134,16 @@ impl ControlChannel {
             ) {
                 self.write_latency.observe(cost.0);
             }
+            if let (Some(_), Some(t)) = (batch, sw.trace_mut()) {
+                t.control_op(op, &r);
+            }
             results.push(r);
         }
         self.clock.advance(total);
+        if let (Some(b), Some(t)) = (batch, sw.trace_mut()) {
+            t.batch_end(b, ops.len(), total);
+            t.set_now(self.clock.now());
+        }
         Ok((results, total))
     }
 

@@ -105,6 +105,7 @@ pub mod switch;
 pub mod table;
 pub mod telemetry;
 pub mod tm;
+pub mod trace;
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -127,7 +128,12 @@ pub mod prelude {
         EntryHandle, KeySpec, MatchKind, MatchValue, Table, TableEntry,
     };
     pub use crate::telemetry::{
-        Counter, Histogram, MetricsRecorder, NopRecorder, Recorder, StageMetrics, TmMetrics,
+        Counter, Histogram, MetricsRecorder, NopRecorder, Recorder, StageMetrics, TeeRecorder,
+        TmMetrics,
     };
     pub use crate::tm::{RecircModel, TmDecision, Verdict};
+    pub use crate::trace::{
+        LifecycleKind, PacketJourney, TraceBuffer, TraceConfig, TraceEvent, TraceEventKind,
+        TraceFilter, TraceStats,
+    };
 }

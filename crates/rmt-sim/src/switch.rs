@@ -17,8 +17,9 @@ use crate::pipeline::{Gress, Pipeline};
 use crate::resources::{check_stage, ChipReport};
 use crate::salu::RegArray;
 use crate::table::{EntryHandle, Table, TableEntry};
-use crate::telemetry::{MetricsRecorder, NopRecorder, Recorder};
+use crate::telemetry::{MetricsRecorder, NopRecorder, Recorder, TeeRecorder};
 use crate::tm::{decide, Verdict};
+use crate::trace::{frame_five_tuple, TraceBuffer, TraceConfig, TraceStats};
 
 /// Static configuration of a switch.
 #[derive(Debug, Clone)]
@@ -187,6 +188,13 @@ pub struct Switch {
     /// Telemetry storage; `None` (the default) keeps the data path on the
     /// no-op recorder.
     telemetry: Option<MetricsRecorder>,
+    /// Flight recorder; `None` (the default) records nothing. Boxed so the
+    /// disabled switch stays small and clones stay cheap.
+    trace: Option<Box<TraceBuffer>>,
+    /// Switch-global packet id, stamped on every per-packet trace event.
+    /// Always advanced (one add per frame) so ids stay unique across
+    /// enable/disable windows of the flight recorder.
+    next_packet_id: u64,
     /// Scratch pool reused across packets and recirculation passes: the
     /// working PHV and two ping-pong frame buffers. `process_frame` resets
     /// them per pass instead of allocating fresh ones.
@@ -222,6 +230,8 @@ impl Switch {
             drops: 0,
             recirc_passes: 0,
             telemetry: None,
+            trace: None,
+            next_packet_id: 0,
             scratch_phv,
             scratch_frame: Vec::new(),
             scratch_next: Vec::new(),
@@ -247,6 +257,41 @@ impl Switch {
     /// Mutable access to the metrics (epoch bumps, resets).
     pub fn telemetry_mut(&mut self) -> Option<&mut MetricsRecorder> {
         self.telemetry.as_mut()
+    }
+
+    /// Turn the flight recorder on with the given ring configuration
+    /// (idempotent: an already-enabled recorder keeps its ring and its
+    /// configuration). Subsequent frames and control operations land in
+    /// the returned [`TraceBuffer`].
+    pub fn enable_trace(&mut self, cfg: TraceConfig) -> &mut TraceBuffer {
+        self.trace.get_or_insert_with(|| Box::new(TraceBuffer::new(cfg)))
+    }
+
+    /// Turn the flight recorder off, returning the final ring if it was on.
+    pub fn disable_trace(&mut self) -> Option<Box<TraceBuffer>> {
+        self.trace.take()
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_deref()
+    }
+
+    /// Mutable access to the flight recorder (clock sync, control-side
+    /// events, post-mortem dumps).
+    pub fn trace_mut(&mut self) -> Option<&mut TraceBuffer> {
+        self.trace.as_deref_mut()
+    }
+
+    /// Flight-recorder statistics; the disabled sentinel when tracing is
+    /// off (`status --json` reports this without a dump).
+    pub fn trace_stats(&self) -> TraceStats {
+        self.trace.as_ref().map(|t| t.stats()).unwrap_or_else(TraceStats::disabled)
+    }
+
+    /// The id the next injected frame will carry in its trace events.
+    pub fn next_packet_id(&self) -> u64 {
+        self.next_packet_id
     }
 
     /// Mark headers to strip at final emission (by presence field).
@@ -417,6 +462,21 @@ impl Switch {
         frame: &[u8],
         outcome: &mut ProcessOutcome,
     ) -> SimResult<()> {
+        let r = self.process_frame_inner(port, frame, outcome);
+        if let Err(e) = &r {
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.dump_postmortem(&format!("process_frame error: {e}"));
+            }
+        }
+        r
+    }
+
+    fn process_frame_inner(
+        &mut self,
+        port: u16,
+        frame: &[u8],
+        outcome: &mut ProcessOutcome,
+    ) -> SimResult<()> {
         if !self.provisioned {
             return Err(SimError::Config("switch not provisioned".into()));
         }
@@ -426,6 +486,11 @@ impl Switch {
         self.counters[usize::from(port)].rx_pkts += 1;
         self.counters[usize::from(port)].rx_bytes += frame.len() as u64;
         outcome.clear();
+        let packet = self.next_packet_id;
+        self.next_packet_id += 1;
+        // Five-tuple extraction is trace-only work; skip the byte peeks
+        // entirely when the flight recorder is off.
+        let flow = if self.trace.is_some() { frame_five_tuple(frame) } else { None };
 
         let intr = self.ft.intrinsics();
         let external_port = port;
@@ -441,9 +506,30 @@ impl Switch {
         let mut ingress_port = port;
         let mut passes: u8 = 0;
 
+        // One recorder borrow for the whole frame: the no-op recorder keeps
+        // the disabled path at a single virtual call per hook, and the tee
+        // fans the same hooks to both metrics and the flight recorder when
+        // both are on. The borrow covers only `telemetry`/`trace`, so the
+        // direct field accesses below (parser, pipelines, counters, …)
+        // split-borrow around it.
         let mut nop = NopRecorder;
+        let mut tee_storage;
+        let rec: &mut dyn Recorder = match (&mut self.telemetry, &mut self.trace) {
+            (Some(m), Some(t)) => {
+                tee_storage = TeeRecorder { a: m, b: t.as_mut() };
+                &mut tee_storage
+            }
+            (Some(m), None) => m,
+            (None, Some(t)) => t.as_mut(),
+            (None, None) => &mut nop,
+        };
+        rec.packet_begin(packet, port, frame.len() as u32);
+        if let Some((src, dst, sport, dport, proto)) = flow {
+            rec.packet_flow(packet, src, dst, sport, dport, proto);
+        }
         loop {
             passes += 1;
+            rec.pass_begin(packet, passes);
             phv.reset_for(&self.ft);
             let parse = match self.parser.parse(&self.ft, &current, &mut phv, from_recirc) {
                 Ok(p) => p,
@@ -457,12 +543,6 @@ impl Switch {
             let payload_offset = parse.payload_offset;
             phv.set(&self.ft, intr.ingress_port, u64::from(ingress_port));
 
-            // One recorder borrow per pass; the no-op recorder keeps the
-            // disabled path monomorphic and empty.
-            let rec: &mut dyn Recorder = match self.telemetry.as_mut() {
-                Some(r) => r,
-                None => &mut nop,
-            };
             rec.parser_path(parse.bitmap);
             self.ingress.process_with(&self.ft, &mut phv, rec)?;
             let decision = decide(&self.ft, &phv);
@@ -573,6 +653,7 @@ impl Switch {
                 }
             }
         }
+        rec.packet_end(packet, passes, outcome.dropped);
         outcome.passes = passes;
         outcome.phv.clone_from(&phv);
         self.scratch_frame = current;

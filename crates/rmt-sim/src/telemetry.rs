@@ -286,6 +286,29 @@ pub trait Recorder {
     fn tm_decision(&mut self, verdict: Verdict, report_copy: bool) {
         let _ = (verdict, report_copy);
     }
+
+    /// A frame entered the switch: `packet` is the switch-global packet
+    /// id that stamps every subsequent per-packet event (flight-recorder
+    /// context; aggregate storage ignores it).
+    fn packet_begin(&mut self, packet: u64, port: u16, len: u32) {
+        let _ = (packet, port, len);
+    }
+
+    /// The packet's parsed five-tuple (addresses big-endian `u32`), when
+    /// the frame carries IPv4 + TCP/UDP.
+    fn packet_flow(&mut self, packet: u64, src: u32, dst: u32, sport: u16, dport: u16, proto: u8) {
+        let _ = (packet, src, dst, sport, dport, proto);
+    }
+
+    /// A pipeline pass began (1 = original injection, ≥2 = recirculation).
+    fn pass_begin(&mut self, packet: u64, pass: u8) {
+        let _ = (packet, pass);
+    }
+
+    /// The packet left the switch after `passes` passes.
+    fn packet_end(&mut self, packet: u64, passes: u8, dropped: bool) {
+        let _ = (packet, passes, dropped);
+    }
 }
 
 /// The recorder used when telemetry is disabled: stores nothing.
@@ -293,6 +316,66 @@ pub trait Recorder {
 pub struct NopRecorder;
 
 impl Recorder for NopRecorder {}
+
+/// Fans every hook out to two recorders — how the switch feeds the
+/// aggregate [`MetricsRecorder`] and the flight recorder
+/// ([`crate::trace::TraceBuffer`]) from one `&mut dyn Recorder` borrow
+/// when both are enabled. Built per pass on the stack; when at most one
+/// sink is active the switch passes that sink directly and this type never
+/// materializes.
+pub struct TeeRecorder<'a> {
+    /// First sink.
+    pub a: &'a mut dyn Recorder,
+    /// Second sink.
+    pub b: &'a mut dyn Recorder,
+}
+
+impl Recorder for TeeRecorder<'_> {
+    fn table_lookup(&mut self, gress: Gress, stage: usize, hit: bool) {
+        self.a.table_lookup(gress, stage, hit);
+        self.b.table_lookup(gress, stage, hit);
+    }
+
+    fn action_executed(&mut self, gress: Gress, stage: usize) {
+        self.a.action_executed(gress, stage);
+        self.b.action_executed(gress, stage);
+    }
+
+    fn salu_rmw(&mut self, gress: Gress, stage: usize, wrote: bool) {
+        self.a.salu_rmw(gress, stage, wrote);
+        self.b.salu_rmw(gress, stage, wrote);
+    }
+
+    fn parser_path(&mut self, bitmap: u16) {
+        self.a.parser_path(bitmap);
+        self.b.parser_path(bitmap);
+    }
+
+    fn tm_decision(&mut self, verdict: Verdict, report_copy: bool) {
+        self.a.tm_decision(verdict, report_copy);
+        self.b.tm_decision(verdict, report_copy);
+    }
+
+    fn packet_begin(&mut self, packet: u64, port: u16, len: u32) {
+        self.a.packet_begin(packet, port, len);
+        self.b.packet_begin(packet, port, len);
+    }
+
+    fn packet_flow(&mut self, packet: u64, src: u32, dst: u32, sport: u16, dport: u16, proto: u8) {
+        self.a.packet_flow(packet, src, dst, sport, dport, proto);
+        self.b.packet_flow(packet, src, dst, sport, dport, proto);
+    }
+
+    fn pass_begin(&mut self, packet: u64, pass: u8) {
+        self.a.pass_begin(packet, pass);
+        self.b.pass_begin(packet, pass);
+    }
+
+    fn packet_end(&mut self, packet: u64, passes: u8, dropped: bool) {
+        self.a.packet_end(packet, passes, dropped);
+        self.b.packet_end(packet, passes, dropped);
+    }
+}
 
 /// Per-gress stage metric vectors, grown on demand.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -1,0 +1,1577 @@
+//! Flight recorder: a causally ordered trace of per-packet journeys
+//! interleaved with control-plane events.
+//!
+//! The telemetry subsystem (PR 1, [`crate::telemetry`]) answers "how much"
+//! — aggregate counters cut at epoch boundaries. This module answers
+//! "in what order": every hook point the [`crate::telemetry::Recorder`]
+//! already sees, plus per-packet context (a packet id threaded through the
+//! parser, stages, SALUs, traffic manager, and recirculation passes) and
+//! control-channel events (batch begin/end, per-entry insert/delete,
+//! epoch bumps, program lifecycle spans), lands in **one** stream ordered
+//! by a global monotonic sequence number and stamped with the simulated
+//! clock. That stream is the inspectable form of the paper's central
+//! claim: programs are linked onto a *running* pipeline without any packet
+//! ever observing a half-installed state (§4.3, Figure 6).
+//!
+//! Design constraints, in order:
+//!
+//! * **Disabled tracing costs nothing.** The data path reports through the
+//!   same `&mut dyn Recorder` it already uses; with tracing off that is
+//!   the shared no-op recorder — one virtual call to an empty body, the
+//!   budget PR 2's fast path was measured under.
+//! * **Steady state allocates nothing.** [`TraceBuffer`] is a ring of
+//!   preallocated fixed-size [`TraceEvent`] slots (`Copy`, no heap
+//!   payloads). Wraparound overwrites the oldest slot and counts it in
+//!   [`TraceBuffer::dropped_events`], so drop accounting is exact and the
+//!   sequence numbers of retained events stay contiguous.
+//! * **Violations are caught live.** An [`InvariantChecker`] observes
+//!   every event as it is recorded and promotes the offline assertions of
+//!   `tests/consistency.rs` — no packet interleaves with a control batch's
+//!   entry writes, entry writes never split an epoch — into online checks.
+//!   A firing checker triggers a post-mortem dump of the last ring
+//!   contents to a `postmortem-*.txt` artifact.
+//!
+//! On top of the stream sit three consumers: the Chrome trace-event JSON
+//! exporter ([`chrome_trace`], viewable in Perfetto with control ops and
+//! packet journeys on separate tracks), the human-readable packet-journey
+//! reconstruction ([`journey`]), and the event filter ([`TraceFilter`])
+//! behind `p4rp-ctl`'s `trace dump` subcommand. `docs/TRACING.md` has the
+//! schema and a Perfetto how-to.
+
+use std::collections::BTreeMap;
+
+use crate::clock::Nanos;
+use crate::pipeline::Gress;
+use crate::switch::{ControlOp, OpResult};
+use crate::tm::Verdict;
+
+/// Default ring capacity: enough for the experiment-scale deploy → replay
+/// → revoke scenarios to complete with zero drops (~40 events per packet
+/// through the provisioned P4runpro pipeline).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 18;
+
+/// How many trailing events a post-mortem dump renders by default.
+pub const DEFAULT_POSTMORTEM_LAST: usize = 256;
+
+/// What happened, without its stamp. Every variant is `Copy` and carries
+/// no heap payload, so a ring slot is one fixed-size write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// A frame entered the switch on an external port.
+    PacketStart {
+        /// Packet id (switch-global, monotonic).
+        packet: u64,
+        /// Ingress port.
+        port: u16,
+        /// Frame length in bytes.
+        len: u32,
+    },
+    /// The packet's five-tuple, when the frame parses as IPv4 + TCP/UDP —
+    /// the key the `trace dump flow …` filter selects on.
+    PacketFlow {
+        /// Packet id.
+        packet: u64,
+        /// IPv4 source address (big-endian u32).
+        src: u32,
+        /// IPv4 destination address (big-endian u32).
+        dst: u32,
+        /// Source port.
+        sport: u16,
+        /// Destination port.
+        dport: u16,
+        /// IP protocol number.
+        proto: u8,
+    },
+    /// A pipeline pass began (pass 1 = original injection, ≥2 =
+    /// recirculation).
+    PassBegin {
+        /// Packet id.
+        packet: u64,
+        /// Pass number, 1-based.
+        pass: u8,
+    },
+    /// The parser accepted the packet along the path named by `bitmap`.
+    ParserPath {
+        /// Packet id.
+        packet: u64,
+        /// Pass number.
+        pass: u8,
+        /// Parse-path bitmap.
+        bitmap: u16,
+    },
+    /// One table lookup finished.
+    TableLookup {
+        /// Packet id.
+        packet: u64,
+        /// Gress.
+        gress: Gress,
+        /// Physical stage.
+        stage: u16,
+        /// Installed-entry match (default actions count as misses).
+        hit: bool,
+    },
+    /// One action body executed.
+    ActionExecuted {
+        /// Packet id.
+        packet: u64,
+        /// Gress.
+        gress: Gress,
+        /// Physical stage.
+        stage: u16,
+    },
+    /// One SALU read-modify-write.
+    SaluRmw {
+        /// Packet id.
+        packet: u64,
+        /// Gress.
+        gress: Gress,
+        /// Physical stage.
+        stage: u16,
+        /// The cycle committed a memory write.
+        wrote: bool,
+    },
+    /// The traffic manager resolved this pass's verdict.
+    TmVerdict {
+        /// Packet id.
+        packet: u64,
+        /// Pass number.
+        pass: u8,
+        /// Verdict.
+        verdict: Verdict,
+        /// A `REPORT` copy rides along.
+        report: bool,
+    },
+    /// The packet left the switch (emitted or dropped).
+    PacketEnd {
+        /// Packet id.
+        packet: u64,
+        /// Pipeline passes consumed.
+        passes: u8,
+        /// The packet was dropped.
+        dropped: bool,
+    },
+    /// A control-channel batch opened.
+    BatchBegin {
+        /// Batch id (channel-global, monotonic).
+        batch: u64,
+        /// Operations in the batch.
+        ops: u32,
+    },
+    /// A control-channel batch closed.
+    BatchEnd {
+        /// Batch id.
+        batch: u64,
+        /// Operations applied (smaller than announced on fail-stop).
+        ops: u32,
+        /// Modeled batch latency, nanoseconds.
+        cost_ns: u64,
+    },
+    /// One table entry was inserted.
+    EntryInsert {
+        /// Gress.
+        gress: Gress,
+        /// Stage.
+        stage: u16,
+        /// Table within the stage.
+        table: u16,
+        /// The handle the switch allocated.
+        handle: u64,
+    },
+    /// One table entry was deleted.
+    EntryDelete {
+        /// Gress.
+        gress: Gress,
+        /// Stage.
+        stage: u16,
+        /// Table within the stage.
+        table: u16,
+        /// The deleted handle.
+        handle: u64,
+    },
+    /// One register bucket was written (or a range reset).
+    RegWrite {
+        /// Gress.
+        gress: Gress,
+        /// Stage.
+        stage: u16,
+        /// Array within the stage.
+        array: u16,
+        /// Bucket address (range resets record the start).
+        addr: u32,
+    },
+    /// The control plane opened a new telemetry epoch.
+    EpochBump {
+        /// The epoch now active.
+        epoch: u64,
+    },
+    /// A program lifecycle event completed (the control-track span of a
+    /// `p4rp-ctl` deploy or revoke).
+    Lifecycle {
+        /// Deploy or revoke.
+        kind: LifecycleKind,
+        /// Program id.
+        prog_id: u16,
+        /// Epoch the event opened.
+        epoch: u64,
+        /// Simulated update delay, nanoseconds.
+        dur_ns: u64,
+    },
+}
+
+/// Which lifecycle event a [`TraceEventKind::Lifecycle`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleKind {
+    /// Program deployed.
+    Deploy,
+    /// Program revoked.
+    Revoke,
+}
+
+impl core::fmt::Display for LifecycleKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LifecycleKind::Deploy => write!(f, "deploy"),
+            LifecycleKind::Revoke => write!(f, "revoke"),
+        }
+    }
+}
+
+impl TraceEventKind {
+    /// The packet id this event belongs to, `None` for control-side events.
+    pub fn packet(&self) -> Option<u64> {
+        match *self {
+            TraceEventKind::PacketStart { packet, .. }
+            | TraceEventKind::PacketFlow { packet, .. }
+            | TraceEventKind::PassBegin { packet, .. }
+            | TraceEventKind::ParserPath { packet, .. }
+            | TraceEventKind::TableLookup { packet, .. }
+            | TraceEventKind::ActionExecuted { packet, .. }
+            | TraceEventKind::SaluRmw { packet, .. }
+            | TraceEventKind::TmVerdict { packet, .. }
+            | TraceEventKind::PacketEnd { packet, .. } => Some(packet),
+            _ => None,
+        }
+    }
+
+    /// Short event-type name (Chrome trace `name`, dump rows).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::PacketStart { .. } => "packet_start",
+            TraceEventKind::PacketFlow { .. } => "packet_flow",
+            TraceEventKind::PassBegin { .. } => "pass_begin",
+            TraceEventKind::ParserPath { .. } => "parser_path",
+            TraceEventKind::TableLookup { .. } => "table_lookup",
+            TraceEventKind::ActionExecuted { .. } => "action",
+            TraceEventKind::SaluRmw { .. } => "salu_rmw",
+            TraceEventKind::TmVerdict { .. } => "tm_verdict",
+            TraceEventKind::PacketEnd { .. } => "packet_end",
+            TraceEventKind::BatchBegin { .. } => "batch_begin",
+            TraceEventKind::BatchEnd { .. } => "batch_end",
+            TraceEventKind::EntryInsert { .. } => "entry_insert",
+            TraceEventKind::EntryDelete { .. } => "entry_delete",
+            TraceEventKind::RegWrite { .. } => "reg_write",
+            TraceEventKind::EpochBump { .. } => "epoch_bump",
+            TraceEventKind::Lifecycle { .. } => "lifecycle",
+        }
+    }
+}
+
+/// One stamped slot of the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Global monotonic sequence number — the causal order.
+    pub seq: u64,
+    /// Simulated clock at record time, nanoseconds.
+    pub t_ns: u64,
+    /// Telemetry epoch active at record time.
+    pub epoch: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// One human-readable dump row.
+    pub fn render(&self) -> String {
+        let head = format!("#{:<8} {:>12}ns e{:<3}", self.seq, self.t_ns, self.epoch);
+        let body = match self.kind {
+            TraceEventKind::PacketStart { packet, port, len } => {
+                format!("pkt {packet:<6} start      port {port}, {len} B")
+            }
+            TraceEventKind::PacketFlow { packet, src, dst, sport, dport, proto } => format!(
+                "pkt {packet:<6} flow       {}.{}.{}.{}:{sport} > {}.{}.{}.{}:{dport}/{proto}",
+                src >> 24,
+                (src >> 16) & 0xff,
+                (src >> 8) & 0xff,
+                src & 0xff,
+                dst >> 24,
+                (dst >> 16) & 0xff,
+                (dst >> 8) & 0xff,
+                dst & 0xff
+            ),
+            TraceEventKind::PassBegin { packet, pass } => {
+                format!("pkt {packet:<6} pass {pass}")
+            }
+            TraceEventKind::ParserPath { packet, pass, bitmap } => {
+                format!("pkt {packet:<6} parse      pass {pass} path {bitmap:#06x}")
+            }
+            TraceEventKind::TableLookup { packet, gress, stage, hit } => format!(
+                "pkt {packet:<6} lookup     {gress} stage {stage} {}",
+                if hit { "hit" } else { "miss" }
+            ),
+            TraceEventKind::ActionExecuted { packet, gress, stage } => {
+                format!("pkt {packet:<6} action     {gress} stage {stage}")
+            }
+            TraceEventKind::SaluRmw { packet, gress, stage, wrote } => format!(
+                "pkt {packet:<6} salu       {gress} stage {stage} {}",
+                if wrote { "write" } else { "read" }
+            ),
+            TraceEventKind::TmVerdict { packet, pass, verdict, report } => format!(
+                "pkt {packet:<6} verdict    pass {pass} {verdict:?}{}",
+                if report { " +report" } else { "" }
+            ),
+            TraceEventKind::PacketEnd { packet, passes, dropped } => format!(
+                "pkt {packet:<6} end        {passes} pass(es), {}",
+                if dropped { "dropped" } else { "emitted" }
+            ),
+            TraceEventKind::BatchBegin { batch, ops } => {
+                format!("ctl batch {batch} begin ({ops} ops)")
+            }
+            TraceEventKind::BatchEnd { batch, ops, cost_ns } => {
+                format!("ctl batch {batch} end   ({ops} ops, {cost_ns} ns)")
+            }
+            TraceEventKind::EntryInsert { gress, stage, table, handle } => {
+                format!("ctl insert {gress} stage {stage} table {table} handle {handle}")
+            }
+            TraceEventKind::EntryDelete { gress, stage, table, handle } => {
+                format!("ctl delete {gress} stage {stage} table {table} handle {handle}")
+            }
+            TraceEventKind::RegWrite { gress, stage, array, addr } => {
+                format!("ctl regwrite {gress} stage {stage} array {array} addr {addr}")
+            }
+            TraceEventKind::EpochBump { epoch } => format!("ctl epoch → {epoch}"),
+            TraceEventKind::Lifecycle { kind, prog_id, epoch, dur_ns } => {
+                format!("ctl {kind} prog {prog_id} (epoch {epoch}, {dur_ns} ns)")
+            }
+        };
+        format!("{head}  {body}")
+    }
+}
+
+/// Flight-recorder statistics, reported by `status --json` so drop
+/// accounting is visible without a dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Tracing is currently enabled.
+    pub enabled: bool,
+    /// Ring capacity in events.
+    pub capacity: u64,
+    /// Events recorded since enable (including those since overwritten).
+    pub recorded: u64,
+    /// Events lost to ring wraparound.
+    pub dropped: u64,
+    /// Events currently retained in the ring.
+    pub retained: u64,
+    /// Invariant violations observed.
+    pub violations: u64,
+}
+
+serde::impl_serde_struct!(TraceStats {
+    enabled,
+    capacity,
+    recorded,
+    dropped,
+    retained,
+    violations,
+});
+
+impl TraceStats {
+    /// The stats of a switch that never had tracing enabled.
+    pub fn disabled() -> TraceStats {
+        TraceStats {
+            enabled: false,
+            capacity: 0,
+            recorded: 0,
+            dropped: 0,
+            retained: 0,
+            violations: 0,
+        }
+    }
+}
+
+/// Flight-recorder configuration.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Ring capacity in events (preallocated at enable time).
+    pub capacity: usize,
+    /// Directory post-mortem dumps are written to; `None` disables the
+    /// artifact (violations are still counted and retained).
+    pub postmortem_dir: Option<String>,
+    /// Trailing events a post-mortem dump renders.
+    pub postmortem_last: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: DEFAULT_TRACE_CAPACITY,
+            postmortem_dir: Some("results".into()),
+            postmortem_last: DEFAULT_POSTMORTEM_LAST,
+        }
+    }
+}
+
+/// One invariant violation the online checker observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Sequence number of the offending event.
+    pub seq: u64,
+    /// What rule broke.
+    pub rule: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "#{}: {} — {}", self.seq, self.rule, self.detail)
+    }
+}
+
+/// The online invariant checker: the stream-level form of
+/// `tests/consistency.rs`.
+///
+/// Rules:
+///
+/// 1. **`packet-during-batch`** — no packet-side event may land between a
+///    control batch's `BatchBegin` and `BatchEnd`. This is the atomicity
+///    substrate of the consistent-update protocol: packets interleave
+///    *between* operations of a batch only through the planner's two-batch
+///    ordering, never *inside* the channel's critical section.
+/// 2. **`epoch-splits-batch`** — an `EpochBump` never lands inside a
+///    batch: entry writes of one lifecycle event all see one epoch.
+/// 3. **`epoch-regression`** — epochs only move forward.
+/// 4. **`seq-regression`** — sequence numbers are strictly increasing
+///    (structural; fires only if the ring is corrupted).
+#[derive(Debug, Clone, Default)]
+pub struct InvariantChecker {
+    in_batch: Option<u64>,
+    last_epoch: u64,
+    last_seq: Option<u64>,
+}
+
+impl InvariantChecker {
+    /// Fresh checker.
+    pub fn new() -> InvariantChecker {
+        InvariantChecker::default()
+    }
+
+    /// Observe one event; `Some` means the invariant broke at this event.
+    pub fn observe(&mut self, ev: &TraceEvent) -> Option<Violation> {
+        if let Some(last) = self.last_seq {
+            if ev.seq <= last {
+                return Some(Violation {
+                    seq: ev.seq,
+                    rule: "seq-regression",
+                    detail: format!("seq {} after {}", ev.seq, last),
+                });
+            }
+        }
+        self.last_seq = Some(ev.seq);
+
+        match ev.kind {
+            TraceEventKind::BatchBegin { batch, .. } => {
+                self.in_batch = Some(batch);
+            }
+            TraceEventKind::BatchEnd { .. } => {
+                self.in_batch = None;
+            }
+            TraceEventKind::EpochBump { epoch } => {
+                if let Some(batch) = self.in_batch {
+                    // The bump still happened: keep tracking it so a later
+                    // regression is judged against the real watermark.
+                    self.last_epoch = self.last_epoch.max(epoch);
+                    return Some(Violation {
+                        seq: ev.seq,
+                        rule: "epoch-splits-batch",
+                        detail: format!("epoch bump to {epoch} inside batch {batch}"),
+                    });
+                }
+                if epoch < self.last_epoch {
+                    return Some(Violation {
+                        seq: ev.seq,
+                        rule: "epoch-regression",
+                        detail: format!("epoch {epoch} after {}", self.last_epoch),
+                    });
+                }
+                self.last_epoch = epoch;
+            }
+            _ => {
+                if let (Some(batch), Some(packet)) = (self.in_batch, ev.kind.packet()) {
+                    return Some(Violation {
+                        seq: ev.seq,
+                        rule: "packet-during-batch",
+                        detail: format!(
+                            "packet {packet} event `{}` inside batch {batch}",
+                            ev.kind.name()
+                        ),
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The flight recorder: a fixed-capacity ring of [`TraceEvent`] slots with
+/// exact drop accounting, the current packet/pass context for the
+/// [`crate::telemetry::Recorder`] hooks, and the inline
+/// [`InvariantChecker`].
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    slots: Vec<TraceEvent>,
+    head: usize,
+    next_seq: u64,
+    dropped: u64,
+    now_ns: u64,
+    epoch: u64,
+    next_batch: u64,
+    cur_packet: u64,
+    cur_pass: u8,
+    checker: InvariantChecker,
+    violations: Vec<Violation>,
+    cfg: TraceConfig,
+    /// Paths of post-mortem artifacts written so far.
+    pub postmortems: Vec<String>,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::new(TraceConfig::default())
+    }
+}
+
+impl TraceBuffer {
+    /// Preallocate a ring with the given configuration.
+    pub fn new(cfg: TraceConfig) -> TraceBuffer {
+        let capacity = cfg.capacity.max(1);
+        TraceBuffer {
+            slots: Vec::with_capacity(capacity),
+            head: 0,
+            next_seq: 0,
+            dropped: 0,
+            now_ns: 0,
+            epoch: 0,
+            next_batch: 0,
+            cur_packet: 0,
+            cur_pass: 0,
+            checker: InvariantChecker::new(),
+            violations: Vec::new(),
+            cfg: TraceConfig { capacity, ..cfg },
+            postmortems: Vec::new(),
+        }
+    }
+
+    /// Preallocate a ring of `capacity` events with default post-mortem
+    /// settings.
+    pub fn with_capacity(capacity: usize) -> TraceBuffer {
+        TraceBuffer::new(TraceConfig { capacity, ..TraceConfig::default() })
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity
+    }
+
+    /// Events recorded since enable (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// No events retained.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Advance the trace clock (the control channel syncs its simulated
+    /// clock here; replay harnesses stamp packet timestamps).
+    pub fn set_now(&mut self, t: Nanos) {
+        self.now_ns = t.0;
+    }
+
+    /// Current trace clock.
+    pub fn now(&self) -> Nanos {
+        Nanos(self.now_ns)
+    }
+
+    /// Sync the epoch label without recording an event — used when tracing
+    /// is enabled mid-run and the control plane is already past epoch 0.
+    /// A *change* of epoch during tracing goes through
+    /// [`TraceBuffer::note_epoch`] so the bump lands in the stream.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.checker.last_epoch = epoch;
+    }
+
+    /// The epoch currently stamped on new events.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Invariant violations observed so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats {
+            enabled: true,
+            capacity: self.cfg.capacity as u64,
+            recorded: self.next_seq,
+            dropped: self.dropped,
+            retained: self.slots.len() as u64,
+            violations: self.violations.len() as u64,
+        }
+    }
+
+    /// Append one event to the ring, running the invariant checker. A
+    /// violation triggers the post-mortem dump (once per violation, capped
+    /// at 16 retained violations).
+    pub fn record(&mut self, kind: TraceEventKind) {
+        let ev = TraceEvent { seq: self.next_seq, t_ns: self.now_ns, epoch: self.epoch, kind };
+        self.next_seq += 1;
+        if let Some(v) = self.checker.observe(&ev) {
+            self.push(ev);
+            if self.violations.len() < 16 {
+                self.violations.push(v.clone());
+                self.dump_postmortem(&format!("invariant violation: {v}"));
+            }
+            return;
+        }
+        self.push(ev);
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.slots.len() < self.cfg.capacity {
+            self.slots.push(ev);
+        } else {
+            // Wraparound: the oldest retained event is evicted — exact
+            // drop accounting, no allocation.
+            self.slots[self.head] = ev;
+            self.head = (self.head + 1) % self.cfg.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first (causal order).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + Clone {
+        let (older, newer) = self.slots.split_at(self.head);
+        newer.iter().chain(older.iter())
+    }
+
+    /// The last `n` retained events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let skip = self.slots.len().saturating_sub(n);
+        self.events().skip(skip).copied().collect()
+    }
+
+    // ---- control-side hooks -------------------------------------------
+
+    /// A control batch opened; returns its id for [`TraceBuffer::batch_end`].
+    pub fn batch_begin(&mut self, ops: usize) -> u64 {
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        self.record(TraceEventKind::BatchBegin { batch, ops: ops as u32 });
+        batch
+    }
+
+    /// A control batch closed after `ops` applied operations.
+    pub fn batch_end(&mut self, batch: u64, ops: usize, cost: Nanos) {
+        self.record(TraceEventKind::BatchEnd { batch, ops: ops as u32, cost_ns: cost.0 });
+    }
+
+    /// One applied control operation (reads are not traced — they cannot
+    /// affect packet-visible state).
+    pub fn control_op(&mut self, op: &ControlOp, result: &OpResult) {
+        match (op, result) {
+            (ControlOp::InsertEntry { table, .. }, OpResult::Inserted(h)) => {
+                self.record(TraceEventKind::EntryInsert {
+                    gress: table.gress,
+                    stage: table.stage as u16,
+                    table: table.table as u16,
+                    handle: h.0,
+                });
+            }
+            (ControlOp::DeleteEntry { table, handle }, _) => {
+                self.record(TraceEventKind::EntryDelete {
+                    gress: table.gress,
+                    stage: table.stage as u16,
+                    table: table.table as u16,
+                    handle: handle.0,
+                });
+            }
+            (ControlOp::WriteReg { array, addr, .. }, _) => {
+                self.record(TraceEventKind::RegWrite {
+                    gress: array.gress,
+                    stage: array.stage as u16,
+                    array: array.array as u16,
+                    addr: *addr,
+                });
+            }
+            (ControlOp::ResetRegRange { array, start, .. }, _) => {
+                self.record(TraceEventKind::RegWrite {
+                    gress: array.gress,
+                    stage: array.stage as u16,
+                    array: array.array as u16,
+                    addr: *start,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// The control plane opened a new epoch: record the bump and stamp all
+    /// subsequent events with it.
+    pub fn note_epoch(&mut self, epoch: u64) {
+        self.record(TraceEventKind::EpochBump { epoch });
+        self.epoch = epoch;
+    }
+
+    /// A program lifecycle event completed.
+    pub fn lifecycle(&mut self, kind: LifecycleKind, prog_id: u16, epoch: u64, dur: Nanos) {
+        self.record(TraceEventKind::Lifecycle { kind, prog_id, epoch, dur_ns: dur.0 });
+    }
+
+    // ---- post-mortem ---------------------------------------------------
+
+    /// Render the last `postmortem_last` events plus the reason into a
+    /// `postmortem-<seq>.txt` artifact under the configured directory.
+    /// Returns the path when a file was written.
+    pub fn dump_postmortem(&mut self, reason: &str) -> Option<String> {
+        let dir = self.cfg.postmortem_dir.clone()?;
+        let text = self.render_postmortem(reason);
+        let path = format!("{dir}/postmortem-{}.txt", self.next_seq);
+        if std::fs::create_dir_all(&dir).is_err() || std::fs::write(&path, text).is_err() {
+            return None;
+        }
+        self.postmortems.push(path.clone());
+        Some(path)
+    }
+
+    /// The post-mortem text (also used when the artifact directory is
+    /// disabled).
+    pub fn render_postmortem(&self, reason: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("post-mortem: {reason}\n"));
+        let s = self.stats();
+        out.push_str(&format!(
+            "ring: {} recorded, {} dropped, {} retained (capacity {})\n",
+            s.recorded, s.dropped, s.retained, s.capacity
+        ));
+        for v in &self.violations {
+            out.push_str(&format!("violation {v}\n"));
+        }
+        out.push_str(&format!("last {} events:\n", self.cfg.postmortem_last));
+        for ev in self.tail(self.cfg.postmortem_last) {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl crate::telemetry::Recorder for TraceBuffer {
+    fn table_lookup(&mut self, gress: Gress, stage: usize, hit: bool) {
+        let packet = self.cur_packet;
+        self.record(TraceEventKind::TableLookup { packet, gress, stage: stage as u16, hit });
+    }
+
+    fn action_executed(&mut self, gress: Gress, stage: usize) {
+        let packet = self.cur_packet;
+        self.record(TraceEventKind::ActionExecuted { packet, gress, stage: stage as u16 });
+    }
+
+    fn salu_rmw(&mut self, gress: Gress, stage: usize, wrote: bool) {
+        let packet = self.cur_packet;
+        self.record(TraceEventKind::SaluRmw { packet, gress, stage: stage as u16, wrote });
+    }
+
+    fn parser_path(&mut self, bitmap: u16) {
+        let (packet, pass) = (self.cur_packet, self.cur_pass);
+        self.record(TraceEventKind::ParserPath { packet, pass, bitmap });
+    }
+
+    fn tm_decision(&mut self, verdict: Verdict, report_copy: bool) {
+        let (packet, pass) = (self.cur_packet, self.cur_pass);
+        self.record(TraceEventKind::TmVerdict { packet, pass, verdict, report: report_copy });
+    }
+
+    fn packet_begin(&mut self, packet: u64, port: u16, len: u32) {
+        self.cur_packet = packet;
+        self.cur_pass = 0;
+        self.record(TraceEventKind::PacketStart { packet, port, len });
+    }
+
+    fn packet_flow(&mut self, packet: u64, src: u32, dst: u32, sport: u16, dport: u16, proto: u8) {
+        self.record(TraceEventKind::PacketFlow { packet, src, dst, sport, dport, proto });
+    }
+
+    fn pass_begin(&mut self, packet: u64, pass: u8) {
+        self.cur_packet = packet;
+        self.cur_pass = pass;
+        self.record(TraceEventKind::PassBegin { packet, pass });
+    }
+
+    fn packet_end(&mut self, packet: u64, passes: u8, dropped: bool) {
+        self.record(TraceEventKind::PacketEnd { packet, passes, dropped });
+    }
+}
+
+/// Extract the IPv4 five-tuple of an Ethernet frame (big-endian addresses),
+/// `None` unless the frame is IPv4 carrying TCP or UDP. This is the
+/// flow key the [`TraceEventKind::PacketFlow`] event and the
+/// [`TraceFilter::Flow`] selector use; it deliberately reads raw bytes so
+/// `rmt-sim` needs no packet-format dependency.
+pub fn frame_five_tuple(frame: &[u8]) -> Option<(u32, u32, u16, u16, u8)> {
+    if frame.len() < 34 || frame[12] != 0x08 || frame[13] != 0x00 {
+        return None;
+    }
+    let ihl = usize::from(frame[14] & 0x0f) * 4;
+    if !(20..=60).contains(&ihl) {
+        return None;
+    }
+    let proto = frame[23];
+    if proto != 6 && proto != 17 {
+        return None;
+    }
+    let l4 = 14 + ihl;
+    if frame.len() < l4 + 4 {
+        return None;
+    }
+    let src = u32::from_be_bytes([frame[26], frame[27], frame[28], frame[29]]);
+    let dst = u32::from_be_bytes([frame[30], frame[31], frame[32], frame[33]]);
+    let sport = u16::from_be_bytes([frame[l4], frame[l4 + 1]]);
+    let dport = u16::from_be_bytes([frame[l4 + 2], frame[l4 + 3]]);
+    Some((src, dst, sport, dport, proto))
+}
+
+// ---- journeys ----------------------------------------------------------
+
+/// One pipeline pass of a reconstructed journey.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JourneyPass {
+    /// Pass number (1-based).
+    pub pass: u8,
+    /// Parse-path bitmap, when the parser event is retained.
+    pub bitmap: Option<u16>,
+    /// `(gress, stage, hit)` per table lookup, pipeline order.
+    pub lookups: Vec<(Gress, u16, bool)>,
+    /// `(gress, stage)` per executed action.
+    pub actions: Vec<(Gress, u16)>,
+    /// `(gress, stage, wrote)` per SALU cycle.
+    pub salus: Vec<(Gress, u16, bool)>,
+    /// The pass's TM verdict.
+    pub verdict: Option<(Verdict, bool)>,
+}
+
+/// A packet's reconstructed journey through the switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketJourney {
+    /// Packet id.
+    pub packet: u64,
+    /// Ingress port, when the start event is retained.
+    pub port: Option<u16>,
+    /// Frame length, when the start event is retained.
+    pub len: Option<u32>,
+    /// Five-tuple `(src, dst, sport, dport, proto)`, when parsed.
+    pub flow: Option<(u32, u32, u16, u16, u8)>,
+    /// Per-pass records, pass order.
+    pub passes: Vec<JourneyPass>,
+    /// Terminal record `(passes, dropped)`, when the end event is retained.
+    pub end: Option<(u8, bool)>,
+    /// Every distinct epoch stamped on this packet's events.
+    pub epochs: Vec<u64>,
+    /// True when the ring evicted part of this journey (its first retained
+    /// event is not `PacketStart`).
+    pub truncated: bool,
+}
+
+impl PacketJourney {
+    /// The final pass's verdict, if retained.
+    pub fn final_verdict(&self) -> Option<Verdict> {
+        self.passes.iter().rev().find_map(|p| p.verdict.map(|(v, _)| v))
+    }
+
+    /// Recirculation count: passes beyond the first.
+    pub fn recirculations(&self) -> usize {
+        self.passes.len().saturating_sub(1)
+    }
+
+    /// Distinct `(gress, stage)` pairs that *hit* an installed entry.
+    pub fn stages_hit(&self) -> Vec<(Gress, u16)> {
+        let mut out: Vec<(Gress, u16)> = Vec::new();
+        for p in &self.passes {
+            for &(g, s, hit) in &p.lookups {
+                if hit && !out.contains(&(g, s)) {
+                    out.push((g, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!("packet {}", self.packet);
+        if let Some(port) = self.port {
+            out.push_str(&format!(" (port {port}, {} B)", self.len.unwrap_or(0)));
+        }
+        if let Some((src, dst, sport, dport, proto)) = self.flow {
+            out.push_str(&format!(
+                " {}.{}.{}.{}:{sport} > {}.{}.{}.{}:{dport}/{proto}",
+                src >> 24,
+                (src >> 16) & 0xff,
+                (src >> 8) & 0xff,
+                src & 0xff,
+                dst >> 24,
+                (dst >> 16) & 0xff,
+                (dst >> 8) & 0xff,
+                dst & 0xff
+            ));
+        }
+        if self.truncated {
+            out.push_str(" [truncated]");
+        }
+        out.push('\n');
+        for p in &self.passes {
+            out.push_str(&format!("  pass {}:", p.pass));
+            if let Some(b) = p.bitmap {
+                out.push_str(&format!(" parse {b:#06x}"));
+            }
+            for &(g, s, hit) in &p.lookups {
+                out.push_str(&format!(" {g}[{s}]{}", if hit { "+" } else { "-" }));
+            }
+            for &(g, s, wrote) in &p.salus {
+                out.push_str(&format!(" salu:{g}[{s}]{}", if wrote { "w" } else { "r" }));
+            }
+            if let Some((v, report)) = p.verdict {
+                out.push_str(&format!(" → {v:?}{}", if report { "+report" } else { "" }));
+            }
+            out.push('\n');
+        }
+        if let Some((passes, dropped)) = self.end {
+            out.push_str(&format!(
+                "  end: {passes} pass(es), {}, epochs {:?}\n",
+                if dropped { "dropped" } else { "emitted" },
+                self.epochs
+            ));
+        }
+        out
+    }
+}
+
+/// Reconstruct one packet's journey from a causally ordered event slice.
+/// Returns `None` when no event of that packet is retained.
+pub fn journey<'a>(
+    events: impl IntoIterator<Item = &'a TraceEvent>,
+    packet: u64,
+) -> Option<PacketJourney> {
+    let mut j = PacketJourney {
+        packet,
+        port: None,
+        len: None,
+        flow: None,
+        passes: Vec::new(),
+        end: None,
+        epochs: Vec::new(),
+        truncated: false,
+    };
+    let mut seen = false;
+    for ev in events {
+        if ev.kind.packet() != Some(packet) {
+            continue;
+        }
+        if !seen {
+            seen = true;
+            j.truncated = !matches!(ev.kind, TraceEventKind::PacketStart { .. });
+        }
+        if !j.epochs.contains(&ev.epoch) {
+            j.epochs.push(ev.epoch);
+        }
+        match ev.kind {
+            TraceEventKind::PacketStart { port, len, .. } => {
+                j.port = Some(port);
+                j.len = Some(len);
+            }
+            TraceEventKind::PacketFlow { src, dst, sport, dport, proto, .. } => {
+                j.flow = Some((src, dst, sport, dport, proto));
+            }
+            TraceEventKind::PassBegin { pass, .. } => {
+                j.passes.push(JourneyPass { pass, ..JourneyPass::default() });
+            }
+            TraceEventKind::ParserPath { pass, bitmap, .. } => {
+                let p = last_pass(&mut j, pass);
+                p.bitmap = Some(bitmap);
+            }
+            TraceEventKind::TableLookup { gress, stage, hit, .. } => {
+                let p = last_pass(&mut j, 1);
+                p.lookups.push((gress, stage, hit));
+            }
+            TraceEventKind::ActionExecuted { gress, stage, .. } => {
+                let p = last_pass(&mut j, 1);
+                p.actions.push((gress, stage));
+            }
+            TraceEventKind::SaluRmw { gress, stage, wrote, .. } => {
+                let p = last_pass(&mut j, 1);
+                p.salus.push((gress, stage, wrote));
+            }
+            TraceEventKind::TmVerdict { pass, verdict, report, .. } => {
+                let p = last_pass(&mut j, pass);
+                p.verdict = Some((verdict, report));
+            }
+            TraceEventKind::PacketEnd { passes, dropped, .. } => {
+                j.end = Some((passes, dropped));
+            }
+            _ => {}
+        }
+    }
+    seen.then_some(j)
+}
+
+/// The journey's current pass record, opening one when events arrive with
+/// their `PassBegin` evicted.
+fn last_pass(j: &mut PacketJourney, pass: u8) -> &mut JourneyPass {
+    if j.passes.is_empty() {
+        j.passes.push(JourneyPass { pass, ..JourneyPass::default() });
+    }
+    j.passes.last_mut().expect("just ensured non-empty")
+}
+
+// ---- filtering ---------------------------------------------------------
+
+/// Event selection for `trace dump`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFilter {
+    /// Everything.
+    All,
+    /// Control-side events only.
+    Control,
+    /// Packet-side events only.
+    Packets,
+    /// Events touching one table (lookups plus its entry churn).
+    Table {
+        /// Gress.
+        gress: Gress,
+        /// Stage.
+        stage: u16,
+        /// Table within the stage.
+        table: u16,
+    },
+    /// Events of packets whose five-tuple involves this IPv4 address (and
+    /// port, when given) as source or destination.
+    Flow {
+        /// IPv4 address, big-endian u32.
+        addr: u32,
+        /// Optional source-or-destination port.
+        port: Option<u16>,
+    },
+}
+
+/// Apply a filter over a causally ordered stream, returning retained
+/// events oldest first. Flow filters resolve the matching packet ids from
+/// the stream's `PacketFlow` events first, then keep every event of those
+/// packets.
+pub fn filter_events<'a>(
+    events: impl IntoIterator<Item = &'a TraceEvent> + Clone,
+    filter: TraceFilter,
+) -> Vec<TraceEvent> {
+    let flow_packets: std::collections::HashSet<u64> = match filter {
+        TraceFilter::Flow { addr, port } => events
+            .clone()
+            .into_iter()
+            .filter_map(|ev| match ev.kind {
+                TraceEventKind::PacketFlow { packet, src, dst, sport, dport, .. } => {
+                    let addr_ok = src == addr || dst == addr;
+                    let port_ok = port.is_none_or(|p| sport == p || dport == p);
+                    (addr_ok && port_ok).then_some(packet)
+                }
+                _ => None,
+            })
+            .collect(),
+        _ => Default::default(),
+    };
+    events
+        .into_iter()
+        .filter(|ev| match filter {
+            TraceFilter::All => true,
+            TraceFilter::Control => ev.kind.packet().is_none(),
+            TraceFilter::Packets => ev.kind.packet().is_some(),
+            TraceFilter::Table { gress, stage, table } => match ev.kind {
+                TraceEventKind::TableLookup { gress: g, stage: s, .. } => {
+                    g == gress && s == stage
+                }
+                TraceEventKind::EntryInsert { gress: g, stage: s, table: t, .. }
+                | TraceEventKind::EntryDelete { gress: g, stage: s, table: t, .. } => {
+                    g == gress && s == stage && t == table
+                }
+                _ => false,
+            },
+            TraceFilter::Flow { .. } => {
+                ev.kind.packet().is_some_and(|p| flow_packets.contains(&p))
+            }
+        })
+        .copied()
+        .collect()
+}
+
+// ---- Chrome trace export ----------------------------------------------
+
+fn chrome_args(fields: Vec<(&str, serde::Value)>) -> serde::Value {
+    serde::Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn chrome_event(
+    name: &str,
+    cat: &str,
+    ph: &str,
+    ts_us: f64,
+    pid: u64,
+    tid: u64,
+    extra: Vec<(&str, serde::Value)>,
+    args: Vec<(&str, serde::Value)>,
+) -> serde::Value {
+    let mut fields = vec![
+        ("name".to_string(), serde::Value::Str(name.to_string())),
+        ("cat".to_string(), serde::Value::Str(cat.to_string())),
+        ("ph".to_string(), serde::Value::Str(ph.to_string())),
+        ("ts".to_string(), serde::Value::F64(ts_us)),
+        ("pid".to_string(), serde::Value::U64(pid)),
+        ("tid".to_string(), serde::Value::U64(tid)),
+    ];
+    for (k, v) in extra {
+        fields.push((k.to_string(), v));
+    }
+    fields.push(("args".to_string(), chrome_args(args)));
+    serde::Value::Object(fields)
+}
+
+const CONTROL_PID: u64 = 1;
+const PACKET_PID: u64 = 2;
+
+/// Export a causally ordered stream as a Chrome trace-event document
+/// (Perfetto-viewable). Control-plane events land on one process track
+/// (`pid 1`): batches and lifecycle spans as complete (`X`) slices, entry
+/// churn and epoch bumps as instants. Packet journeys land on a second
+/// process track (`pid 2`) with one thread row per packet id, every hook
+/// event an instant carrying its payload in `args`.
+pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> serde::Value {
+    let mut out: Vec<serde::Value> = vec![
+        chrome_event(
+            "process_name",
+            "__metadata",
+            "M",
+            0.0,
+            CONTROL_PID,
+            0,
+            vec![],
+            vec![("name", serde::Value::Str("control-plane".into()))],
+        ),
+        chrome_event(
+            "process_name",
+            "__metadata",
+            "M",
+            0.0,
+            PACKET_PID,
+            0,
+            vec![],
+            vec![("name", serde::Value::Str("packet-journeys".into()))],
+        ),
+    ];
+    for ev in events {
+        let ts = ev.t_ns as f64 / 1e3;
+        let seq = ("seq", serde::Value::U64(ev.seq));
+        let epoch = ("epoch", serde::Value::U64(ev.epoch));
+        let v = match ev.kind {
+            TraceEventKind::BatchBegin { .. } => continue, // folded into BatchEnd's slice
+            TraceEventKind::BatchEnd { batch, ops, cost_ns } => chrome_event(
+                "batch",
+                "control",
+                "X",
+                ts,
+                CONTROL_PID,
+                0,
+                vec![("dur", serde::Value::F64(cost_ns as f64 / 1e3))],
+                vec![
+                    seq,
+                    epoch,
+                    ("batch", serde::Value::U64(batch)),
+                    ("ops", serde::Value::U64(u64::from(ops))),
+                ],
+            ),
+            TraceEventKind::Lifecycle { kind, prog_id, epoch: e, dur_ns } => chrome_event(
+                match kind {
+                    LifecycleKind::Deploy => "deploy",
+                    LifecycleKind::Revoke => "revoke",
+                },
+                "lifecycle",
+                "X",
+                ts,
+                CONTROL_PID,
+                1,
+                vec![("dur", serde::Value::F64(dur_ns as f64 / 1e3))],
+                vec![
+                    seq,
+                    ("prog_id", serde::Value::U64(u64::from(prog_id))),
+                    ("epoch", serde::Value::U64(e)),
+                ],
+            ),
+            TraceEventKind::EntryInsert { gress, stage, table, handle }
+            | TraceEventKind::EntryDelete { gress, stage, table, handle } => chrome_event(
+                ev.kind.name(),
+                "control",
+                "i",
+                ts,
+                CONTROL_PID,
+                0,
+                vec![("s", serde::Value::Str("t".into()))],
+                vec![
+                    seq,
+                    epoch,
+                    ("gress", serde::Value::Str(gress.to_string())),
+                    ("stage", serde::Value::U64(u64::from(stage))),
+                    ("table", serde::Value::U64(u64::from(table))),
+                    ("handle", serde::Value::U64(handle)),
+                ],
+            ),
+            TraceEventKind::RegWrite { gress, stage, array, addr } => chrome_event(
+                "reg_write",
+                "control",
+                "i",
+                ts,
+                CONTROL_PID,
+                0,
+                vec![("s", serde::Value::Str("t".into()))],
+                vec![
+                    seq,
+                    epoch,
+                    ("gress", serde::Value::Str(gress.to_string())),
+                    ("stage", serde::Value::U64(u64::from(stage))),
+                    ("array", serde::Value::U64(u64::from(array))),
+                    ("addr", serde::Value::U64(u64::from(addr))),
+                ],
+            ),
+            TraceEventKind::EpochBump { epoch: e } => chrome_event(
+                "epoch_bump",
+                "control",
+                "i",
+                ts,
+                CONTROL_PID,
+                0,
+                vec![("s", serde::Value::Str("p".into()))],
+                vec![seq, ("epoch", serde::Value::U64(e))],
+            ),
+            kind => {
+                let packet = kind.packet().unwrap_or(0);
+                let mut args = vec![seq, epoch, ("packet", serde::Value::U64(packet))];
+                match kind {
+                    TraceEventKind::PacketStart { port, len, .. } => {
+                        args.push(("port", serde::Value::U64(u64::from(port))));
+                        args.push(("len", serde::Value::U64(u64::from(len))));
+                    }
+                    TraceEventKind::ParserPath { pass, bitmap, .. } => {
+                        args.push(("pass", serde::Value::U64(u64::from(pass))));
+                        args.push(("bitmap", serde::Value::Str(format!("{bitmap:#06x}"))));
+                    }
+                    TraceEventKind::TableLookup { gress, stage, hit, .. } => {
+                        args.push(("gress", serde::Value::Str(gress.to_string())));
+                        args.push(("stage", serde::Value::U64(u64::from(stage))));
+                        args.push(("hit", serde::Value::Bool(hit)));
+                    }
+                    TraceEventKind::SaluRmw { gress, stage, wrote, .. } => {
+                        args.push(("gress", serde::Value::Str(gress.to_string())));
+                        args.push(("stage", serde::Value::U64(u64::from(stage))));
+                        args.push(("wrote", serde::Value::Bool(wrote)));
+                    }
+                    TraceEventKind::TmVerdict { pass, verdict, report, .. } => {
+                        args.push(("pass", serde::Value::U64(u64::from(pass))));
+                        args.push(("verdict", serde::Value::Str(format!("{verdict:?}"))));
+                        args.push(("report", serde::Value::Bool(report)));
+                    }
+                    TraceEventKind::PacketEnd { passes, dropped, .. } => {
+                        args.push(("passes", serde::Value::U64(u64::from(passes))));
+                        args.push(("dropped", serde::Value::Bool(dropped)));
+                    }
+                    _ => {}
+                }
+                chrome_event(
+                    kind.name(),
+                    "packet",
+                    "i",
+                    ts,
+                    PACKET_PID,
+                    packet,
+                    vec![("s", serde::Value::Str("t".into()))],
+                    args,
+                )
+            }
+        };
+        out.push(v);
+    }
+    serde::Value::Object(vec![
+        ("traceEvents".to_string(), serde::Value::Array(out)),
+        ("displayTimeUnit".to_string(), serde::Value::Str("ns".to_string())),
+    ])
+}
+
+/// [`chrome_trace`] rendered to a pretty-printed JSON string.
+pub fn chrome_trace_json<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+    serde::json::to_string_pretty(&chrome_trace(events))
+}
+
+/// Group every retained journey by packet id, oldest packet first.
+pub fn journeys<'a>(
+    events: impl IntoIterator<Item = &'a TraceEvent> + Clone,
+) -> Vec<PacketJourney> {
+    let mut ids: Vec<u64> = Vec::new();
+    let mut seen = BTreeMap::new();
+    for ev in events.clone() {
+        if let Some(p) = ev.kind.packet() {
+            if seen.insert(p, ()).is_none() {
+                ids.push(p);
+            }
+        }
+    }
+    ids.into_iter().filter_map(|p| journey(events.clone(), p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::Recorder;
+
+    fn pkt_events(t: &mut TraceBuffer, packet: u64) {
+        t.packet_begin(packet, 3, 64);
+        t.pass_begin(packet, 1);
+        t.parser_path(0x0003);
+        t.table_lookup(Gress::Ingress, 0, true);
+        t.action_executed(Gress::Ingress, 0);
+        t.tm_decision(Verdict::Forward(9), false);
+        t.packet_end(packet, 1, false);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_seq_monotonic_and_drops_exact() {
+        let mut t = TraceBuffer::new(TraceConfig {
+            capacity: 8,
+            postmortem_dir: None,
+            ..TraceConfig::default()
+        });
+        for i in 0..30u64 {
+            t.record(TraceEventKind::EpochBump { epoch: i });
+        }
+        assert_eq!(t.recorded(), 30);
+        assert_eq!(t.dropped_events(), 22);
+        assert_eq!(t.len(), 8);
+        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, (22..30).collect::<Vec<_>>(), "last 8, contiguous, oldest first");
+        let s = t.stats();
+        assert_eq!((s.recorded, s.dropped, s.retained), (30, 22, 8));
+        assert!(s.enabled);
+    }
+
+    #[test]
+    fn journey_reconstruction_matches_recorded_hooks() {
+        let mut t = TraceBuffer::with_capacity(64);
+        pkt_events(&mut t, 7);
+        // A second packet that recirculates once and drops.
+        t.packet_begin(8, 0, 80);
+        t.pass_begin(8, 1);
+        t.parser_path(0x0001);
+        t.table_lookup(Gress::Ingress, 0, false);
+        t.tm_decision(Verdict::Recirculate, false);
+        t.pass_begin(8, 2);
+        t.parser_path(0x0001);
+        t.table_lookup(Gress::Ingress, 0, true);
+        t.salu_rmw(Gress::Ingress, 1, true);
+        t.tm_decision(Verdict::Drop, true);
+        t.packet_end(8, 2, true);
+
+        let j7 = journey(t.events(), 7).unwrap();
+        assert_eq!(j7.port, Some(3));
+        assert_eq!(j7.final_verdict(), Some(Verdict::Forward(9)));
+        assert_eq!(j7.recirculations(), 0);
+        assert_eq!(j7.stages_hit(), vec![(Gress::Ingress, 0)]);
+        assert_eq!(j7.end, Some((1, false)));
+        assert!(!j7.truncated);
+
+        let j8 = journey(t.events(), 8).unwrap();
+        assert_eq!(j8.passes.len(), 2);
+        assert_eq!(j8.recirculations(), 1);
+        assert_eq!(j8.final_verdict(), Some(Verdict::Drop));
+        assert_eq!(j8.passes[1].salus, vec![(Gress::Ingress, 1, true)]);
+        assert_eq!(j8.end, Some((2, true)));
+        assert!(j8.render().contains("pass 2"));
+
+        assert_eq!(journeys(t.events()).len(), 2);
+        assert!(journey(t.events(), 99).is_none());
+    }
+
+    #[test]
+    fn checker_fires_on_packet_during_batch() {
+        let mut t = TraceBuffer::new(TraceConfig {
+            capacity: 64,
+            postmortem_dir: None,
+            ..TraceConfig::default()
+        });
+        let b = t.batch_begin(2);
+        // Corrupted interleaving: a packet event lands inside the batch.
+        t.packet_begin(1, 0, 64);
+        assert_eq!(t.violations().len(), 1);
+        assert_eq!(t.violations()[0].rule, "packet-during-batch");
+        t.batch_end(b, 2, Nanos::from_micros(600));
+        // Clean traffic afterwards does not re-fire.
+        pkt_events(&mut t, 2);
+        assert_eq!(t.violations().len(), 1);
+    }
+
+    #[test]
+    fn checker_fires_on_epoch_split_and_regression() {
+        let mut t = TraceBuffer::new(TraceConfig {
+            capacity: 64,
+            postmortem_dir: None,
+            ..TraceConfig::default()
+        });
+        t.note_epoch(1);
+        let b = t.batch_begin(1);
+        t.note_epoch(2);
+        t.batch_end(b, 1, Nanos::ZERO);
+        assert_eq!(t.violations()[0].rule, "epoch-splits-batch");
+        t.note_epoch(1);
+        assert_eq!(t.violations()[1].rule, "epoch-regression");
+    }
+
+    #[test]
+    fn postmortem_renders_reason_and_tail() {
+        let mut t = TraceBuffer::new(TraceConfig {
+            capacity: 16,
+            postmortem_dir: None,
+            postmortem_last: 4,
+        });
+        pkt_events(&mut t, 1);
+        let text = t.render_postmortem("unit test");
+        assert!(text.contains("post-mortem: unit test"), "{text}");
+        assert!(text.contains("last 4 events"), "{text}");
+        assert!(text.lines().count() >= 6, "{text}");
+        // Disabled directory → no artifact.
+        assert!(t.dump_postmortem("x").is_none());
+    }
+
+    #[test]
+    fn filters_select_tables_and_flows() {
+        let mut t = TraceBuffer::with_capacity(128);
+        t.packet_begin(1, 0, 64);
+        t.packet_flow(1, 0x0a000001, 0x0a000002, 1000, 7777, 17);
+        t.pass_begin(1, 1);
+        t.table_lookup(Gress::Ingress, 2, true);
+        t.packet_end(1, 1, false);
+        t.packet_begin(2, 0, 64);
+        t.packet_flow(2, 0x0a000003, 0x0a000004, 2000, 8888, 6);
+        t.pass_begin(2, 1);
+        t.table_lookup(Gress::Egress, 2, false);
+        t.packet_end(2, 1, false);
+        t.record(TraceEventKind::EntryInsert {
+            gress: Gress::Ingress,
+            stage: 2,
+            table: 0,
+            handle: 5,
+        });
+
+        let tbl = filter_events(
+            t.events(),
+            TraceFilter::Table { gress: Gress::Ingress, stage: 2, table: 0 },
+        );
+        assert_eq!(tbl.len(), 2, "one lookup + one insert: {tbl:?}");
+
+        let flow = filter_events(
+            t.events(),
+            TraceFilter::Flow { addr: 0x0a000001, port: None },
+        );
+        assert!(flow.iter().all(|e| e.kind.packet() == Some(1)));
+        assert_eq!(flow.len(), 5);
+        let flow_port = filter_events(
+            t.events(),
+            TraceFilter::Flow { addr: 0x0a000003, port: Some(9999) },
+        );
+        assert!(flow_port.is_empty());
+
+        let ctl = filter_events(t.events(), TraceFilter::Control);
+        assert_eq!(ctl.len(), 1);
+        let pkts = filter_events(t.events(), TraceFilter::Packets);
+        assert_eq!(pkts.len(), t.len() - 1);
+    }
+
+    #[test]
+    fn chrome_trace_shapes_tracks_and_roundtrips() {
+        let mut t = TraceBuffer::with_capacity(128);
+        let b = t.batch_begin(1);
+        t.record(TraceEventKind::EntryInsert {
+            gress: Gress::Ingress,
+            stage: 0,
+            table: 0,
+            handle: 1,
+        });
+        t.batch_end(b, 1, Nanos::from_micros(930));
+        t.note_epoch(1);
+        t.lifecycle(LifecycleKind::Deploy, 1, 1, Nanos::from_millis(4));
+        pkt_events(&mut t, 1);
+
+        let text = chrome_trace_json(t.events());
+        let doc = serde::json::parse(&text).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 metadata + all events except the folded BatchBegin.
+        assert_eq!(evs.len(), 2 + t.len() - 1);
+        let phases: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| match e.get("ph") {
+                Some(serde::Value::Str(s)) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(phases.contains(&"X"), "batch + lifecycle slices");
+        assert!(phases.contains(&"i"), "instants");
+        assert!(phases.contains(&"M"), "track metadata");
+        // Batch slice carries its duration in microseconds.
+        let batch = evs
+            .iter()
+            .find(|e| matches!(e.get("name"), Some(serde::Value::Str(s)) if s == "batch"))
+            .unwrap();
+        assert_eq!(batch.get("dur"), Some(&serde::Value::F64(930.0)));
+    }
+
+    #[test]
+    fn stats_serde_roundtrip() {
+        let s = TraceStats {
+            enabled: true,
+            capacity: 256,
+            recorded: 300,
+            dropped: 44,
+            retained: 256,
+            violations: 1,
+        };
+        let text = serde::json::to_string(&s);
+        let back: TraceStats = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+        assert!(!TraceStats::disabled().enabled);
+    }
+}

@@ -135,13 +135,25 @@ impl Replay {
         until: Nanos,
         mut inject: impl FnMut(u16, &[u8], &mut ProcessOutcome),
     ) -> usize {
+        self.run_until_into_at(until, |_, port, frame, out| inject(port, frame, out))
+    }
+
+    /// [`Replay::run_until_into`] with the packet's trace timestamp passed
+    /// through to `inject` — the flight-recorder path uses it to stamp
+    /// trace events with the replay clock (`TraceBuffer::set_now`) so
+    /// packet journeys and control batches share one timeline.
+    pub fn run_until_into_at(
+        &mut self,
+        until: Nanos,
+        mut inject: impl FnMut(Nanos, u16, &[u8], &mut ProcessOutcome),
+    ) -> usize {
         let mut n = 0;
         while self.idx < self.packets.len() && self.packets[self.idx].t < until {
             while self.packets[self.idx].t >= self.bucket_end {
                 self.rotate_bucket();
             }
             let pkt = &self.packets[self.idx];
-            inject(pkt.port, &pkt.frame, &mut self.scratch);
+            inject(pkt.t, pkt.port, &pkt.frame, &mut self.scratch);
             let out = &self.scratch;
             if self.current.offered_pkts == 0 {
                 self.current.epoch = self.epoch;
@@ -179,6 +191,14 @@ impl Replay {
     pub fn run_all_into(&mut self, inject: impl FnMut(u16, &[u8], &mut ProcessOutcome)) {
         let end = self.packets.last().map(|p| p.t + Nanos(1)).unwrap_or(Nanos::ZERO);
         self.run_until_into(end, inject);
+        self.finish();
+    }
+
+    /// [`Replay::run_all_into`] with timestamps (see
+    /// [`Replay::run_until_into_at`]).
+    pub fn run_all_into_at(&mut self, inject: impl FnMut(Nanos, u16, &[u8], &mut ProcessOutcome)) {
+        let end = self.packets.last().map(|p| p.t + Nanos(1)).unwrap_or(Nanos::ZERO);
+        self.run_until_into_at(end, inject);
         self.finish();
     }
 
@@ -281,6 +301,18 @@ mod tests {
         r.epoch = 2;
         r.run_all(|_, _| fake_outcome(None, false, false));
         assert_eq!(r.stats.iter().map(|s| s.epoch).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn timestamped_variant_passes_the_trace_clock() {
+        let mut r = Replay::new(vec![pkt(10, 100), pkt(60, 100)]);
+        let mut seen = Vec::new();
+        r.run_all_into_at(|t, _, _, out| {
+            seen.push(t);
+            *out = fake_outcome(None, false, false);
+        });
+        assert_eq!(seen, vec![Nanos::from_millis(10), Nanos::from_millis(60)]);
+        assert_eq!(r.stats.iter().map(|s| s.offered_pkts).sum::<u64>(), 2);
     }
 
     #[test]
