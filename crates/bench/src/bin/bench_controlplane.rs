@@ -1,0 +1,201 @@
+//! Control-plane deploy fast-path numbers, written to
+//! `BENCH_controlplane.json`.
+//!
+//! Measures deploy latency against the number of already-resident
+//! programs, before and after the fast path:
+//!
+//! * **before** — the naive reference allocator
+//!   (`AllocConfig::reference`) and the per-op-latency channel path
+//!   (`fast_path` off): what the control plane did prior to this work;
+//! * **after** — the interned/pruned/memoized solver plus the vectored
+//!   single-batch channel (`fast_path` on).
+//!
+//! Per-deploy latency decomposes into the solver wall-clock (Figure 7's
+//! quantity), the controller-side channel-apply wall-clock, and the
+//! simulated `bfrt`-calibrated device latency (Table 1's quantity); the
+//! JSON reports the p50 of each split so the solver-vs-channel
+//! attribution is explicit. A final section times `deploy_many` (the
+//! speculative-allocate → validate-commit pipeline) against the same
+//! programs deployed sequentially.
+//!
+//! Run from the workspace root (`cargo run --release -p bench --bin
+//! bench_controlplane`); `P4RP_SCALE=quick` trims the sample counts.
+
+use bench::scaled;
+use p4rp_compiler::alloc::AllocConfig;
+use p4rp_ctl::Controller;
+use p4rp_progs::{instance, Family, WorkloadParams};
+use serde::{json, Value};
+
+const RESIDENTS: [usize; 3] = [0, 32, 128];
+const FAMILIES: [Family; 4] = [Family::Cache, Family::Hh, Family::Lb, Family::Dqacc];
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}
+
+fn p50(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Small-footprint workload instance `i` (64 buckets of memory) so 128 of
+/// them fit comfortably and the plane still fragments realistically.
+fn resident_source(i: usize) -> String {
+    let fam = FAMILIES[i % FAMILIES.len()];
+    instance(fam, i, WorkloadParams { mem: 64, elastic: 2 })
+}
+
+struct Split {
+    solver_us: f64,
+    apply_us: f64,
+    device_us: f64,
+}
+
+/// Fill a fresh controller to `n_resident` programs, then sample
+/// deploy-revoke cycles of a probe program, returning the per-deploy
+/// latency splits.
+fn measure(reference: bool, fast: bool, n_resident: usize, samples: usize) -> Vec<Split> {
+    let cfg = AllocConfig { reference, ..AllocConfig::default() };
+    let mut ctl = Controller::new(Default::default(), cfg).expect("provision");
+    ctl.set_fast_path(fast);
+    let mut filled = 0;
+    for i in 0..n_resident {
+        if ctl.deploy(&resident_source(i)).is_ok() {
+            filled += 1;
+        }
+    }
+    assert_eq!(filled, n_resident, "resident fill failed: {filled}/{n_resident}");
+
+    let probe = instance(Family::Cache, 1_000_000, WorkloadParams { mem: 64, elastic: 2 });
+    let probe_name = "cache_1000000";
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let reports = ctl.deploy(&probe).expect("probe deploys");
+        let r = &reports[0];
+        out.push(Split {
+            solver_us: r.alloc_wall.as_secs_f64() * 1e6,
+            apply_us: r.channel_wall.as_secs_f64() * 1e6,
+            device_us: r.update_delay.0 as f64 / 1e3,
+        });
+        ctl.revoke(probe_name).expect("probe revokes");
+    }
+    out
+}
+
+fn split_row(splits: &mut [Split]) -> (f64, f64, f64, f64) {
+    let mut total: Vec<f64> =
+        splits.iter().map(|s| s.solver_us + s.apply_us + s.device_us).collect();
+    let mut solver: Vec<f64> = splits.iter().map(|s| s.solver_us).collect();
+    let mut apply: Vec<f64> = splits.iter().map(|s| s.apply_us).collect();
+    let mut device: Vec<f64> = splits.iter().map(|s| s.device_us).collect();
+    (p50(&mut total), p50(&mut solver), p50(&mut apply), p50(&mut device))
+}
+
+fn main() {
+    let samples = scaled(24);
+    let mut rows = Vec::new();
+    let mut p50_at_max = (0.0f64, 0.0f64); // (before, after) at RESIDENTS.last()
+
+    for &n in &RESIDENTS {
+        println!("measuring deploy latency at {n} resident programs ...");
+        let mut before = measure(true, false, n, samples);
+        let mut after = measure(false, true, n, samples);
+        let (bt, bs, ba, bd) = split_row(&mut before);
+        let (at, as_, aa, ad) = split_row(&mut after);
+        if n == *RESIDENTS.last().unwrap() {
+            p50_at_max = (bt, at);
+        }
+        rows.push(obj(vec![
+            ("resident_programs", Value::U64(n as u64)),
+            (
+                "before",
+                obj(vec![
+                    ("p50_total_us", Value::F64(round1(bt))),
+                    ("p50_solver_us", Value::F64(round1(bs))),
+                    ("p50_channel_apply_us", Value::F64(round1(ba))),
+                    ("p50_device_us", Value::F64(round1(bd))),
+                ]),
+            ),
+            (
+                "after",
+                obj(vec![
+                    ("p50_total_us", Value::F64(round1(at))),
+                    ("p50_solver_us", Value::F64(round1(as_))),
+                    ("p50_channel_apply_us", Value::F64(round1(aa))),
+                    ("p50_device_us", Value::F64(round1(ad))),
+                ]),
+            ),
+            ("speedup_p50", Value::F64(round1(bt / at))),
+        ]));
+        println!(
+            "  before p50 {:.0} µs (solver {:.0} / apply {:.0} / device {:.0})",
+            bt, bs, ba, bd
+        );
+        println!(
+            "  after  p50 {:.0} µs (solver {:.0} / apply {:.0} / device {:.0}) — {:.1}x",
+            at, as_, aa, ad, bt / at
+        );
+    }
+
+    // Concurrent deploys: wall-clock for one deploy_many batch against the
+    // same sources pushed through sequential deploy calls.
+    println!("measuring deploy_many vs sequential ...");
+    let batch = scaled(16).min(64);
+    let sources: Vec<String> = (0..batch).map(|i| resident_source(2_000_000 + i)).collect();
+    let mut seq = Controller::with_defaults().expect("provision");
+    seq.set_fast_path(true);
+    let t = std::time::Instant::now();
+    for s in &sources {
+        seq.deploy(s).expect("sequential deploy");
+    }
+    let seq_us = t.elapsed().as_secs_f64() * 1e6;
+    let mut conc = Controller::with_defaults().expect("provision");
+    let t = std::time::Instant::now();
+    for r in conc.deploy_many(&sources) {
+        r.expect("concurrent deploy");
+    }
+    let conc_us = t.elapsed().as_secs_f64() * 1e6;
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let concurrency = obj(vec![
+        ("batch", Value::U64(batch as u64)),
+        ("host_cores", Value::U64(cores as u64)),
+        ("sequential_wall_us", Value::F64(round1(seq_us))),
+        ("deploy_many_wall_us", Value::F64(round1(conc_us))),
+        ("speedup", Value::F64(round1(seq_us / conc_us))),
+        ("spec_conflicts", Value::U64(conc.spec_conflicts())),
+    ]);
+    println!(
+        "  sequential {:.0} µs, deploy_many {:.0} µs ({:.1}x, {} conflicts re-solved)",
+        seq_us,
+        conc_us,
+        seq_us / conc_us,
+        conc.spec_conflicts()
+    );
+
+    let doc = obj(vec![
+        ("bench", Value::Str("controlplane".into())),
+        ("units", Value::Str("us_per_deploy".into())),
+        ("samples_per_point", Value::U64(samples as u64)),
+        ("deploy_latency", Value::Array(rows)),
+        ("concurrency", concurrency),
+        (
+            "acceptance",
+            obj(vec![
+                ("resident_programs", Value::U64(*RESIDENTS.last().unwrap() as u64)),
+                ("before_p50_us", Value::F64(round1(p50_at_max.0))),
+                ("after_p50_us", Value::F64(round1(p50_at_max.1))),
+                ("speedup_p50", Value::F64(round1(p50_at_max.0 / p50_at_max.1))),
+            ]),
+        ),
+    ]);
+
+    let rendered = json::to_string_pretty(&doc);
+    std::fs::write("BENCH_controlplane.json", &rendered).expect("write BENCH_controlplane.json");
+    println!("{rendered}");
+    println!("wrote BENCH_controlplane.json");
+}

@@ -26,11 +26,41 @@
 //! nonlinear objective defeats the bound pruning and is solved by full
 //! enumeration — reproducing its order-of-magnitude-slower solve times
 //! (Figure 12).
+//!
+//! ## The fast solver
+//!
+//! The default solver works on an *interned* form of the model: virtual
+//! memories become small integer ids (their index in `ir.memories`), so
+//! `try_place`/`unplace` never clone a `String` or touch a string-keyed
+//! map on the hot path. On top of the classic `x_L` bound it adds three
+//! sound prunes:
+//!
+//! - **suffix capacity**: precomputed suffix sums of per-slot entry needs
+//!   against the running total of free entries — O(1) per node;
+//! - **free-slot dominance**: a slot with no entries, no memories, no
+//!   forwarding and no same-pass pair (alignment NOP levels) only ever
+//!   tries the smallest legal index — placing it earlier strictly
+//!   dominates;
+//! - **memoized infeasibility**: an incrementally-maintained zobrist-style
+//!   hash of the resource state (entries used, partition lengths, vmem
+//!   placements) keyed with the search frontier `(slot, lo, hi)` and the
+//!   passes of pending pair anchors. A frontier proven *completely*
+//!   infeasible (its range not truncated by the bound and no child cut off
+//!   by bound or budget) is recorded and never re-explored — across the
+//!   objective schemes' repeated `x_1`-pinned searches this collapses the
+//!   re-visited subtrees to a set lookup.
+//!
+//! Failures are memoized only when *complete* so the memo is
+//! bound-independent and safe to reuse across `search_min_xl` calls. The
+//! original clone-heavy solver survives as [`crate::alloc_reference`]
+//! (selected by [`AllocConfig::reference`]); the `alloc_equivalence`
+//! proptest suite keeps the two in lockstep.
 
 use crate::errors::{CompileError, CompileResult};
 use crate::ir::{IrOp, ProgramIr};
 use p4rp_dataplane::{LogicalRpb, RpbId, NUM_RPBS};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
 
 /// Per-level requirements extracted from the IR.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,6 +160,12 @@ pub struct AllocConfig {
     /// best-effort (§4.3); a search that exhausts the budget without a
     /// solution reports failure, like a Z3 timeout would.
     pub node_budget: u64,
+    /// Solve with the naive reference DFS (clone-heavy, no pruning beyond
+    /// the `x_L` bound) instead of the interned/memoized fast solver. The
+    /// reference is the semantic authority the `alloc_equivalence`
+    /// proptest suite checks the fast solver against, and the "before"
+    /// side of `bench_controlplane`.
+    pub reference: bool,
 }
 
 impl Default for AllocConfig {
@@ -138,6 +174,7 @@ impl Default for AllocConfig {
             max_recirc: 1,
             objective: Objective::paper_default(),
             node_budget: 200_000,
+            reference: false,
         }
     }
 }
@@ -217,21 +254,58 @@ fn allocate_slots(
         }
     }
 
+    if cfg.reference {
+        return crate::alloc_reference::solve(ir, reqs, pairs, view, cfg);
+    }
+
+    // Intern: virtual memories become their index in `ir.memories` (lower
+    // guarantees every accessed memory is declared there), and per-slot
+    // requirements carry the ids plus the dominance flag.
+    let sizes: Vec<u32> = ir.memories.iter().map(|m| m.size).collect();
+    let ireqs: Vec<SlotReqI> = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| SlotReqI {
+            entries: r.entries,
+            mems: r
+                .mems
+                .iter()
+                .map(|m| {
+                    ir.memories
+                        .iter()
+                        .position(|d| &d.name == m)
+                        .expect("lowered op references a declared memory")
+                        as u16
+                })
+                .collect(),
+            is_forwarding: r.is_forwarding,
+            free: r.entries == 0
+                && r.mems.is_empty()
+                && !r.is_forwarding
+                && !pairs.iter().any(|&(a, b)| a == i || b == i),
+        })
+        .collect();
+    let mut entries_suffix = vec![0usize; l + 1];
+    for i in (0..l).rev() {
+        entries_suffix[i] = entries_suffix[i + 1] + ireqs[i].entries;
+    }
+
     let mut solver = Solver {
         budget: cfg.node_budget,
-        reqs,
+        reqs: &ireqs,
         pairs,
-        sizes: ir
-            .memories
-            .iter()
-            .map(|m| (m.name.clone(), m.size))
-            .collect(),
+        sizes: &sizes,
+        entries_suffix: &entries_suffix,
         max_index,
         te_free: view.te_free.clone(),
         te_used: vec![0; NUM_RPBS],
+        free_total: total_free,
         mem_free: view.mem_free.clone(),
-        mem_placed: HashMap::new(),
+        mem_placed: vec![None; sizes.len()],
         nodes: 0,
+        solutions: 0,
+        state_hash: 0,
+        memo: MemoSet::default(),
     };
 
     let best = match cfg.objective {
@@ -297,7 +371,7 @@ fn allocate_slots(
         }),
         Some((x, objective_value)) => {
             // Recompute memory placement for the winning assignment.
-            let mem_rpb = solver.placement_for(&x);
+            let mem_rpb = placement_for(reqs, &x);
             let passes = x
                 .iter()
                 .map(|&xi| LogicalRpb::from_index(xi).pass())
@@ -309,23 +383,87 @@ fn allocate_slots(
     }
 }
 
+/// Reconstruct the vmem → RPB mapping implied by an assignment.
+pub(crate) fn placement_for(reqs: &[SlotReq], x: &[u16]) -> HashMap<String, RpbId> {
+    let mut out = HashMap::new();
+    for (slot, req) in reqs.iter().enumerate() {
+        let rpb = LogicalRpb::from_index(x[slot]).rpb();
+        for vmem in &req.mems {
+            out.entry(vmem.clone()).or_insert(rpb);
+        }
+    }
+    out
+}
+
+/// Interned per-level requirements (memories by id, dominance flag).
+struct SlotReqI {
+    entries: usize,
+    mems: Vec<u16>,
+    is_forwarding: bool,
+    /// No entries, no memories, no forwarding, in no same-pass pair:
+    /// the slot only spends a logical index (alignment NOP levels).
+    free: bool,
+}
+
+/// splitmix64 finalizer — the per-component mixer for the state hash.
+#[inline]
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Memo keys are already splitmix-mixed; the set hasher passes them through.
+#[derive(Default)]
+struct PreMixed(u64);
+
+impl std::hash::Hasher for PreMixed {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type MemoSet = HashSet<u64, BuildHasherDefault<PreMixed>>;
+
 struct Solver<'a> {
     budget: u64,
-    reqs: &'a [SlotReq],
+    reqs: &'a [SlotReqI],
     pairs: &'a [(usize, usize)],
-    sizes: HashMap<String, u32>,
+    /// vmem id → size.
+    sizes: &'a [u32],
+    /// `entries_suffix[i]` = entries needed by slots `i..`.
+    entries_suffix: &'a [usize],
     max_index: u16,
     te_free: Vec<usize>,
     te_used: Vec<usize>,
+    /// Total free entries remaining across all RPBs.
+    free_total: usize,
     mem_free: Vec<Vec<u32>>,
-    /// vmem → (physical rpb index 0-based, last pass used).
-    mem_placed: HashMap<String, (usize, u8)>,
+    /// vmem id → (physical rpb index 0-based, last pass used).
+    mem_placed: Vec<Option<(usize, u8)>>,
     nodes: u64,
+    /// Assignments reaching the base case (for memo soundness checks).
+    solutions: u64,
+    /// Zobrist-style hash of (te_used, mem_free lengths, mem_placed),
+    /// maintained incrementally by `try_place`/`unplace`.
+    state_hash: u64,
+    /// Frontiers proven completely infeasible.
+    memo: MemoSet,
 }
 
 impl Solver<'_> {
     /// Branch-and-bound minimizing `x_L`, optionally pinning `x_1` and
-    /// bounding `x_L`. Returns the best assignment found.
+    /// bounding `x_L`. Returns the best assignment found. The memo is
+    /// shared across calls — entries are bound-independent facts.
     fn search_min_xl(&mut self, x1: Option<u16>, xl_cap: Option<u16>) -> Option<(Vec<u16>, u16)> {
         let mut best: Option<(Vec<u16>, u16)> = None;
         let mut x = vec![0u16; self.reqs.len()];
@@ -335,6 +473,10 @@ impl Solver<'_> {
         best
     }
 
+    /// Returns `true` when the subtree was searched *completely* — its
+    /// candidate range not truncated by the `x_L` bound and no descendant
+    /// cut off by bound or budget. A complete subtree without a solution
+    /// is a bound-independent infeasibility fact, safe to memoize.
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         &mut self,
@@ -345,45 +487,130 @@ impl Solver<'_> {
         best: &mut Option<(Vec<u16>, u16)>,
         bound: &mut u16,
         deadline: u64,
-    ) {
+    ) -> bool {
         if self.nodes >= deadline {
-            return;
+            return false;
         }
         let l = self.reqs.len();
         if slot == l {
             let xl = x[l - 1];
+            self.solutions += 1;
             if best.as_ref().is_none_or(|(_, b)| xl < *b) {
                 *best = Some((x.clone(), xl));
                 *bound = xl;
             }
-            return;
+            return true;
+        }
+        // Suffix capacity: entries still to place exceed the total free —
+        // infeasible no matter the assignment.
+        if self.entries_suffix[slot] > self.free_total {
+            return true;
         }
         let remaining = (l - 1 - slot) as u16;
         let lo = if slot == 0 { x1.unwrap_or(1) } else { prev + 1 };
-        let hi_struct = self.max_index - remaining;
+        let mut hi_struct = self.max_index - remaining;
+        if slot == 0 && x1.is_some() {
+            hi_struct = hi_struct.min(lo);
+        }
+        if lo > hi_struct {
+            return true;
+        }
+        let key = self.frontier_key(slot, lo, hi_struct, x);
+        if self.memo.contains(&key) {
+            return true;
+        }
         // Bound: x_L ≥ x_slot + remaining, so x_slot must stay below
         // bound − remaining to improve.
-        let hi_bound = bound.saturating_sub(remaining + 1);
-        let hi = hi_struct.min(hi_bound);
-        let hi = if slot == 0 && x1.is_some() { lo.min(hi) } else { hi };
+        let hi = hi_struct.min(bound.saturating_sub(remaining + 1));
         if lo > hi {
-            return;
+            return false;
         }
-        for cand in lo..=hi {
-            if slot == 0 {
-                if let Some(pin) = x1 {
-                    if cand != pin {
-                        continue;
-                    }
+
+        let found_before = self.solutions;
+        let mut complete;
+        if self.reqs[slot].free {
+            // Dominance: placing an unconstrained slot at `lo` strictly
+            // dominates any later index (same resources, looser ordering),
+            // so one child decides the whole structural range.
+            self.nodes += 1;
+            x[slot] = lo;
+            complete = self.dfs(slot + 1, lo, x1, x, best, bound, deadline);
+            x[slot] = 0;
+        } else {
+            complete = hi == hi_struct;
+            for cand in lo..=hi {
+                // A solution inside this subtree tightened the bound;
+                // re-derive the cutoff (truncation is fine — the memo
+                // insert below is already off once a solution exists).
+                if cand > bound.saturating_sub(remaining + 1) {
+                    complete = false;
+                    break;
+                }
+                self.nodes += 1;
+                if let Some(undo) = self.try_place(slot, cand, x) {
+                    x[slot] = cand;
+                    let child = self.dfs(slot + 1, cand, x1, x, best, bound, deadline);
+                    x[slot] = 0;
+                    self.unplace(undo);
+                    complete &= child;
                 }
             }
-            self.nodes += 1;
-            if let Some(undo) = self.try_place(slot, cand, x) {
-                x[slot] = cand;
-                self.dfs(slot + 1, cand, x1, x, best, bound, deadline);
-                x[slot] = 0;
-                self.unplace(undo);
+        }
+        if complete && self.solutions == found_before {
+            self.memo.insert(key);
+        }
+        complete
+    }
+
+    /// The memo key for a frontier: resource-state hash, the slot, its
+    /// candidate range, and the passes of anchors of still-pending
+    /// same-pass pairs (the only way already-assigned `x` values reach
+    /// into the subtree other than through `lo`).
+    fn frontier_key(&self, slot: usize, lo: u16, hi_struct: u16, x: &[u16]) -> u64 {
+        let mut h = self.state_hash
+            ^ mix(
+                0x5000_0000_0000_0000
+                    | (slot as u64) << 32
+                    | u64::from(lo) << 16
+                    | u64::from(hi_struct),
+            );
+        for &(a, b) in self.pairs {
+            if a < slot && b >= slot {
+                let pass = LogicalRpb::from_index(x[a]).pass();
+                h ^= mix(
+                    0x6000_0000_0000_0000
+                        | (a as u64) << 32
+                        | (b as u64) << 16
+                        | u64::from(pass),
+                );
             }
+        }
+        h
+    }
+
+    #[inline]
+    fn toggle_te(&mut self, rpb_idx: usize) {
+        self.state_hash ^= mix(
+            0x1000_0000_0000_0000 | (rpb_idx as u64) << 32 | self.te_used[rpb_idx] as u64,
+        );
+    }
+
+    #[inline]
+    fn toggle_part(&mut self, rpb_idx: usize, part: usize) {
+        self.state_hash ^= mix(
+            0x2000_0000_0000_0000
+                | (rpb_idx as u64) << 40
+                | (part as u64) << 20
+                | u64::from(self.mem_free[rpb_idx][part]),
+        );
+    }
+
+    #[inline]
+    fn toggle_placed(&mut self, mem: usize) {
+        if let Some((rpb, pass)) = self.mem_placed[mem] {
+            self.state_hash ^= mix(
+                0x3000_0000_0000_0000 | (mem as u64) << 32 | (rpb as u64) << 8 | u64::from(pass),
+            );
         }
     }
 
@@ -415,71 +642,82 @@ impl Solver<'_> {
         }
         // (3)+(5) memory.
         let mut mem_undo: Vec<MemUndo> = Vec::new();
-        for vmem in &req.mems {
-            match self.mem_placed.get(vmem).copied() {
+        for &m in &req.mems {
+            let mi = usize::from(m);
+            match self.mem_placed[mi] {
                 Some((placed_rpb, last_pass)) => {
                     // Constraint (5): same physical RPB, strictly later pass.
                     if placed_rpb != rpb_idx || pass <= last_pass {
-                        for u in mem_undo.drain(..) {
-                            self.undo_mem(u);
-                        }
+                        self.rollback(mem_undo);
                         return None;
                     }
-                    let prev = self.mem_placed.insert(vmem.clone(), (rpb_idx, pass));
-                    mem_undo.push(MemUndo::Replaced(vmem.clone(), prev.unwrap()));
+                    self.toggle_placed(mi);
+                    self.mem_placed[mi] = Some((rpb_idx, pass));
+                    self.toggle_placed(mi);
+                    mem_undo.push(MemUndo::Replaced(m, (placed_rpb, last_pass)));
                 }
                 None => {
-                    let size = self.sizes[vmem];
+                    let size = self.sizes[mi];
                     // First-fit over the free partitions.
                     match self.mem_free[rpb_idx].iter().position(|&p| p >= size) {
                         Some(part) => {
+                            self.toggle_part(rpb_idx, part);
                             self.mem_free[rpb_idx][part] -= size;
-                            self.mem_placed.insert(vmem.clone(), (rpb_idx, pass));
-                            mem_undo.push(MemUndo::Taken(vmem.clone(), rpb_idx, part, size));
+                            self.toggle_part(rpb_idx, part);
+                            self.mem_placed[mi] = Some((rpb_idx, pass));
+                            self.toggle_placed(mi);
+                            mem_undo.push(MemUndo::Taken(m, rpb_idx, part, size));
                         }
                         None => {
-                            for u in mem_undo.drain(..) {
-                                self.undo_mem(u);
-                            }
+                            self.rollback(mem_undo);
                             return None;
                         }
                     }
                 }
             }
         }
-        self.te_used[rpb_idx] += req.entries;
+        if req.entries > 0 {
+            self.toggle_te(rpb_idx);
+            self.te_used[rpb_idx] += req.entries;
+            self.toggle_te(rpb_idx);
+            self.free_total -= req.entries;
+        }
         Some(Undo { rpb_idx, entries: req.entries, mem: mem_undo })
     }
 
     fn unplace(&mut self, undo: Undo) {
-        self.te_used[undo.rpb_idx] -= undo.entries;
-        for u in undo.mem {
+        if undo.entries > 0 {
+            self.toggle_te(undo.rpb_idx);
+            self.te_used[undo.rpb_idx] -= undo.entries;
+            self.toggle_te(undo.rpb_idx);
+            self.free_total += undo.entries;
+        }
+        self.rollback(undo.mem);
+    }
+
+    fn rollback(&mut self, undo: Vec<MemUndo>) {
+        for u in undo.into_iter().rev() {
             self.undo_mem(u);
         }
     }
 
     fn undo_mem(&mut self, u: MemUndo) {
         match u {
-            MemUndo::Taken(vmem, rpb, part, size) => {
+            MemUndo::Taken(m, rpb, part, size) => {
+                let mi = usize::from(m);
+                self.toggle_part(rpb, part);
                 self.mem_free[rpb][part] += size;
-                self.mem_placed.remove(&vmem);
+                self.toggle_part(rpb, part);
+                self.toggle_placed(mi);
+                self.mem_placed[mi] = None;
             }
-            MemUndo::Replaced(vmem, prev) => {
-                self.mem_placed.insert(vmem, prev);
-            }
-        }
-    }
-
-    /// Reconstruct the vmem → RPB mapping implied by an assignment.
-    fn placement_for(&self, x: &[u16]) -> HashMap<String, RpbId> {
-        let mut out = HashMap::new();
-        for (slot, req) in self.reqs.iter().enumerate() {
-            let rpb = LogicalRpb::from_index(x[slot]).rpb();
-            for vmem in &req.mems {
-                out.entry(vmem.clone()).or_insert(rpb);
+            MemUndo::Replaced(m, prev) => {
+                let mi = usize::from(m);
+                self.toggle_placed(mi);
+                self.mem_placed[mi] = Some(prev);
+                self.toggle_placed(mi);
             }
         }
-        out
     }
 }
 
@@ -490,8 +728,8 @@ struct Undo {
 }
 
 enum MemUndo {
-    Taken(String, usize, usize, u32),
-    Replaced(String, (usize, u8)),
+    Taken(u16, usize, usize, u32),
+    Replaced(u16, (usize, u8)),
 }
 
 #[cfg(test)]

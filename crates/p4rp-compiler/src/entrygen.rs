@@ -9,10 +9,11 @@
 
 use crate::alloc::Allocation;
 use crate::errors::{CompileError, CompileResult};
-use crate::ir::{IrOp, ProgramIr};
+use crate::ir::{IrOp, MemDecl, PlacedOp, ProgramIr};
 use p4rp_dataplane::LogicalRpb;
 use p4rp_dataplane::{init, FilterEntrySpec, P4rpFields, RpbEntrySpec, RpbId, RpbOp};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// A granted physical memory region.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +63,18 @@ pub fn generate(
     fields: &P4rpFields,
     ft_universe: &rmt_sim::phv::FieldTable,
 ) -> CompileResult<ProgramImage> {
+    let rpb_entries = body_entries(ir, alloc, offsets, prog_id, fields)?;
+    assemble(ir, alloc, offsets, prog_id, fields, ft_universe, rpb_entries)
+}
+
+/// The RPB-entry half of [`generate`] (everything the shape cache covers).
+fn body_entries(
+    ir: &ProgramIr,
+    alloc: &Allocation,
+    offsets: &HashMap<String, (RpbId, u32)>,
+    prog_id: u16,
+    fields: &P4rpFields,
+) -> CompileResult<Vec<(RpbId, RpbEntrySpec)>> {
     let sizes: HashMap<&str, u32> =
         ir.memories.iter().map(|m| (m.name.as_str(), m.size)).collect();
 
@@ -88,7 +101,20 @@ pub fn generate(
             ));
         }
     }
+    Ok(rpb_entries)
+}
 
+/// The instance-specific half of [`generate`]: filter entry, memory
+/// regions, recirculation ids.
+fn assemble(
+    ir: &ProgramIr,
+    alloc: &Allocation,
+    offsets: &HashMap<String, (RpbId, u32)>,
+    prog_id: u16,
+    fields: &P4rpFields,
+    ft_universe: &rmt_sim::phv::FieldTable,
+    rpb_entries: Vec<(RpbId, RpbEntrySpec)>,
+) -> CompileResult<ProgramImage> {
     // The program's filter entry for the unified initialization table.
     let mut conds = Vec::new();
     let mut required_bitmap = 0u16;
@@ -131,6 +157,122 @@ pub fn generate(
         mem_regions,
         passes: alloc.passes,
     })
+}
+
+/// Memoizes RPB-entry generation across program *shapes*.
+///
+/// Deploy streams install many instances of one source template (the §6.2
+/// workload families): identical levels, memories, and placement; only the
+/// name, filter values, program id, and granted memory offsets differ. The
+/// cache keys on the shape — `(levels, memories, x)` hashed with FxHash,
+/// verified by full equality on hit — and stores the entry list with a
+/// neutral program id and zeroed offsets plus the positions to patch, so a
+/// hit clones the template and rewrites `prog_id` and the `MemOffset`
+/// offsets instead of re-resolving every op. The filter entry and memory
+/// regions are always built fresh (they are instance-specific and cheap).
+#[derive(Debug, Default)]
+pub struct EntryGenCache {
+    map: HashMap<u64, CacheEntry>,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that built (and stored) a template.
+    pub misses: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    levels: Vec<Vec<PlacedOp>>,
+    memories: Vec<MemDecl>,
+    x: Vec<u16>,
+    /// Entries with `prog_id = 0` and `MemOffset` offsets zeroed.
+    template: Vec<(RpbId, RpbEntrySpec)>,
+    /// `(entry index, memory index in `memories`)` of each offset step.
+    patches: Vec<(usize, u16)>,
+}
+
+/// Templates kept before the cache resets (shapes are few; this is a
+/// safety valve, not an expected eviction path).
+const CACHE_CAP: usize = 256;
+
+impl EntryGenCache {
+    fn shape_key(ir: &ProgramIr, alloc: &Allocation) -> u64 {
+        let mut h = rmt_sim::fxhash::FxHasher::default();
+        ir.levels.hash(&mut h);
+        ir.memories.hash(&mut h);
+        alloc.x.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// [`generate`] through the shape cache: bit-identical output, amortized
+/// cost for repeated shapes.
+pub fn generate_cached(
+    cache: &mut EntryGenCache,
+    ir: &ProgramIr,
+    alloc: &Allocation,
+    offsets: &HashMap<String, (RpbId, u32)>,
+    prog_id: u16,
+    fields: &P4rpFields,
+    ft_universe: &rmt_sim::phv::FieldTable,
+) -> CompileResult<ProgramImage> {
+    let key = EntryGenCache::shape_key(ir, alloc);
+    if let Some(e) = cache.map.get(&key) {
+        if e.levels == ir.levels && e.memories == ir.memories && e.x == alloc.x {
+            let mut rpb_entries = e.template.clone();
+            for (_, spec) in &mut rpb_entries {
+                spec.prog_id = prog_id;
+            }
+            for &(k, mi) in &e.patches {
+                let name = &e.memories[usize::from(mi)].name;
+                let off = offsets
+                    .get(name)
+                    .ok_or_else(|| CompileError::UnknownMemory(name.clone()))?
+                    .1;
+                rpb_entries[k].1.op.data[0] = u64::from(off);
+            }
+            cache.hits += 1;
+            return assemble(ir, alloc, offsets, prog_id, fields, ft_universe, rpb_entries);
+        }
+    }
+
+    let rpb_entries = body_entries(ir, alloc, offsets, prog_id, fields)?;
+
+    // Patch positions: the k-th non-NOP placed op is the k-th entry.
+    let mut patches = Vec::new();
+    for (k, placed) in
+        ir.levels.iter().flatten().filter(|p| p.op != IrOp::Nop).enumerate()
+    {
+        if let IrOp::MemOffset { mem, .. } = &placed.op {
+            let mi = ir
+                .memories
+                .iter()
+                .position(|m| &m.name == mem)
+                .expect("offset step references a declared memory") as u16;
+            patches.push((k, mi));
+        }
+    }
+    let mut template = rpb_entries.clone();
+    for (_, spec) in &mut template {
+        spec.prog_id = 0;
+    }
+    for &(k, _) in &patches {
+        template[k].1.op.data[0] = 0;
+    }
+    if cache.map.len() >= CACHE_CAP {
+        cache.map.clear();
+    }
+    cache.map.insert(
+        key,
+        CacheEntry {
+            levels: ir.levels.clone(),
+            memories: ir.memories.clone(),
+            x: alloc.x.clone(),
+            template,
+            patches,
+        },
+    );
+    cache.misses += 1;
+    assemble(ir, alloc, offsets, prog_id, fields, ft_universe, rpb_entries)
 }
 
 /// Resolve one IR op into a concrete RPB operation. `None` for NOPs.
@@ -286,6 +428,50 @@ program p(<hdr.ipv4.dst, 1, 1>) {
         assert_eq!(image.recirc_ids, vec![0]);
         // Second-pass entries carry recirc_id 1.
         assert!(image.rpb_entries.iter().any(|(_, e)| e.recirc_id == 1));
+    }
+
+    #[test]
+    fn cached_generation_is_bit_identical() {
+        let (ft, _, fields) = p4rp_dataplane::fields::build().unwrap();
+        let mut cache = EntryGenCache::default();
+        // Two instances of one shape: same body, different name/filter/
+        // prog_id/offsets — the second must hit and still patch correctly.
+        for (i, (dst, off)) in [("10.0.0.0", 4096u32), ("10.0.1.0", 8192u32)].iter().enumerate() {
+            let src = format!(
+                "@ m 256\nprogram p{i}(<hdr.ipv4.dst, {dst}, 0xffffff00>) {{ LOADI(mar, 1); MEMADD(m); FORWARD(7); }}"
+            );
+            let unit = parse(&src).unwrap();
+            let mems: Vec<MemDecl> = unit
+                .annotations
+                .iter()
+                .map(|a| MemDecl { name: a.name.clone(), size: a.size as u32 })
+                .collect();
+            let ir = lower(&unit.programs[0], &mems).unwrap();
+            let view = AllocView::unconstrained(RPB_TABLE_SIZE, RPB_MEM_SIZE);
+            let alloc = allocate(&ir, &view, &AllocConfig::default()).unwrap();
+            let offsets: HashMap<String, (RpbId, u32)> = alloc
+                .mem_rpb
+                .iter()
+                .map(|(n, r)| (n.clone(), (*r, *off)))
+                .collect();
+            let prog_id = (i + 3) as u16;
+            let plain = generate(&ir, &alloc, &offsets, prog_id, &fields, &ft).unwrap();
+            let cached =
+                generate_cached(&mut cache, &ir, &alloc, &offsets, prog_id, &fields, &ft)
+                    .unwrap();
+            assert_eq!(plain.rpb_entries, cached.rpb_entries);
+            assert_eq!(plain.filter, cached.filter);
+            assert_eq!(plain.mem_regions, cached.mem_regions);
+            assert_eq!(plain.recirc_ids, cached.recirc_ids);
+            // The patched offset really is this instance's grant.
+            let offv = cached
+                .rpb_entries
+                .iter()
+                .find(|(_, e)| e.op.action == AtomicAction::MemOffset)
+                .unwrap();
+            assert_eq!(offv.1.op.data[0], u64::from(*off));
+        }
+        assert_eq!((cache.misses, cache.hits), (1, 1), "second instance hit the template");
     }
 
     #[test]

@@ -34,7 +34,7 @@ use p4rp_dataplane::{AluRROp, MemOpKind};
 use p4rp_lang::{Primitive, PrimitiveKind, ProgramDecl, Reg, RegConds};
 
 /// A referenced virtual memory block.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MemDecl {
     /// Human-readable name.
     pub name: String,
@@ -44,7 +44,7 @@ pub struct MemDecl {
 
 /// Lowered hardware operations (a subset of the atomic actions, still with
 /// symbolic field / memory names — resolution happens at entry generation).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum IrOp {
     /// Extract.
     Extract { field: String, reg: Reg },
@@ -108,7 +108,7 @@ impl IrOp {
 }
 
 /// One operation placed at a depth level, with its execution condition.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlacedOp {
     /// Branch condition `(value, mask)` under which this op executes.
     pub branch: (u16, u16),

@@ -7,7 +7,10 @@
 //! ```text
 //! deploy <inline source…>      link a program (source until end of line;
 //!                              use \n escapes or `deploy-file` in shells)
+//! deploy-many <file…>          link many source files through one
+//!                              concurrent compilation context
 //! revoke <name>                unlink a program
+//! revoke-many <name…>          unlink many programs (vectored batches)
 //! update <name> <source…>      incremental update: revoke + redeploy
 //! programs                     list deployed programs
 //! status                       resource-manager summary
@@ -55,9 +58,11 @@ impl Cli {
         let result: CtlResult<String> = match cmd {
             "" | "help" => Ok(HELP.to_string()),
             "deploy" => self.deploy(rest),
+            "deploy-many" => Ok(self.deploy_many(rest)),
             "revoke" => self.ctl.revoke(rest).map(|r| {
                 format!("revoked `{}` in {:.2} ms", r.name, r.update_delay.as_millis_f64())
             }),
+            "revoke-many" => Ok(self.revoke_many(rest)),
             "update" => self.update(rest),
             "programs" => Ok(self.programs()),
             "status" => Ok(match rest {
@@ -92,6 +97,70 @@ impl Cli {
             })
             .collect::<Vec<_>>()
             .join("\n"))
+    }
+
+    /// `deploy-many <file...>`: read each file, compile them all through
+    /// one concurrent compilation context, and report one line per
+    /// program plus a conflict summary.
+    fn deploy_many(&mut self, rest: &str) -> String {
+        let paths: Vec<&str> = rest.split_whitespace().collect();
+        if paths.is_empty() {
+            return "usage: deploy-many <file...>".to_string();
+        }
+        let mut sources = Vec::with_capacity(paths.len());
+        for p in &paths {
+            match std::fs::read_to_string(p) {
+                Ok(s) => sources.push(s),
+                Err(e) => return format!("error reading {p}: {e}"),
+            }
+        }
+        let conflicts_before = self.ctl.spec_conflicts();
+        let results = self.ctl.deploy_many(&sources);
+        let mut out = Vec::new();
+        for (p, result) in paths.iter().zip(results) {
+            match result {
+                Ok(reports) => {
+                    for r in reports {
+                        out.push(format!(
+                            "linked `{}` (id {}): {} entries, alloc {:.2} ms, \
+                             apply {:.2} ms, update {:.2} ms",
+                            r.name,
+                            r.prog_id,
+                            r.entries_installed,
+                            r.alloc_wall.as_secs_f64() * 1e3,
+                            r.channel_wall.as_secs_f64() * 1e3,
+                            r.update_delay.as_millis_f64()
+                        ));
+                    }
+                }
+                Err(e) => out.push(format!("error in {p}: {e}")),
+            }
+        }
+        out.push(format!(
+            "{} speculative conflict(s) re-allocated",
+            self.ctl.spec_conflicts() - conflicts_before
+        ));
+        out.join("\n")
+    }
+
+    /// `revoke-many <name...>`: one vectored revoke per name, best-effort.
+    fn revoke_many(&mut self, rest: &str) -> String {
+        let names: Vec<String> = rest.split_whitespace().map(String::from).collect();
+        if names.is_empty() {
+            return "usage: revoke-many <name...>".to_string();
+        }
+        self.ctl
+            .revoke_many(&names)
+            .into_iter()
+            .zip(&names)
+            .map(|(r, n)| match r {
+                Ok(r) => {
+                    format!("revoked `{}` in {:.2} ms", r.name, r.update_delay.as_millis_f64())
+                }
+                Err(e) => format!("error revoking `{n}`: {e}"),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     fn update(&mut self, rest: &str) -> CtlResult<String> {
@@ -323,7 +392,7 @@ fn parse_ipv4(s: &str) -> Option<u32> {
     Some(u32::from_be_bytes(octets))
 }
 
-const HELP: &str = "commands: deploy <src> | revoke <name> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | help";
+const HELP: &str = "commands: deploy <src> | deploy-many <file...> | revoke <name> | revoke-many <name...> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | help";
 
 #[cfg(test)]
 mod tests {
@@ -347,6 +416,39 @@ mod tests {
         let out = cli.exec("revoke p");
         assert!(out.contains("revoked `p`"), "{out}");
         assert!(cli.exec("programs").contains("no programs"));
+    }
+
+    #[test]
+    fn deploy_many_and_revoke_many_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("p4rp-cli-many-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for i in 0..4 {
+            let path = dir.join(format!("p{i}.p4rp"));
+            let src = format!(
+                "@ m{i} 64\nprogram p{i}(<hdr.ipv4.dst, 10.0.{i}.1, 0xffffffff>) \
+                 {{ LOADI(mar, 1); MEMREAD(m{i}); }}"
+            );
+            std::fs::write(&path, src).unwrap();
+            paths.push(path.display().to_string());
+        }
+        let mut cli = cli();
+        let out = cli.exec(&format!("deploy-many {}", paths.join(" ")));
+        for i in 0..4 {
+            assert!(out.contains(&format!("linked `p{i}`")), "{out}");
+        }
+        assert!(out.contains("speculative conflict(s) re-allocated"), "{out}");
+        assert_eq!(cli.ctl.deployed_programs().count(), 4);
+        let out = cli.exec("revoke-many p0 p1 p2 p3 ghost");
+        for i in 0..4 {
+            assert!(out.contains(&format!("revoked `p{i}`")), "{out}");
+        }
+        assert!(out.contains("error revoking `ghost`"), "{out}");
+        assert_eq!(cli.ctl.deployed_programs().count(), 0);
+        assert_eq!(cli.exec("deploy-many"), "usage: deploy-many <file...>");
+        assert_eq!(cli.exec("revoke-many"), "usage: revoke-many <name...>");
+        assert!(cli.exec("deploy-many /no/such/file").starts_with("error reading"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -12,12 +12,12 @@
 
 use crate::resman::ResourceManager;
 use crate::telemetry::{LifecycleSpan, ResourceGauges, TelemetryReport};
-use p4rp_compiler::alloc::{allocate, AllocConfig, Allocation};
+use p4rp_compiler::alloc::{allocate, AllocConfig, AllocView, Allocation};
 use p4rp_compiler::consistency::{plan_install, plan_remove, InstalledHandles};
-use p4rp_compiler::entrygen::{generate, ProgramImage};
-use p4rp_compiler::ir::{lower, MemDecl};
+use p4rp_compiler::entrygen::{generate_cached, EntryGenCache, ProgramImage};
+use p4rp_compiler::ir::{lower, IrOp, MemDecl, ProgramIr};
 use p4rp_compiler::CompileError;
-use p4rp_dataplane::{provision, Dataplane, RpbId, RPB_MEM_SIZE};
+use p4rp_dataplane::{provision, Dataplane, LogicalRpb, RpbId, NUM_RPBS, RPB_MEM_SIZE};
 use p4rp_lang::{check, parse, CheckContext};
 use rmt_sim::clock::Nanos;
 use rmt_sim::control::{ControlChannel, LatencyModel};
@@ -102,6 +102,10 @@ pub struct DeployReport {
     pub alloc_wall: Duration,
     /// Alloc nodes.
     pub alloc_nodes: u64,
+    /// Wall-clock spent applying batches through the control channel
+    /// (entry encode + table mutation on this side of the simulated
+    /// `bfrt` latency, which is reported separately as `update_delay`).
+    pub channel_wall: Duration,
     /// Simulated data plane update latency (Table 1).
     pub update_delay: Nanos,
     /// Entries installed.
@@ -110,6 +114,23 @@ pub struct DeployReport {
     pub depth: usize,
     /// Passes.
     pub passes: u8,
+}
+
+/// A program compiled and speculatively allocated but not yet committed
+/// to the data plane. Produced by the parse → check → lower → allocate
+/// front half of `deploy`; consumed by the validate-commit back half.
+///
+/// The allocation inside may have been computed against a *snapshot* of
+/// the resource view (the concurrent `deploy_many` path); `commit` with
+/// `revalidate` re-checks it against the live view and re-runs the
+/// solver if the speculation lost a conflict.
+#[derive(Debug, Clone)]
+struct CompiledProgram {
+    name: String,
+    ir: ProgramIr,
+    allocation: Allocation,
+    parse_wall: Duration,
+    alloc_wall: Duration,
 }
 
 /// What `revoke` reports.
@@ -136,6 +157,15 @@ pub struct Controller {
     /// data plane, mirrored into the switch's recorder when enabled.
     epoch: u64,
     spans: Vec<LifecycleSpan>,
+    /// Opt-in deploy fast path: vectored (single-batch, marginal-cost)
+    /// channel application and shape-cached entry generation. Off by
+    /// default so the Table 1 / Figure 13 per-op latency reproductions
+    /// keep their calibrated costs.
+    fast_path: bool,
+    entry_cache: EntryGenCache,
+    /// Speculative allocations that failed validation at commit time and
+    /// were re-solved against the live view (`deploy_many` conflicts).
+    spec_conflicts: u64,
 }
 
 impl Controller {
@@ -156,6 +186,9 @@ impl Controller {
             check_ctx,
             epoch: 0,
             spans: Vec::new(),
+            fast_path: false,
+            entry_cache: EntryGenCache::default(),
+            spec_conflicts: 0,
         })
     }
 
@@ -198,6 +231,29 @@ impl Controller {
     /// Set alloc config.
     pub fn set_alloc_config(&mut self, cfg: AllocConfig) {
         self.alloc_cfg = cfg;
+    }
+
+    /// Is the deploy fast path (vectored channel batches, cached entry
+    /// generation) enabled?
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// Enable / disable the deploy fast path. `deploy_many` always uses
+    /// it regardless of this flag.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+    }
+
+    /// Speculative allocations that lost a conflict at commit time and
+    /// were re-solved against the live resource view.
+    pub fn spec_conflicts(&self) -> u64 {
+        self.spec_conflicts
+    }
+
+    /// Entry-generation shape-cache hit/miss counters.
+    pub fn entry_cache_stats(&self) -> (u64, u64) {
+        (self.entry_cache.hits, self.entry_cache.misses)
     }
 
     /// Deployed programs.
@@ -328,87 +384,241 @@ impl Controller {
 
             // Allocation against the live resource view (Figure 7 timing).
             let t_alloc = Instant::now();
-            let view = self.resman.alloc_view();
-            let allocation = allocate(&ir, &view, &self.alloc_cfg)?;
+            let allocation = allocate(&ir, self.resman.alloc_view(), &self.alloc_cfg)?;
             let alloc_wall = t_alloc.elapsed();
 
-            // Grant physical memory where the solver placed each vmem.
-            let mut offsets: HashMap<String, (RpbId, u32)> = HashMap::new();
-            let mut granted: Vec<(RpbId, u32, u32)> = Vec::new();
-            for m in &ir.memories {
-                let rpb = allocation.mem_rpb[&m.name];
-                match self.resman.grant_memory(rpb, m.size) {
-                    Some(off) => {
-                        offsets.insert(m.name.clone(), (rpb, off));
-                        granted.push((rpb, off, m.size));
-                    }
-                    None => {
-                        for (r, o, s) in granted {
-                            self.resman.unlock_memory(r, o, s);
-                        }
-                        return Err(CtlError::Compile(CompileError::AllocationFailed {
-                            reason: format!("memory grant for `{}` failed", m.name),
-                        }));
-                    }
-                }
-            }
+            let compiled = CompiledProgram {
+                name: prog.name.clone(),
+                ir,
+                allocation,
+                parse_wall,
+                alloc_wall,
+            };
+            let vectored = self.fast_path;
+            reports.push(self.commit(compiled, false, vectored)?);
+        }
+        Ok(reports)
+    }
 
-            let prog_id = self.take_prog_id()?;
-            let image = match generate(
-                &ir,
-                &allocation,
-                &offsets,
-                prog_id,
-                &self.dp.fields,
-                self.switch.field_table(),
-            ) {
-                Ok(i) => i,
-                Err(e) => {
+    /// Deploy many independent source strings concurrently.
+    ///
+    /// The compile front half (parse, check, lower, allocate) of every
+    /// source runs on worker threads against a *snapshot* of the resource
+    /// view taken at entry; commits stay serialized on the control
+    /// channel, in input order, so §4.3's first-come-first-serve
+    /// semantics hold by index. Each commit revalidates its speculative
+    /// allocation against the live view and re-runs the solver if an
+    /// earlier commit took the resources it was counting on
+    /// ([`Controller::spec_conflicts`] counts the losers). A speculation
+    /// that found *no* placement is reported as failure directly:
+    /// resources only shrink while the batch commits, and feasibility is
+    /// monotone in resources.
+    ///
+    /// Returns one result per source, each carrying one report per
+    /// program in that source. Always uses the vectored channel path.
+    pub fn deploy_many(&mut self, sources: &[String]) -> Vec<CtlResult<Vec<DeployReport>>> {
+        let n = sources.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let snapshot = self.resman.alloc_view().clone();
+        let cfg = self.alloc_cfg;
+        let ctx = &self.check_ctx;
+        // At least two workers even on a single-core host: the pipeline's
+        // cross-thread handoff should be exercised wherever it runs, and
+        // the interleaving overhead is noise next to a solver call.
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .clamp(2, 8)
+            .min(n);
+        let mut compiled: Vec<Option<CtlResult<Vec<CompiledProgram>>>> =
+            (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            // The vendored channel is single-consumer, so work is handed
+            // out by striding indices rather than through a shared queue.
+            let (tx, rx) = crossbeam::channel::unbounded();
+            for w in 0..workers {
+                let tx = tx.clone();
+                let snapshot = &snapshot;
+                s.spawn(move || {
+                    let mut i = w;
+                    while i < n {
+                        let r = compile_source(&sources[i], ctx, snapshot, &cfg);
+                        let _ = tx.send((i, r));
+                        i += workers;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, r) in rx.iter() {
+                compiled[i] = Some(r);
+            }
+        });
+        compiled
+            .into_iter()
+            .map(|r| {
+                let cs = r.expect("every index was compiled")?;
+                let mut reps = Vec::with_capacity(cs.len());
+                for c in cs {
+                    reps.push(self.commit(c, true, true)?);
+                }
+                Ok(reps)
+            })
+            .collect()
+    }
+
+    /// Does a speculative allocation still fit the live resource view?
+    /// Mirrors what `commit` is about to do: cumulative entry needs per
+    /// physical RPB, and first-fit placement of every virtual memory in
+    /// the RPB the solver chose for it.
+    fn validates(&self, c: &CompiledProgram) -> bool {
+        let view = self.resman.alloc_view();
+        let mut need = [0usize; NUM_RPBS];
+        for (slot, level) in c.ir.levels.iter().enumerate() {
+            let n = level.iter().filter(|p| p.op != IrOp::Nop).count();
+            let idx = usize::from(LogicalRpb::from_index(c.allocation.x[slot]).rpb().0) - 1;
+            need[idx] += n;
+        }
+        if need.iter().zip(&view.te_free).any(|(n, f)| n > f) {
+            return false;
+        }
+        let mut free: HashMap<usize, Vec<u32>> = HashMap::new();
+        for m in &c.ir.memories {
+            let idx = usize::from(c.allocation.mem_rpb[&m.name].0) - 1;
+            let parts = free.entry(idx).or_insert_with(|| view.mem_free[idx].clone());
+            match parts.iter().position(|&p| p >= m.size) {
+                Some(pi) => parts[pi] -= m.size,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Commit a compiled program to the data plane: grant memory, generate
+    /// entries (through the shape cache), charge budgets, and install via
+    /// the Figure 6 consistent batch order. With `revalidate`, first check
+    /// the (possibly stale) speculative allocation against the live view
+    /// and re-run the solver on conflict. With `vectored`, the install
+    /// goes out as one ordered batch at marginal per-op cost.
+    fn commit(
+        &mut self,
+        mut c: CompiledProgram,
+        revalidate: bool,
+        vectored: bool,
+    ) -> CtlResult<DeployReport> {
+        if self.programs.contains_key(&c.name) {
+            return Err(CtlError::DuplicateProgram(c.name.clone()));
+        }
+        if revalidate && !self.validates(&c) {
+            self.spec_conflicts += 1;
+            let t = Instant::now();
+            c.allocation = allocate(&c.ir, self.resman.alloc_view(), &self.alloc_cfg)?;
+            c.alloc_wall += t.elapsed();
+        }
+
+        // Grant physical memory where the solver placed each vmem.
+        let mut offsets: HashMap<String, (RpbId, u32)> = HashMap::new();
+        let mut granted: Vec<(RpbId, u32, u32)> = Vec::new();
+        for m in &c.ir.memories {
+            let rpb = c.allocation.mem_rpb[&m.name];
+            match self.resman.grant_memory(rpb, m.size) {
+                Some(off) => {
+                    offsets.insert(m.name.clone(), (rpb, off));
+                    granted.push((rpb, off, m.size));
+                }
+                None => {
                     for (r, o, s) in granted {
                         self.resman.unlock_memory(r, o, s);
                     }
-                    self.free_ids.push(prog_id);
-                    return Err(e.into());
+                    return Err(CtlError::Compile(CompileError::AllocationFailed {
+                        reason: format!("memory grant for `{}` failed", m.name),
+                    }));
                 }
-            };
-
-            // Charge entry budgets: RPBs (validated by the solver),
-            // initialization paths, and the recirculation block.
-            let mut per_rpb: HashMap<RpbId, usize> = HashMap::new();
-            for (rpb, _) in &image.rpb_entries {
-                *per_rpb.entry(*rpb).or_insert(0) += 1;
             }
-            let init_ok = self.resman.charge_init(1);
-            if !init_ok || !self.resman.charge_recirc(image.recirc_ids.len()) {
-                if init_ok {
-                    self.resman.refund_init(1);
-                }
+        }
+
+        let prog_id = self.take_prog_id()?;
+        let image = match generate_cached(
+            &mut self.entry_cache,
+            &c.ir,
+            &c.allocation,
+            &offsets,
+            prog_id,
+            &self.dp.fields,
+            self.switch.field_table(),
+        ) {
+            Ok(i) => i,
+            Err(e) => {
                 for (r, o, s) in granted {
                     self.resman.unlock_memory(r, o, s);
                 }
                 self.free_ids.push(prog_id);
-                return Err(CtlError::Compile(CompileError::InitTableFull {
-                    path: "initialization/recirculation block".into(),
-                }));
+                return Err(e.into());
             }
-            for (rpb, n) in &per_rpb {
-                // Solver-validated; charge unconditionally.
-                let ok = self.resman.charge_entries(*rpb, *n);
-                debug_assert!(ok, "solver and resource manager disagree");
-            }
+        };
 
-            // Consistent install: program components first, filters last.
-            // The install mutates the data plane, so it opens a new
-            // telemetry epoch before the first batch lands.
-            let memory_claimed: u64 = ir.memories.iter().map(|m| u64::from(m.size)).sum();
-            let epoch = self.bump_epoch();
-            let batches = plan_install(&image, &self.dp, self.switch.field_table())?;
-            let mut update_delay = Nanos::ZERO;
-            let mut entries_written = 0u64;
-            let mut handles = InstalledHandles {
-                mem_regions: image.mem_regions.clone(),
-                ..Default::default()
-            };
+        // Charge entry budgets: RPBs (validated by the solver),
+        // initialization paths, and the recirculation block.
+        let mut per_rpb: HashMap<RpbId, usize> = HashMap::new();
+        for (rpb, _) in &image.rpb_entries {
+            *per_rpb.entry(*rpb).or_insert(0) += 1;
+        }
+        let init_ok = self.resman.charge_init(1);
+        if !init_ok || !self.resman.charge_recirc(image.recirc_ids.len()) {
+            if init_ok {
+                self.resman.refund_init(1);
+            }
+            for (r, o, s) in granted {
+                self.resman.unlock_memory(r, o, s);
+            }
+            self.free_ids.push(prog_id);
+            return Err(CtlError::Compile(CompileError::InitTableFull {
+                path: "initialization/recirculation block".into(),
+            }));
+        }
+        for (rpb, n) in &per_rpb {
+            // Solver-validated; charge unconditionally.
+            let ok = self.resman.charge_entries(*rpb, *n);
+            debug_assert!(ok, "solver and resource manager disagree");
+        }
+
+        // Consistent install: program components first, filters last.
+        // The install mutates the data plane, so it opens a new
+        // telemetry epoch before the first batch lands.
+        let memory_claimed: u64 = c.ir.memories.iter().map(|m| u64::from(m.size)).sum();
+        let epoch = self.bump_epoch();
+        let mut batches = plan_install(&image, &self.dp, self.switch.field_table())?;
+        let t_chan = Instant::now();
+        let mut update_delay = Nanos::ZERO;
+        let mut entries_written = 0u64;
+        let mut handles = InstalledHandles {
+            mem_regions: image.mem_regions.clone(),
+            ..Default::default()
+        };
+        if vectored {
+            // One ordered batch: body entries first, filter last, so the
+            // activation still flips strictly after every component is in
+            // place, at marginal per-op cost.
+            let filters = batches.pop().expect("plan_install returns two batches");
+            let body = batches.pop().expect("plan_install returns two batches");
+            let boundary = body.ops.len();
+            let mut ops = body.ops;
+            ops.extend(filters.ops);
+            let (results, cost) = self.channel.apply_batch_vectored(&mut self.switch, &ops)?;
+            update_delay += cost;
+            for (k, (op, res)) in ops.iter().zip(&results).enumerate() {
+                if let (ControlOp::InsertEntry { table, .. }, OpResult::Inserted(h)) = (op, res) {
+                    entries_written += 1;
+                    let rec: &mut Vec<(TableRef, _)> = if k < boundary {
+                        &mut handles.body_handles
+                    } else {
+                        &mut handles.filter_handles
+                    };
+                    rec.push((*table, *h));
+                }
+            }
+        } else {
             for (bi, batch) in batches.iter().enumerate() {
                 let (results, cost) = self.channel.apply_batch(&mut self.switch, &batch.ops)?;
                 update_delay += cost;
@@ -425,49 +635,63 @@ impl Controller {
                     }
                 }
             }
-
-            let now = self.channel.clock.now();
-            if let Some(t) = self.switch.trace_mut() {
-                t.set_now(now);
-                t.lifecycle(LifecycleKind::Deploy, prog_id, epoch, update_delay);
-            }
-
-            self.spans.push(LifecycleSpan {
-                seq: self.spans.len() as u64,
-                kind: "deploy".into(),
-                program: prog.name.clone(),
-                prog_id: u64::from(prog_id),
-                epoch,
-                parse_wall_ns: parse_wall.as_nanos() as u64,
-                solver_wall_ns: alloc_wall.as_nanos() as u64,
-                solver_nodes: allocation.nodes_explored,
-                entries_written,
-                entries_revoked: 0,
-                memory_claimed,
-                memory_released: 0,
-                update_delay_ns: update_delay.0,
-            });
-
-            reports.push(DeployReport {
-                name: prog.name.clone(),
-                prog_id,
-                parse_wall,
-                alloc_wall,
-                alloc_nodes: allocation.nodes_explored,
-                update_delay,
-                entries_installed: image.entry_count(),
-                depth: ir.depth(),
-                passes: image.passes,
-            });
-            self.programs
-                .insert(prog.name.clone(), InstalledProgram { image, handles, allocation });
         }
-        Ok(reports)
+        let channel_wall = t_chan.elapsed();
+
+        let now = self.channel.clock.now();
+        if let Some(t) = self.switch.trace_mut() {
+            t.set_now(now);
+            t.lifecycle(LifecycleKind::Deploy, prog_id, epoch, update_delay);
+        }
+
+        self.spans.push(LifecycleSpan {
+            seq: self.spans.len() as u64,
+            kind: "deploy".into(),
+            program: c.name.clone(),
+            prog_id: u64::from(prog_id),
+            epoch,
+            parse_wall_ns: c.parse_wall.as_nanos() as u64,
+            solver_wall_ns: c.alloc_wall.as_nanos() as u64,
+            solver_nodes: c.allocation.nodes_explored,
+            channel_wall_ns: channel_wall.as_nanos() as u64,
+            entries_written,
+            entries_revoked: 0,
+            memory_claimed,
+            memory_released: 0,
+            update_delay_ns: update_delay.0,
+        });
+
+        let report = DeployReport {
+            name: c.name.clone(),
+            prog_id,
+            parse_wall: c.parse_wall,
+            alloc_wall: c.alloc_wall,
+            alloc_nodes: c.allocation.nodes_explored,
+            channel_wall,
+            update_delay,
+            entries_installed: image.entry_count(),
+            depth: c.ir.depth(),
+            passes: image.passes,
+        };
+        self.programs
+            .insert(c.name, InstalledProgram { image, handles, allocation: c.allocation });
+        Ok(report)
     }
 
     /// Revoke a deployed program (Figure 6 left half): filters first, then
     /// components, then lock + reset + release its memory.
     pub fn revoke(&mut self, name: &str) -> CtlResult<RevokeReport> {
+        let vectored = self.fast_path;
+        self.revoke_impl(name, vectored)
+    }
+
+    /// Revoke many programs, best-effort: one result per name, always on
+    /// the vectored channel path.
+    pub fn revoke_many(&mut self, names: &[String]) -> Vec<CtlResult<RevokeReport>> {
+        names.iter().map(|n| self.revoke_impl(n, true)).collect()
+    }
+
+    fn revoke_impl(&mut self, name: &str, vectored: bool) -> CtlResult<RevokeReport> {
         let installed = self
             .programs
             .remove(name)
@@ -481,17 +705,31 @@ impl Controller {
         // The remove batches mutate the data plane: new telemetry epoch.
         let epoch = self.bump_epoch();
         let batches = plan_remove(&installed.handles);
+        let t_chan = Instant::now();
         let mut update_delay = Nanos::ZERO;
         let mut entries_revoked = 0u64;
-        for batch in &batches {
-            let (_, cost) = self.channel.apply_batch(&mut self.switch, &batch.ops)?;
+        if vectored {
+            // One ordered batch; the filter deletions still come first, so
+            // the program stops matching before any component disappears.
+            let ops: Vec<ControlOp> = batches.into_iter().flat_map(|b| b.ops).collect();
+            let (_, cost) = self.channel.apply_batch_vectored(&mut self.switch, &ops)?;
             update_delay += cost;
-            entries_revoked += batch
-                .ops
+            entries_revoked += ops
                 .iter()
                 .filter(|op| matches!(op, ControlOp::DeleteEntry { .. }))
                 .count() as u64;
+        } else {
+            for batch in &batches {
+                let (_, cost) = self.channel.apply_batch(&mut self.switch, &batch.ops)?;
+                update_delay += cost;
+                entries_revoked += batch
+                    .ops
+                    .iter()
+                    .filter(|op| matches!(op, ControlOp::DeleteEntry { .. }))
+                    .count() as u64;
+            }
         }
+        let channel_wall = t_chan.elapsed();
 
         // Reset complete → return memory to the free lists.
         for r in &installed.handles.mem_regions {
@@ -529,6 +767,7 @@ impl Controller {
             parse_wall_ns: 0,
             solver_wall_ns: 0,
             solver_nodes: 0,
+            channel_wall_ns: channel_wall.as_nanos() as u64,
             entries_written: 0,
             entries_revoked,
             memory_claimed: 0,
@@ -615,4 +854,38 @@ impl Controller {
     ) -> CtlResult<()> {
         Ok(self.switch.process_frame_into(port, frame, outcome)?)
     }
+}
+
+/// The compile front half of a deploy — parse, check, lower, allocate —
+/// against a caller-supplied (possibly snapshot) resource view. Runs on
+/// `deploy_many` worker threads; touches no controller state.
+fn compile_source(
+    source: &str,
+    ctx: &CheckContext,
+    view: &AllocView,
+    cfg: &AllocConfig,
+) -> CtlResult<Vec<CompiledProgram>> {
+    let t0 = Instant::now();
+    let unit = parse(source).map_err(CompileError::from)?;
+    check(&unit, ctx).map_err(CompileError::from)?;
+    let parse_wall = t0.elapsed();
+    let mems: Vec<MemDecl> = unit
+        .annotations
+        .iter()
+        .map(|a| MemDecl { name: a.name.clone(), size: a.size as u32 })
+        .collect();
+    let mut out = Vec::with_capacity(unit.programs.len());
+    for prog in &unit.programs {
+        let ir = lower(prog, &mems)?;
+        let t_alloc = Instant::now();
+        let allocation = allocate(&ir, view, cfg)?;
+        out.push(CompiledProgram {
+            name: prog.name.clone(),
+            ir,
+            allocation,
+            parse_wall,
+            alloc_wall: t_alloc.elapsed(),
+        });
+    }
+    Ok(out)
 }

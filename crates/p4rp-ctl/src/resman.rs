@@ -24,6 +24,11 @@ pub struct ResourceManager {
     recirc_used: usize,
     mem_size: u32,
     table_size: usize,
+    /// The allocator's view, maintained incrementally: `te_free` updated
+    /// O(1) on entry charges/refunds, `mem_free` re-derived only for the
+    /// RPB whose span list changed. Deploys used to rebuild the whole
+    /// 22-RPB snapshot from scratch on every allocation.
+    view: AllocView,
 }
 
 impl Default for ResourceManager {
@@ -43,6 +48,10 @@ impl ResourceManager {
             recirc_used: 0,
             mem_size: RPB_MEM_SIZE,
             table_size: RPB_TABLE_SIZE,
+            view: AllocView {
+                te_free: vec![RPB_TABLE_SIZE; NUM_RPBS],
+                mem_free: vec![vec![RPB_MEM_SIZE]; NUM_RPBS],
+            },
         }
     }
 
@@ -50,16 +59,18 @@ impl ResourceManager {
         usize::from(rpb.0) - 1
     }
 
-    /// The allocator's view of current availability.
-    pub fn alloc_view(&self) -> AllocView {
-        AllocView {
-            te_free: self.te_used.iter().map(|u| self.table_size - u).collect(),
-            mem_free: self
-                .free
-                .iter()
-                .map(|spans| spans.iter().map(|(_, len)| *len).collect())
-                .collect(),
-        }
+    /// The allocator's view of current availability (incrementally
+    /// maintained; clone it for a speculative snapshot).
+    pub fn alloc_view(&self) -> &AllocView {
+        &self.view
+    }
+
+    /// Re-derive the cached partition lengths of one RPB from its span
+    /// list (reusing the existing buffer).
+    fn sync_mem_view(&mut self, i: usize) {
+        let dst = &mut self.view.mem_free[i];
+        dst.clear();
+        dst.extend(self.free[i].iter().map(|(_, len)| *len));
     }
 
     /// First-fit contiguous allocation of `size` buckets in `rpb`.
@@ -72,6 +83,7 @@ impl ResourceManager {
         } else {
             spans[pos] = (off + size, len - size);
         }
+        self.sync_mem_view(Self::idx(rpb));
         Some(off)
     }
 
@@ -101,6 +113,7 @@ impl ResourceManager {
                 i += 1;
             }
         }
+        self.sync_mem_view(Self::idx(rpb));
     }
 
     /// Charge `n` table entries to an RPB; `false` if it would overflow.
@@ -110,6 +123,7 @@ impl ResourceManager {
             return false;
         }
         self.te_used[i] += n;
+        self.view.te_free[i] = self.table_size - self.te_used[i];
         true
     }
 
@@ -117,6 +131,7 @@ impl ResourceManager {
     pub fn refund_entries(&mut self, rpb: RpbId, n: usize) {
         let i = Self::idx(rpb);
         self.te_used[i] = self.te_used[i].saturating_sub(n);
+        self.view.te_free[i] = self.table_size - self.te_used[i];
     }
 
     /// Charge initialization-table filter entries.
@@ -290,6 +305,33 @@ mod tests {
         let v = rm.alloc_view();
         assert_eq!(v.mem_free[0], vec![RPB_MEM_SIZE - 1024]);
         assert_eq!(v.te_free[1], RPB_TABLE_SIZE - 100);
+    }
+
+    #[test]
+    fn incremental_view_matches_full_rebuild() {
+        let mut rm = ResourceManager::new();
+        // A churny sequence: grants, locks, unlocks, charges, refunds.
+        let a = rm.grant_memory(RpbId(4), 1024).unwrap();
+        let b = rm.grant_memory(RpbId(4), 512).unwrap();
+        rm.grant_memory(RpbId(9), 4096).unwrap();
+        rm.charge_entries(RpbId(4), 37);
+        rm.charge_entries(RpbId(22), 5);
+        rm.lock_memory(RpbId(4), a, 1024);
+        rm.unlock_memory(RpbId(4), a, 1024);
+        rm.refund_entries(RpbId(4), 17);
+        rm.lock_memory(RpbId(4), b, 512);
+        rm.unlock_memory(RpbId(4), b, 512);
+        let rebuilt = AllocView {
+            te_free: rm.te_used.iter().map(|u| rm.table_size - u).collect(),
+            mem_free: rm
+                .free
+                .iter()
+                .map(|spans| spans.iter().map(|(_, len)| *len).collect())
+                .collect(),
+        };
+        let v = rm.alloc_view();
+        assert_eq!(v.te_free, rebuilt.te_free);
+        assert_eq!(v.mem_free, rebuilt.mem_free);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct LifecycleSpan {
     pub solver_wall_ns: u64,
     /// Branch-and-bound nodes the solver explored (deploy only).
     pub solver_nodes: u64,
+    /// Wall-clock spent applying batches through the control channel —
+    /// the controller-side cost of the install/remove, as opposed to the
+    /// simulated device latency in `update_delay_ns`.
+    pub channel_wall_ns: u64,
     /// Table entries inserted through the control channel.
     pub entries_written: u64,
     /// Table entries deleted through the control channel.
@@ -63,6 +67,7 @@ serde::impl_serde_struct!(LifecycleSpan {
     parse_wall_ns,
     solver_wall_ns,
     solver_nodes,
+    channel_wall_ns,
     entries_written,
     entries_revoked,
     memory_claimed,
@@ -75,7 +80,7 @@ impl LifecycleSpan {
     pub fn render(&self) -> String {
         format!(
             "#{} {:<6} {:<12} id {:<3} epoch {:<3} +{} entries, -{} entries, \
-             +{}/-{} buckets, alloc {:.2} ms, update {:.2} ms",
+             +{}/-{} buckets, alloc {:.2} ms, apply {:.2} ms, update {:.2} ms",
             self.seq,
             self.kind,
             self.program,
@@ -86,6 +91,7 @@ impl LifecycleSpan {
             self.memory_claimed,
             self.memory_released,
             self.solver_wall_ns as f64 / 1e6,
+            self.channel_wall_ns as f64 / 1e6,
             self.update_delay_ns as f64 / 1e6,
         )
     }
@@ -280,6 +286,7 @@ mod tests {
             parse_wall_ns: 80_000,
             solver_wall_ns: 1_500_000,
             solver_nodes: 42,
+            channel_wall_ns: 120_000,
             entries_written: if kind == "deploy" { 9 } else { 0 },
             entries_revoked: if kind == "revoke" { 9 } else { 0 },
             memory_claimed: if kind == "deploy" { 64 } else { 0 },

@@ -89,7 +89,7 @@ pub struct Filter {
 /// `None` is don't-care. Conditions may be written named
 /// (`<sar, 0, 0xffffffff>`) or positional (`<0, 0xffffffff>` in har, sar,
 /// mar order) — the parser normalizes both forms into this struct.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct RegConds {
     /// Har.
     pub har: Option<(u32, u32)>,

@@ -27,6 +27,36 @@ pub struct LatencyModel {
     pub per_reg_read: Nanos,
     /// Fixed overhead per batch (RPC setup, session commit).
     pub per_batch: Nanos,
+    /// Marginal per-op costs on the vectored path.
+    pub vectored: VectoredModel,
+}
+
+/// Marginal per-operation costs on the *vectored* path: the whole batch
+/// ships as one bulk RPC (the `bfrt_grpc` table-operation vector RBFRT
+/// exploits), so each operation pays only its share of serialization and
+/// driver work instead of a full RPC round trip. The per-batch overhead
+/// still applies once.
+#[derive(Debug, Clone, Copy)]
+pub struct VectoredModel {
+    /// Per insert.
+    pub per_insert: Nanos,
+    /// Per delete.
+    pub per_delete: Nanos,
+    /// Per reg write.
+    pub per_reg_write: Nanos,
+    /// Per reg read.
+    pub per_reg_read: Nanos,
+}
+
+impl Default for VectoredModel {
+    fn default() -> Self {
+        VectoredModel {
+            per_insert: Nanos::from_micros(30),
+            per_delete: Nanos::from_micros(20),
+            per_reg_write: Nanos::from_micros(5),
+            per_reg_read: Nanos::from_micros(5),
+        }
+    }
 }
 
 impl Default for LatencyModel {
@@ -37,6 +67,7 @@ impl Default for LatencyModel {
             per_reg_write: Nanos::from_micros(25),
             per_reg_read: Nanos::from_micros(25),
             per_batch: Nanos::from_micros(600),
+            vectored: VectoredModel::default(),
         }
     }
 }
@@ -52,6 +83,19 @@ impl LatencyModel {
             // A range reset is a DMA-style bulk operation billed as one
             // register write regardless of length.
             ControlOp::ResetRegRange { .. } => self.per_reg_write,
+        }
+    }
+
+    /// Marginal cost of one op inside a vectored batch.
+    pub fn vectored_cost_of(&self, op: &ControlOp) -> Nanos {
+        match op {
+            ControlOp::InsertEntry { .. } => self.vectored.per_insert,
+            ControlOp::DeleteEntry { .. } => self.vectored.per_delete,
+            ControlOp::WriteReg { .. } => self.vectored.per_reg_write,
+            ControlOp::ReadReg { .. } | ControlOp::ReadRegRange { .. } => {
+                self.vectored.per_reg_read
+            }
+            ControlOp::ResetRegRange { .. } => self.vectored.per_reg_write,
         }
     }
 }
@@ -100,6 +144,28 @@ impl ControlChannel {
         sw: &mut Switch,
         ops: &[ControlOp],
     ) -> SimResult<(Vec<OpResult>, Nanos)> {
+        self.apply_batch_impl(sw, ops, false)
+    }
+
+    /// [`apply_batch`](Self::apply_batch) on the vectored path: the batch
+    /// ships as one ordered bulk RPC, so each op is billed its marginal
+    /// [`VectoredModel`] cost instead of a full RPC round trip. Semantics
+    /// are otherwise identical — per-op atomicity, fail-stop with the
+    /// applied prefix kept, and the same batch begin/end trace events.
+    pub fn apply_batch_vectored(
+        &mut self,
+        sw: &mut Switch,
+        ops: &[ControlOp],
+    ) -> SimResult<(Vec<OpResult>, Nanos)> {
+        self.apply_batch_impl(sw, ops, true)
+    }
+
+    fn apply_batch_impl(
+        &mut self,
+        sw: &mut Switch,
+        ops: &[ControlOp],
+        vectored: bool,
+    ) -> SimResult<(Vec<OpResult>, Nanos)> {
         let mut total = self.model.per_batch;
         let mut results = Vec::with_capacity(ops.len());
         // Open a control-track batch span in the flight recorder (no-op
@@ -123,7 +189,11 @@ impl ControlChannel {
                     return Err(e);
                 }
             };
-            let cost = self.model.cost_of(op);
+            let cost = if vectored {
+                self.model.vectored_cost_of(op)
+            } else {
+                self.model.cost_of(op)
+            };
             total += cost;
             if matches!(
                 op,
@@ -150,6 +220,12 @@ impl ControlChannel {
     /// Pure cost estimation without touching a switch (used by planners).
     pub fn estimate_batch(&self, ops: &[ControlOp]) -> Nanos {
         ops.iter().fold(self.model.per_batch, |acc, op| acc + self.model.cost_of(op))
+    }
+
+    /// [`estimate_batch`](Self::estimate_batch) for the vectored path.
+    pub fn estimate_batch_vectored(&self, ops: &[ControlOp]) -> Nanos {
+        ops.iter()
+            .fold(self.model.per_batch, |acc, op| acc + self.model.vectored_cost_of(op))
     }
 }
 
@@ -219,6 +295,22 @@ mod tests {
         assert_eq!(cost, expect);
         assert_eq!(ch.clock.now(), expect);
         assert_eq!(ch.estimate_batch(&ops), expect);
+    }
+
+    #[test]
+    fn vectored_batch_applies_same_ops_at_marginal_cost() {
+        let mut sw = switch_with_one_table();
+        let mut ch = ControlChannel::default();
+        let ops = vec![insert_op(1), insert_op(2), insert_op(3)];
+        let (results, cost) = ch.apply_batch_vectored(&mut sw, &ops).unwrap();
+        assert_eq!(results.len(), 3);
+        let expect = ch.model.per_batch + Nanos(3 * ch.model.vectored.per_insert.0);
+        assert_eq!(cost, expect);
+        assert_eq!(ch.estimate_batch_vectored(&ops), expect);
+        assert!(cost < ch.estimate_batch(&ops), "vectoring amortizes per-op latency");
+        // All three entries really landed.
+        let tref = TableRef { gress: Gress::Ingress, stage: 0, table: 0 };
+        assert_eq!(sw.table(tref).unwrap().len(), 3);
     }
 
     #[test]

@@ -111,7 +111,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::action::{ActionDef, AluFunc, HashCall, HashInput, Operand, SaluCall, VliwOp};
     pub use crate::clock::{Bandwidth, Nanos, SimClock};
-    pub use crate::control::{ControlChannel, LatencyModel};
+    pub use crate::control::{ControlChannel, LatencyModel, VectoredModel};
     pub use crate::error::{SimError, SimResult};
     pub use crate::hash::CrcSpec;
     pub use crate::parser::{HeaderDef, HeaderField, HeaderTypeId, NextState, ParseState, Parser};
