@@ -16,7 +16,9 @@
 //! JSON reports the p50 of each split so the solver-vs-channel
 //! attribution is explicit. A final section times `deploy_many` (the
 //! speculative-allocate → validate-commit pipeline) against the same
-//! programs deployed sequentially.
+//! programs deployed sequentially, and a `fault_guard` section pins the
+//! cost of an armed-but-idle `FaultPlan` (see `docs/CHAOS.md`) to within
+//! noise of the plan-free fast path.
 //!
 //! Run from the workspace root (`cargo run --release -p bench --bin
 //! bench_controlplane`); `P4RP_SCALE=quick` trims the sample counts.
@@ -25,6 +27,7 @@ use bench::scaled;
 use p4rp_compiler::alloc::AllocConfig;
 use p4rp_ctl::Controller;
 use p4rp_progs::{instance, Family, WorkloadParams};
+use rmt_sim::fault::{FaultKind, FaultPlan, FaultTrigger};
 use serde::{json, Value};
 
 const RESIDENTS: [usize; 3] = [0, 32, 128];
@@ -177,12 +180,60 @@ fn main() {
         conc.spec_conflicts()
     );
 
+    // Fault-injection guard: the deploy fast path with an armed-but-idle
+    // FaultPlan (triggers parked beyond any reachable op index) must sit
+    // within noise of the plan-free path — the injection hooks are two
+    // branch-on-empty checks per batch/op.
+    println!("measuring fault-injection guard (armed plan, no trigger fires) ...");
+    let mut baseline = measure(false, true, 0, samples);
+    let mut armed = Controller::with_defaults().expect("provision");
+    armed.set_fast_path(true);
+    armed.set_fault_plan(FaultPlan::new(
+        [FaultKind::FailOp, FaultKind::BatchTimeout, FaultKind::ChannelDrop, FaultKind::DeviceReset]
+            .map(|fault| FaultTrigger { at: u64::MAX, op_kind: None, fault })
+            .to_vec(),
+    ));
+    let probe = instance(Family::Cache, 1_000_000, WorkloadParams { mem: 64, elastic: 2 });
+    let mut guarded = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let reports = armed.deploy(&probe).expect("guarded probe deploys");
+        let r = &reports[0];
+        guarded.push(Split {
+            solver_us: r.alloc_wall.as_secs_f64() * 1e6,
+            apply_us: r.channel_wall.as_secs_f64() * 1e6,
+            device_us: r.update_delay.0 as f64 / 1e3,
+        });
+        armed.revoke("cache_1000000").expect("guarded probe revokes");
+    }
+    assert_eq!(armed.fault_stats().faults_injected, 0, "guard plan must never fire");
+    let (base_total, _, base_apply, _) = split_row(&mut baseline);
+    let (armed_total, _, armed_apply, _) = split_row(&mut guarded);
+    let apply_ratio = armed_apply / base_apply;
+    assert!(
+        apply_ratio < 1.5,
+        "armed-but-idle fault plan cost {apply_ratio:.2}x on the channel-apply \
+         path ({armed_apply:.1} µs vs {base_apply:.1} µs) — must stay within noise"
+    );
+    let fault_guard = obj(vec![
+        ("baseline_p50_total_us", Value::F64(round1(base_total))),
+        ("armed_p50_total_us", Value::F64(round1(armed_total))),
+        ("baseline_p50_channel_apply_us", Value::F64(round1(base_apply))),
+        ("armed_p50_channel_apply_us", Value::F64(round1(armed_apply))),
+        ("channel_apply_ratio", Value::F64((apply_ratio * 100.0).round() / 100.0)),
+        ("faults_fired", Value::U64(0)),
+    ]);
+    println!(
+        "  plan-free apply p50 {base_apply:.1} µs, armed-idle {armed_apply:.1} µs \
+         ({apply_ratio:.2}x)"
+    );
+
     let doc = obj(vec![
         ("bench", Value::Str("controlplane".into())),
         ("units", Value::Str("us_per_deploy".into())),
         ("samples_per_point", Value::U64(samples as u64)),
         ("deploy_latency", Value::Array(rows)),
         ("concurrency", concurrency),
+        ("fault_guard", fault_guard),
         (
             "acceptance",
             obj(vec![

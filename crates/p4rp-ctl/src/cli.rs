@@ -26,6 +26,10 @@
 //!                             |flow <a.b.c.d> [port]]
 //! trace journeys               per-packet journey reconstruction
 //! trace export [path]          Chrome trace-event JSON (Perfetto-viewable)
+//! chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>]
+//!                              seeded fault-injection campaign on a fresh
+//!                              controller (spec syntax in docs/CHAOS.md,
+//!                              e.g. `failop@5,reset@12,drop:insert@20`)
 //! help                         this text
 //! ```
 //!
@@ -73,6 +77,7 @@ impl Cli {
             "mem" => self.mem(rest),
             "memwrite" => self.memwrite(rest),
             "trace" => Ok(self.trace_cmd(rest)),
+            "chaos" => Ok(chaos_cmd(rest)),
             other => Ok(format!("unknown command `{other}` — try `help`")),
         };
         result.unwrap_or_else(|e| format!("error: {e}"))
@@ -339,6 +344,87 @@ impl Cli {
     }
 }
 
+/// `chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>]`:
+/// run a seeded, deterministic fault-injection campaign against a fresh
+/// controller and summarise what survived. The fault spec syntax is
+/// `<kind>[:<opkind>]@<index>[,…]` — see `docs/CHAOS.md`.
+fn chaos_cmd(rest: &str) -> String {
+    const USAGE: &str =
+        "usage: chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>]";
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    if parts.first() != Some(&"run") {
+        return USAGE.to_string();
+    }
+    let mut cfg = crate::chaos::ChaosConfig::default();
+    let mut it = parts[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            return format!("missing value for `{flag}`\n{USAGE}");
+        };
+        match *flag {
+            "--seed" => match value.parse() {
+                Ok(n) => cfg.seed = n,
+                Err(_) => return format!("bad seed `{value}`"),
+            },
+            "--steps" => match value.parse() {
+                Ok(n) if n > 0 => cfg.steps = n,
+                _ => return format!("bad step count `{value}`"),
+            },
+            "--programs" => match value.parse() {
+                Ok(n) if n > 0 => cfg.programs = n,
+                _ => return format!("bad program count `{value}`"),
+            },
+            "--faults" => match rmt_sim::fault::FaultPlan::parse_spec(value) {
+                Ok(plan) => cfg.faults = plan,
+                Err(e) => return format!("bad fault spec `{value}`: {e}"),
+            },
+            other => return format!("unknown flag `{other}`\n{USAGE}"),
+        }
+    }
+    match crate::chaos::run(&cfg) {
+        Ok(out) => {
+            let a = &out.final_audit;
+            format!(
+                "chaos seed {}: {} step(s), deploys {} ok / {} faulted, \
+                 revokes {} ok / {} faulted, {} reconcile pass(es)\n\
+                 sentinel {} hit / {} miss, residents {} hit / {} miss, \
+                 {} invariant violation(s)\n\
+                 audit: {} expected, {} present, {} missing, {} unexpected, \
+                 {} wedged ({})\n\
+                 faults: {} injected, {} retries, {} rollback(s) ({} undo ops), \
+                 device generation {}\n\
+                 trace fingerprint {:#018x} — {}",
+                cfg.seed,
+                out.steps,
+                out.deploys_ok,
+                out.deploys_faulted,
+                out.revokes_ok,
+                out.revokes_faulted,
+                out.reconcile_passes,
+                out.sentinel_hits,
+                out.sentinel_misses,
+                out.resident_hits,
+                out.resident_misses,
+                out.invariant_violations,
+                a.expected,
+                a.present,
+                a.missing,
+                a.unexpected,
+                a.wedged,
+                if a.clean() { "clean" } else { "DIRTY" },
+                out.fault_stats.faults_injected,
+                out.fault_stats.retries,
+                out.fault_stats.rollbacks,
+                out.fault_stats.rollback_ops,
+                out.fault_stats.device_generation,
+                out.trace_fingerprint,
+                if out.converged { "converged" } else { "DID NOT CONVERGE" },
+            )
+        }
+        Err(e) => format!("error: {e}"),
+    }
+}
+
 /// Parse a `trace dump` filter: nothing (all), `control`, `packets`,
 /// `table <gress> <stage> <table>`, or `flow <a.b.c.d> [port]`.
 fn parse_filter(args: &[&str]) -> Result<TraceFilter, String> {
@@ -392,7 +478,7 @@ fn parse_ipv4(s: &str) -> Option<u32> {
     Some(u32::from_be_bytes(octets))
 }
 
-const HELP: &str = "commands: deploy <src> | deploy-many <file...> | revoke <name> | revoke-many <name...> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | help";
+const HELP: &str = "commands: deploy <src> | deploy-many <file...> | revoke <name> | revoke-many <name...> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>] | help";
 
 #[cfg(test)]
 mod tests {
@@ -553,6 +639,50 @@ mod tests {
         let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
         assert!(!events.is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_run_reports_converged_campaign() {
+        let mut cli = cli();
+        let out = cli.exec("chaos run --seed 7 --steps 30 --faults failop@4,reset@19");
+        assert!(out.contains("chaos seed 7: 30 step(s)"), "{out}");
+        assert!(out.contains("(clean)"), "{out}");
+        assert!(out.contains("converged"), "{out}");
+        assert!(out.contains("0 invariant violation(s)"), "{out}");
+        assert!(out.contains("faults: 2 injected"), "{out}");
+        // Same seed, same spec → the identical fingerprint line.
+        let again = cli.exec("chaos run --seed 7 --steps 30 --faults failop@4,reset@19");
+        assert_eq!(out, again);
+        // A different seed changes the campaign.
+        let other = cli.exec("chaos run --seed 8 --steps 30 --faults failop@4,reset@19");
+        assert_ne!(out, other);
+    }
+
+    #[test]
+    fn chaos_run_rejects_bad_flags() {
+        let mut cli = cli();
+        assert!(cli.exec("chaos").starts_with("usage: chaos run"), "chaos");
+        assert!(cli.exec("chaos poke").starts_with("usage: chaos run"));
+        assert!(cli.exec("chaos run --seed").contains("missing value"));
+        assert!(cli.exec("chaos run --seed zebra").starts_with("bad seed"));
+        assert!(cli.exec("chaos run --steps 0").starts_with("bad step count"));
+        assert!(cli.exec("chaos run --programs x").starts_with("bad program count"));
+        assert!(cli.exec("chaos run --faults sideways@3").starts_with("bad fault spec"));
+        assert!(cli.exec("chaos run --frobnicate 1").contains("unknown flag"));
+    }
+
+    #[test]
+    fn status_json_exposes_fault_counters() {
+        let mut cli = cli();
+        cli.ctl
+            .set_fault_plan(rmt_sim::fault::FaultPlan::parse_spec("failop@1").unwrap());
+        assert!(cli.exec(&format!("deploy {SRC}")).starts_with("error:"));
+        let report =
+            crate::telemetry::TelemetryReport::from_json(&cli.exec("status --json")).unwrap();
+        assert_eq!(report.faults.faults_injected, 1);
+        assert_eq!(report.faults.deploy_faults, 1);
+        assert_eq!(report.faults.rollbacks, 1);
+        assert_eq!(report, cli.ctl.telemetry_report());
     }
 
     #[test]

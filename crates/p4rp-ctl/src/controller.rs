@@ -11,7 +11,7 @@
 //! channel (Table 1).
 
 use crate::resman::ResourceManager;
-use crate::telemetry::{LifecycleSpan, ResourceGauges, TelemetryReport};
+use crate::telemetry::{FaultStats, LifecycleSpan, ResourceGauges, TelemetryReport};
 use p4rp_compiler::alloc::{allocate, AllocConfig, AllocView, Allocation};
 use p4rp_compiler::consistency::{plan_install, plan_remove, InstalledHandles};
 use p4rp_compiler::entrygen::{generate_cached, EntryGenCache, ProgramImage};
@@ -20,12 +20,18 @@ use p4rp_compiler::CompileError;
 use p4rp_dataplane::{provision, Dataplane, LogicalRpb, RpbId, NUM_RPBS, RPB_MEM_SIZE};
 use p4rp_lang::{check, parse, CheckContext};
 use rmt_sim::clock::Nanos;
-use rmt_sim::control::{ControlChannel, LatencyModel};
+use rmt_sim::control::{BatchOutcome, ControlChannel, LatencyModel};
 use rmt_sim::error::SimError;
+use rmt_sim::fault::FaultPlan;
 use rmt_sim::switch::{ControlOp, OpResult, ProcessOutcome, Switch, SwitchConfig, TableRef};
+use rmt_sim::table::{EntryHandle, TableEntry};
 use rmt_sim::trace::{LifecycleKind, TraceBuffer, TraceConfig, TraceStats};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// How many times a transient channel fault (timeout, drop) is retried
+/// before the surrounding plan gives up.
+const MAX_RETRIES: u32 = 3;
 
 /// Controller errors.
 #[derive(Debug)]
@@ -42,6 +48,18 @@ pub enum CtlError {
     NoSuchMemory { program: String, memory: String },
     /// AddressOutOfRange.
     AddressOutOfRange { memory: String, addr: u32, size: u32 },
+    /// A mid-plan channel fault aborted this deploy; every applied
+    /// operation was rolled back (or wiped by the device reset), so the
+    /// device and the resource manager are unchanged. After a device
+    /// reset, [`Controller::needs_reconcile`] is set.
+    /// DeployFault.
+    DeployFault { program: String, fault: SimError },
+    /// Cleanup itself faulted (a double fault): the program's inert
+    /// remnants stay parked on the device and its resources stay charged.
+    /// `revoke` of the program retries the cleanup; `reconcile()` also
+    /// retires it.
+    /// Wedged.
+    Wedged { program: String, fault: SimError },
 }
 
 impl core::fmt::Display for CtlError {
@@ -56,6 +74,12 @@ impl core::fmt::Display for CtlError {
             }
             CtlError::AddressOutOfRange { memory, addr, size } => {
                 write!(f, "address {addr} out of range for `{memory}` (size {size})")
+            }
+            CtlError::DeployFault { program, fault } => {
+                write!(f, "deploy of `{program}` aborted and rolled back: {fault}")
+            }
+            CtlError::Wedged { program, fault } => {
+                write!(f, "program `{program}` is wedged (cleanup faulted: {fault}); retry revoke")
             }
         }
     }
@@ -142,6 +166,57 @@ pub struct RevokeReport {
     pub update_delay: Nanos,
 }
 
+/// A program whose cleanup double-faulted: its undo (or removal) plan is
+/// parked here, its resources stay charged, and every retry of `revoke`
+/// re-applies whatever is still pending. The filter deletions sort first
+/// in the pending list, so a wedged program stops matching packets at the
+/// first successful retry step.
+#[derive(Debug, Clone)]
+struct WedgedProgram {
+    image: ProgramImage,
+    pending_ops: Vec<ControlOp>,
+}
+
+/// One device-resident entry in an audit/reconcile snapshot: its handle,
+/// its content, and whether a resident program has claimed it.
+type DevicePoolEntry = (EntryHandle, TableEntry, bool);
+
+/// What `audit` reports: the device's entry population compared, by
+/// content, against what the resource manager says should be installed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Entries the installed programs' plans expect on the device.
+    pub expected: usize,
+    /// Expected entries found (content match, handle reclaimed).
+    pub present: usize,
+    /// Expected entries absent (e.g. wiped by a device reset).
+    pub missing: usize,
+    /// Device entries no installed program claims (e.g. wedged remnants).
+    pub unexpected: usize,
+    /// Programs parked in the wedged state.
+    pub wedged: usize,
+}
+
+impl AuditReport {
+    /// Device state and resource-manager state agree exactly.
+    pub fn clean(&self) -> bool {
+        self.missing == 0 && self.unexpected == 0 && self.wedged == 0
+    }
+}
+
+/// What `reconcile` reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Entries re-installed for surviving programs.
+    pub reinstalled: usize,
+    /// Divergent device entries garbage-collected.
+    pub deleted: usize,
+    /// Wedged programs retired (entries gc'd, resources refunded).
+    pub wedged_cleared: usize,
+    /// Simulated channel time the repair batches took.
+    pub update_delay: Nanos,
+}
+
 /// The assembled control plane.
 pub struct Controller {
     switch: Switch,
@@ -166,6 +241,15 @@ pub struct Controller {
     /// Speculative allocations that failed validation at commit time and
     /// were re-solved against the live view (`deploy_many` conflicts).
     spec_conflicts: u64,
+    /// Programs whose cleanup double-faulted; disjoint from `programs`.
+    wedged: HashMap<String, WedgedProgram>,
+    /// Cumulative fault/recovery counters. `faults_injected` only carries
+    /// counts from *retired* fault plans; the armed plan's count and the
+    /// live wedged / generation figures are folded in by `fault_stats()`.
+    fault_stats: FaultStats,
+    /// A device reset left the controller's view divergent from the
+    /// device; cleared by a successful `reconcile()`.
+    needs_reconcile: bool,
 }
 
 impl Controller {
@@ -189,6 +273,9 @@ impl Controller {
             fast_path: false,
             entry_cache: EntryGenCache::default(),
             spec_conflicts: 0,
+            wedged: HashMap::new(),
+            fault_stats: FaultStats::default(),
+            needs_reconcile: false,
         })
     }
 
@@ -221,6 +308,53 @@ impl Controller {
     /// Channel.
     pub fn channel(&self) -> &ControlChannel {
         &self.channel
+    }
+
+    /// Mutable channel access (arming fault plans, advancing the clock,
+    /// reconnecting after a drop in tests and chaos scenarios).
+    pub fn channel_mut(&mut self) -> &mut ControlChannel {
+        &mut self.channel
+    }
+
+    /// Arm the control channel with a deterministic fault plan. The
+    /// previously armed plan's fired count is folded into the cumulative
+    /// stats before it is replaced.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_stats.faults_injected += self.channel.fault.faults_fired();
+        self.channel.fault = plan;
+    }
+
+    /// The armed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.channel.fault
+    }
+
+    /// Faults fired over the controller's lifetime, across every plan
+    /// ever armed.
+    fn faults_fired_total(&self) -> u64 {
+        self.fault_stats.faults_injected + self.channel.fault.faults_fired()
+    }
+
+    /// Cumulative fault / recovery counters (live snapshot).
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            faults_injected: self.faults_fired_total(),
+            wedged: self.wedged.len() as u64,
+            device_generation: self.switch.generation(),
+            ..self.fault_stats.clone()
+        }
+    }
+
+    /// Did a device reset (or a fault while repairing one) leave the
+    /// controller's view divergent from the device? Cleared by a
+    /// successful [`Controller::reconcile`].
+    pub fn needs_reconcile(&self) -> bool {
+        self.needs_reconcile
+    }
+
+    /// Names of wedged programs, in no particular order.
+    pub fn wedged_programs(&self) -> impl Iterator<Item = &String> {
+        self.wedged.keys()
     }
 
     /// Alloc config.
@@ -325,6 +459,7 @@ impl Controller {
             control_write_latency: self.channel.write_latency.clone(),
             dataplane: self.switch.telemetry().cloned(),
             trace: self.switch.trace_stats(),
+            faults: self.fault_stats(),
         }
     }
 
@@ -359,6 +494,94 @@ impl Controller {
         Ok(id)
     }
 
+    /// Apply one batch through the channel, absorbing transient faults
+    /// (timeout, channel drop) with a reconnect and bounded exponential
+    /// backoff on the simulated clock. Transient faults apply nothing,
+    /// so re-sending the whole batch is safe. Returns the final outcome
+    /// and the number of retries taken.
+    fn apply_with_retry(&mut self, ops: &[ControlOp], vectored: bool) -> (BatchOutcome, u64) {
+        let mut retries = 0u64;
+        loop {
+            let out = self.channel.apply_batch_checked(&mut self.switch, ops, vectored);
+            match out.error {
+                Some(SimError::ChannelTimeout) | Some(SimError::ChannelDown)
+                    if retries < u64::from(MAX_RETRIES) =>
+                {
+                    if !self.channel.is_connected() {
+                        self.channel.reconnect();
+                    }
+                    self.channel.clock.advance(Nanos::from_micros(500 << retries));
+                    retries += 1;
+                }
+                _ => {
+                    self.fault_stats.retries += retries;
+                    return (out, retries);
+                }
+            }
+        }
+    }
+
+    /// Return every resource a program image holds: its memory regions,
+    /// entry budgets, init/recirc charges, and its program id.
+    fn refund_program(&mut self, image: &ProgramImage) {
+        for r in &image.mem_regions {
+            self.resman.unlock_memory(r.rpb, r.offset, r.size);
+        }
+        let mut per_rpb: HashMap<RpbId, usize> = HashMap::new();
+        for (rpb, _) in &image.rpb_entries {
+            *per_rpb.entry(*rpb).or_insert(0) += 1;
+        }
+        for (rpb, n) in per_rpb {
+            self.resman.refund_entries(rpb, n);
+        }
+        self.resman.refund_init(1);
+        self.resman.refund_recirc(image.recirc_ids.len());
+        self.free_ids.push(image.prog_id);
+    }
+
+    /// Undo the applied prefix of a faulted install with its own
+    /// epoch-guarded batch. Returns how many undo ops landed, plus the
+    /// leftover ops and the second fault if the rollback itself faulted
+    /// (short of a device reset, which finishes the job by wiping).
+    fn rollback(
+        &mut self,
+        prog_id: u16,
+        undo: Vec<ControlOp>,
+    ) -> (u64, Option<(Vec<ControlOp>, SimError)>) {
+        if undo.is_empty() {
+            self.fault_stats.rollbacks += 1;
+            return (0, None);
+        }
+        self.bump_epoch();
+        let now = self.channel.clock.now();
+        if let Some(t) = self.switch.trace_mut() {
+            t.set_now(now);
+            t.rollback_begin(prog_id);
+        }
+        let (out, _) = self.apply_with_retry(&undo, true);
+        let undone = out.results.len() as u64;
+        self.fault_stats.rollback_ops += undone;
+        let double = match out.error {
+            None => None,
+            Some(SimError::DeviceReset { .. }) => {
+                // The wipe took the rest of the prefix with it.
+                self.needs_reconcile = true;
+                None
+            }
+            Some(f) => Some((undo[out.results.len()..].to_vec(), f)),
+        };
+        let complete = double.is_none();
+        if complete {
+            self.fault_stats.rollbacks += 1;
+        }
+        let now = self.channel.clock.now();
+        if let Some(t) = self.switch.trace_mut() {
+            t.set_now(now);
+            t.rollback_end(prog_id, undone as u32, complete);
+        }
+        (undone, double)
+    }
+
     /// Deploy every program in a P4runpro source string.
     ///
     /// Programs are deployed sequentially, best-effort: an error aborts at
@@ -377,7 +600,7 @@ impl Controller {
 
         let mut reports = Vec::new();
         for prog in &unit.programs {
-            if self.programs.contains_key(&prog.name) {
+            if self.programs.contains_key(&prog.name) || self.wedged.contains_key(&prog.name) {
                 return Err(CtlError::DuplicateProgram(prog.name.clone()));
             }
             let ir = lower(prog, &mems)?;
@@ -507,7 +730,7 @@ impl Controller {
         revalidate: bool,
         vectored: bool,
     ) -> CtlResult<DeployReport> {
-        if self.programs.contains_key(&c.name) {
+        if self.programs.contains_key(&c.name) || self.wedged.contains_key(&c.name) {
             return Err(CtlError::DuplicateProgram(c.name.clone()));
         }
         if revalidate && !self.validates(&c) {
@@ -587,11 +810,14 @@ impl Controller {
         // The install mutates the data plane, so it opens a new
         // telemetry epoch before the first batch lands.
         let memory_claimed: u64 = c.ir.memories.iter().map(|m| u64::from(m.size)).sum();
+        let faults_before = self.faults_fired_total();
         let epoch = self.bump_epoch();
         let mut batches = plan_install(&image, &self.dp, self.switch.field_table())?;
         let t_chan = Instant::now();
         let mut update_delay = Nanos::ZERO;
         let mut entries_written = 0u64;
+        let mut retries_total = 0u64;
+        let mut fault: Option<SimError> = None;
         let mut handles = InstalledHandles {
             mem_regions: image.mem_regions.clone(),
             ..Default::default()
@@ -605,9 +831,10 @@ impl Controller {
             let boundary = body.ops.len();
             let mut ops = body.ops;
             ops.extend(filters.ops);
-            let (results, cost) = self.channel.apply_batch_vectored(&mut self.switch, &ops)?;
-            update_delay += cost;
-            for (k, (op, res)) in ops.iter().zip(&results).enumerate() {
+            let (out, retries) = self.apply_with_retry(&ops, true);
+            retries_total += retries;
+            update_delay += out.cost;
+            for (k, (op, res)) in ops.iter().zip(&out.results).enumerate() {
                 if let (ControlOp::InsertEntry { table, .. }, OpResult::Inserted(h)) = (op, res) {
                     entries_written += 1;
                     let rec: &mut Vec<(TableRef, _)> = if k < boundary {
@@ -618,11 +845,13 @@ impl Controller {
                     rec.push((*table, *h));
                 }
             }
+            fault = out.error;
         } else {
             for (bi, batch) in batches.iter().enumerate() {
-                let (results, cost) = self.channel.apply_batch(&mut self.switch, &batch.ops)?;
-                update_delay += cost;
-                for (op, res) in batch.ops.iter().zip(&results) {
+                let (out, retries) = self.apply_with_retry(&batch.ops, false);
+                retries_total += retries;
+                update_delay += out.cost;
+                for (op, res) in batch.ops.iter().zip(&out.results) {
                     if let (ControlOp::InsertEntry { table, .. }, OpResult::Inserted(h)) = (op, res)
                     {
                         entries_written += 1;
@@ -634,9 +863,82 @@ impl Controller {
                         rec.push((*table, *h));
                     }
                 }
+                if out.error.is_some() {
+                    fault = out.error;
+                    break;
+                }
             }
         }
         let channel_wall = t_chan.elapsed();
+
+        if let Some(fault) = fault {
+            // Mid-install fault. The filter activation is always the last
+            // op of the plan, so the half-installed program was never
+            // packet-visible; undoing the applied prefix (filters first,
+            // then body in reverse) restores the device exactly, and a
+            // device reset has already wiped it wholesale.
+            self.fault_stats.deploy_faults += 1;
+            let mut rollback_ops = 0u64;
+            let mut parked: Option<SimError> = None;
+            if matches!(fault, SimError::DeviceReset { .. }) {
+                self.needs_reconcile = true;
+            } else {
+                let mut undo: Vec<ControlOp> =
+                    Vec::with_capacity(handles.filter_handles.len() + handles.body_handles.len());
+                for &(table, handle) in handles.filter_handles.iter().rev() {
+                    undo.push(ControlOp::DeleteEntry { table, handle });
+                }
+                for &(table, handle) in handles.body_handles.iter().rev() {
+                    undo.push(ControlOp::DeleteEntry { table, handle });
+                }
+                let (undone, double) = self.rollback(prog_id, undo);
+                rollback_ops = undone;
+                if let Some((mut pending, second)) = double {
+                    // Double fault: park the leftovers. The regions were
+                    // zero at grant time, but a partially active filter
+                    // could see traffic before the retry lands — reset
+                    // them as part of the parked cleanup.
+                    for r in &image.mem_regions {
+                        pending.push(ControlOp::ResetRegRange {
+                            array: r.rpb.array_ref(),
+                            start: r.offset,
+                            len: r.size,
+                        });
+                    }
+                    self.wedged.insert(
+                        c.name.clone(),
+                        WedgedProgram { image: image.clone(), pending_ops: pending },
+                    );
+                    parked = Some(second);
+                }
+            }
+            if parked.is_none() {
+                self.refund_program(&image);
+            }
+            self.spans.push(LifecycleSpan {
+                seq: self.spans.len() as u64,
+                kind: "deploy-fault".into(),
+                program: c.name.clone(),
+                prog_id: u64::from(prog_id),
+                epoch,
+                parse_wall_ns: c.parse_wall.as_nanos() as u64,
+                solver_wall_ns: c.alloc_wall.as_nanos() as u64,
+                solver_nodes: c.allocation.nodes_explored,
+                channel_wall_ns: channel_wall.as_nanos() as u64,
+                entries_written,
+                entries_revoked: rollback_ops,
+                memory_claimed: 0,
+                memory_released: 0,
+                update_delay_ns: update_delay.0,
+                faults: self.faults_fired_total() - faults_before,
+                retries: retries_total,
+                rollback_ops,
+            });
+            return Err(match parked {
+                Some(second) => CtlError::Wedged { program: c.name, fault: second },
+                None => CtlError::DeployFault { program: c.name, fault },
+            });
+        }
 
         let now = self.channel.clock.now();
         if let Some(t) = self.switch.trace_mut() {
@@ -659,6 +961,9 @@ impl Controller {
             memory_claimed,
             memory_released: 0,
             update_delay_ns: update_delay.0,
+            faults: self.faults_fired_total() - faults_before,
+            retries: retries_total,
+            rollback_ops: 0,
         });
 
         let report = DeployReport {
@@ -692,6 +997,9 @@ impl Controller {
     }
 
     fn revoke_impl(&mut self, name: &str, vectored: bool) -> CtlResult<RevokeReport> {
+        if self.wedged.contains_key(name) {
+            return self.finish_wedged(name);
+        }
         let installed = self
             .programs
             .remove(name)
@@ -703,49 +1011,88 @@ impl Controller {
         }
 
         // The remove batches mutate the data plane: new telemetry epoch.
+        let faults_before = self.faults_fired_total();
         let epoch = self.bump_epoch();
         let batches = plan_remove(&installed.handles);
         let t_chan = Instant::now();
         let mut update_delay = Nanos::ZERO;
         let mut entries_revoked = 0u64;
+        let mut retries_total = 0u64;
+        let mut fault: Option<SimError> = None;
+        let mut remaining: Vec<ControlOp> = Vec::new();
         if vectored {
             // One ordered batch; the filter deletions still come first, so
             // the program stops matching before any component disappears.
             let ops: Vec<ControlOp> = batches.into_iter().flat_map(|b| b.ops).collect();
-            let (_, cost) = self.channel.apply_batch_vectored(&mut self.switch, &ops)?;
-            update_delay += cost;
-            entries_revoked += ops
-                .iter()
-                .filter(|op| matches!(op, ControlOp::DeleteEntry { .. }))
-                .count() as u64;
+            let (out, retries) = self.apply_with_retry(&ops, true);
+            retries_total += retries;
+            update_delay += out.cost;
+            entries_revoked +=
+                out.results.iter().filter(|r| matches!(r, OpResult::Deleted)).count() as u64;
+            if out.error.is_some() {
+                fault = out.error;
+                remaining = ops[out.results.len()..].to_vec();
+            }
         } else {
-            for batch in &batches {
-                let (_, cost) = self.channel.apply_batch(&mut self.switch, &batch.ops)?;
-                update_delay += cost;
-                entries_revoked += batch
-                    .ops
-                    .iter()
-                    .filter(|op| matches!(op, ControlOp::DeleteEntry { .. }))
-                    .count() as u64;
+            let mut it = batches.into_iter();
+            for batch in it.by_ref() {
+                let (out, retries) = self.apply_with_retry(&batch.ops, false);
+                retries_total += retries;
+                update_delay += out.cost;
+                entries_revoked +=
+                    out.results.iter().filter(|r| matches!(r, OpResult::Deleted)).count() as u64;
+                if out.error.is_some() {
+                    fault = out.error;
+                    remaining = batch.ops[out.results.len()..].to_vec();
+                    break;
+                }
+            }
+            for batch in it {
+                remaining.extend(batch.ops);
             }
         }
         let channel_wall = t_chan.elapsed();
 
-        // Reset complete → return memory to the free lists.
-        for r in &installed.handles.mem_regions {
-            self.resman.unlock_memory(r.rpb, r.offset, r.size);
+        if let Some(f) = fault {
+            self.fault_stats.revoke_faults += 1;
+            if matches!(f, SimError::DeviceReset { .. }) {
+                // Forward recovery: the wipe finished the removal (it also
+                // zeroed the locked regions), so fall through to the
+                // refunds. Other programs diverged, though.
+                self.needs_reconcile = true;
+            } else {
+                // Park the rest of the plan: the program's resources stay
+                // charged (regions stay locked) until a retried revoke or
+                // a reconcile retires it.
+                let prog_id = installed.image.prog_id;
+                self.wedged.insert(
+                    name.to_string(),
+                    WedgedProgram { image: installed.image, pending_ops: remaining },
+                );
+                self.spans.push(LifecycleSpan {
+                    seq: self.spans.len() as u64,
+                    kind: "revoke-fault".into(),
+                    program: name.to_string(),
+                    prog_id: u64::from(prog_id),
+                    epoch,
+                    parse_wall_ns: 0,
+                    solver_wall_ns: 0,
+                    solver_nodes: 0,
+                    channel_wall_ns: channel_wall.as_nanos() as u64,
+                    entries_written: 0,
+                    entries_revoked,
+                    memory_claimed: 0,
+                    memory_released: 0,
+                    update_delay_ns: update_delay.0,
+                    faults: self.faults_fired_total() - faults_before,
+                    retries: retries_total,
+                    rollback_ops: 0,
+                });
+                return Err(CtlError::Wedged { program: name.to_string(), fault: f });
+            }
         }
-        // Refund entry budgets.
-        let mut per_rpb: HashMap<RpbId, usize> = HashMap::new();
-        for (rpb, _) in &installed.image.rpb_entries {
-            *per_rpb.entry(*rpb).or_insert(0) += 1;
-        }
-        for (rpb, n) in per_rpb {
-            self.resman.refund_entries(rpb, n);
-        }
-        self.resman.refund_init(1);
-        self.resman.refund_recirc(installed.image.recirc_ids.len());
-        self.free_ids.push(installed.image.prog_id);
+
+        self.refund_program(&installed.image);
 
         let memory_released: u64 = installed
             .handles
@@ -773,9 +1120,300 @@ impl Controller {
             memory_claimed: 0,
             memory_released,
             update_delay_ns: update_delay.0,
+            faults: self.faults_fired_total() - faults_before,
+            retries: retries_total,
+            rollback_ops: 0,
         });
 
         Ok(RevokeReport { name: name.to_string(), update_delay })
+    }
+
+    /// Retry a wedged program's parked cleanup. Idempotent: every call
+    /// re-applies whatever is still pending (deletes whose handles a
+    /// device reset already wiped are satisfied trivially and dropped);
+    /// once the device is clean the program's resources are refunded and
+    /// the name becomes free again.
+    fn finish_wedged(&mut self, name: &str) -> CtlResult<RevokeReport> {
+        let w = self.wedged.remove(name).expect("caller checked the wedged map");
+        let pending: Vec<ControlOp> = w
+            .pending_ops
+            .into_iter()
+            .filter(|op| match op {
+                ControlOp::DeleteEntry { table, handle } => self
+                    .switch
+                    .table(*table)
+                    .map(|t| t.contains(*handle))
+                    .unwrap_or(false),
+                _ => true,
+            })
+            .collect();
+        let faults_before = self.faults_fired_total();
+        let epoch = self.bump_epoch();
+        let prog_id = w.image.prog_id;
+        let now = self.channel.clock.now();
+        if let Some(t) = self.switch.trace_mut() {
+            t.set_now(now);
+            t.rollback_begin(prog_id);
+        }
+        let t_chan = Instant::now();
+        let (out, retries) = self.apply_with_retry(&pending, true);
+        let update_delay = out.cost;
+        let undone = out.results.len() as u64;
+        self.fault_stats.rollback_ops += undone;
+        let complete = match &out.error {
+            None => true,
+            Some(SimError::DeviceReset { .. }) => {
+                self.needs_reconcile = true;
+                true
+            }
+            Some(_) => false,
+        };
+        let now = self.channel.clock.now();
+        if let Some(t) = self.switch.trace_mut() {
+            t.set_now(now);
+            t.rollback_end(prog_id, undone as u32, complete);
+        }
+        if !complete {
+            let f = out.error.expect("incomplete cleanup carries its fault");
+            self.wedged.insert(
+                name.to_string(),
+                WedgedProgram {
+                    image: w.image,
+                    pending_ops: pending[out.results.len()..].to_vec(),
+                },
+            );
+            return Err(CtlError::Wedged { program: name.to_string(), fault: f });
+        }
+        self.fault_stats.rollbacks += 1;
+        self.refund_program(&w.image);
+        let channel_wall = t_chan.elapsed();
+        let now = self.channel.clock.now();
+        if let Some(t) = self.switch.trace_mut() {
+            t.set_now(now);
+            t.lifecycle(LifecycleKind::Revoke, prog_id, epoch, update_delay);
+        }
+        self.spans.push(LifecycleSpan {
+            seq: self.spans.len() as u64,
+            kind: "revoke".into(),
+            program: name.to_string(),
+            prog_id: u64::from(prog_id),
+            epoch,
+            parse_wall_ns: 0,
+            solver_wall_ns: 0,
+            solver_nodes: 0,
+            channel_wall_ns: channel_wall.as_nanos() as u64,
+            entries_written: 0,
+            entries_revoked: out
+                .results
+                .iter()
+                .filter(|r| matches!(r, OpResult::Deleted))
+                .count() as u64,
+            memory_claimed: 0,
+            memory_released: w.image.mem_regions.iter().map(|r| u64::from(r.size)).sum(),
+            update_delay_ns: update_delay.0,
+            faults: self.faults_fired_total() - faults_before,
+            retries,
+            rollback_ops: undone,
+        });
+        Ok(RevokeReport { name: name.to_string(), update_delay })
+    }
+
+    /// Snapshot the device's per-table entry population, with claim marks
+    /// for the content-matching passes.
+    fn device_pool(&self) -> CtlResult<HashMap<TableRef, Vec<DevicePoolEntry>>> {
+        let mut pool = HashMap::new();
+        for tref in self.switch.table_refs() {
+            let t = self.switch.table(tref)?;
+            let v: Vec<_> = t.iter_entries().map(|(h, e)| (h, e.clone(), false)).collect();
+            if !v.is_empty() {
+                pool.insert(tref, v);
+            }
+        }
+        Ok(pool)
+    }
+
+    /// Audit the device against the resource manager's view: re-derive
+    /// every installed program's install plan and content-match it against
+    /// the entries actually on the device. Read-only; `reconcile()` is
+    /// the mutating counterpart.
+    pub fn audit(&self) -> CtlResult<AuditReport> {
+        let mut pool = self.device_pool()?;
+        let mut rep = AuditReport { wedged: self.wedged.len(), ..Default::default() };
+        let mut names: Vec<&String> = self.programs.keys().collect();
+        names.sort();
+        for name in names {
+            let p = &self.programs[name];
+            let batches = plan_install(&p.image, &self.dp, self.switch.field_table())?;
+            for batch in &batches {
+                for op in &batch.ops {
+                    if let ControlOp::InsertEntry { table, entry } = op {
+                        rep.expected += 1;
+                        let found = pool
+                            .get_mut(table)
+                            .and_then(|v| v.iter_mut().find(|(_, e, c)| !*c && e == entry));
+                        match found {
+                            Some(slot) => {
+                                slot.2 = true;
+                                rep.present += 1;
+                            }
+                            None => rep.missing += 1,
+                        }
+                    }
+                }
+            }
+        }
+        rep.unexpected =
+            pool.values().flat_map(|v| v.iter()).filter(|(_, _, c)| !*c).count();
+        Ok(rep)
+    }
+
+    fn trace_reconcile_end(&mut self, reinstalled: u32, deleted: u32) {
+        let now = self.channel.clock.now();
+        if let Some(t) = self.switch.trace_mut() {
+            t.set_now(now);
+            t.reconcile_end(reinstalled, deleted);
+        }
+    }
+
+    /// Repair the device after a reset (or any other divergence): retire
+    /// wedged programs, garbage-collect device entries no installed
+    /// program claims, and re-install what the surviving programs are
+    /// missing — body entries first, filter activation last, so a program
+    /// under repair is never half packet-visible. Register *contents* are
+    /// not restored (a reset zeroes them, exactly like a freshly granted
+    /// region); programs rebuild that state from traffic.
+    ///
+    /// One pass converges when no fault interferes; under an armed fault
+    /// plan a pass can itself fault (the error is returned, partial
+    /// progress is kept and recorded), so callers loop until
+    /// [`Controller::audit`] reports clean.
+    pub fn reconcile(&mut self) -> CtlResult<ReconcileReport> {
+        let generation = self.switch.generation();
+        self.bump_epoch();
+        let now = self.channel.clock.now();
+        if let Some(t) = self.switch.trace_mut() {
+            t.set_now(now);
+            t.reconcile_begin(generation);
+        }
+        let mut rep = ReconcileReport::default();
+
+        // Retire wedged programs: refund now, sweep their leftover entries
+        // as "unexpected" below, and reset their regions in the gc batch.
+        let mut wedge_resets: Vec<ControlOp> = Vec::new();
+        let mut wnames: Vec<String> = self.wedged.keys().cloned().collect();
+        wnames.sort();
+        for n in &wnames {
+            let w = self.wedged.remove(n).expect("key was just listed");
+            for r in &w.image.mem_regions {
+                wedge_resets.push(ControlOp::ResetRegRange {
+                    array: r.rpb.array_ref(),
+                    start: r.offset,
+                    len: r.size,
+                });
+            }
+            self.refund_program(&w.image);
+            rep.wedged_cleared += 1;
+        }
+
+        // Content-match the device against every installed program's
+        // re-derived plan, splitting each into kept handles and missing ops.
+        struct Repair {
+            name: String,
+            keep: [Vec<(TableRef, EntryHandle)>; 2],
+            missing: [Vec<ControlOp>; 2],
+        }
+        let mut pool = self.device_pool()?;
+        let mut names: Vec<String> = self.programs.keys().cloned().collect();
+        names.sort();
+        let mut repairs: Vec<Repair> = Vec::new();
+        for name in &names {
+            let p = &self.programs[name];
+            let batches = plan_install(&p.image, &self.dp, self.switch.field_table())?;
+            let mut rp = Repair {
+                name: name.clone(),
+                keep: [Vec::new(), Vec::new()],
+                missing: [Vec::new(), Vec::new()],
+            };
+            for (sec, batch) in batches.iter().enumerate().take(2) {
+                for op in &batch.ops {
+                    if let ControlOp::InsertEntry { table, entry } = op {
+                        let found = pool
+                            .get_mut(table)
+                            .and_then(|v| v.iter_mut().find(|(_, e, c)| !*c && e == entry));
+                        match found {
+                            Some(slot) => {
+                                slot.2 = true;
+                                rp.keep[sec].push((*table, slot.0));
+                            }
+                            None => rp.missing[sec].push(op.clone()),
+                        }
+                    }
+                }
+            }
+            repairs.push(rp);
+        }
+
+        // Garbage-collect unclaimed entries (deterministic device order)
+        // plus the retired wedged programs' register regions.
+        let mut gc: Vec<ControlOp> = Vec::new();
+        for tref in self.switch.table_refs() {
+            if let Some(v) = pool.get(&tref) {
+                for (h, _, claimed) in v {
+                    if !claimed {
+                        gc.push(ControlOp::DeleteEntry { table: tref, handle: *h });
+                    }
+                }
+            }
+        }
+        gc.extend(wedge_resets);
+        if !gc.is_empty() {
+            let (out, _) = self.apply_with_retry(&gc, true);
+            rep.update_delay += out.cost;
+            rep.deleted +=
+                out.results.iter().filter(|r| matches!(r, OpResult::Deleted)).count();
+            if let Some(f) = out.error {
+                // Partial sweep; the next pass finds the rest again.
+                self.trace_reconcile_end(rep.reinstalled as u32, rep.deleted as u32);
+                return Err(CtlError::Sim(f));
+            }
+        }
+
+        // Repair each surviving program and rebuild its handle record
+        // from the claims plus the fresh inserts.
+        for rp in repairs {
+            let boundary = rp.missing[0].len();
+            let ops: Vec<ControlOp> =
+                rp.missing[0].iter().chain(rp.missing[1].iter()).cloned().collect();
+            let mut keep = rp.keep;
+            let mut err = None;
+            if !ops.is_empty() {
+                let (out, _) = self.apply_with_retry(&ops, true);
+                rep.update_delay += out.cost;
+                for (k, (op, res)) in ops.iter().zip(&out.results).enumerate() {
+                    if let (ControlOp::InsertEntry { table, .. }, OpResult::Inserted(h)) = (op, res)
+                    {
+                        rep.reinstalled += 1;
+                        keep[usize::from(k >= boundary)].push((*table, *h));
+                    }
+                }
+                err = out.error;
+            }
+            let [body, filters] = keep;
+            let p = self.programs.get_mut(&rp.name).expect("program is installed");
+            p.handles.body_handles = body;
+            p.handles.filter_handles = filters;
+            if let Some(f) = err {
+                // Partially repaired: what landed is recorded, so the next
+                // pass claims it by content and continues from there.
+                self.trace_reconcile_end(rep.reinstalled as u32, rep.deleted as u32);
+                return Err(CtlError::Sim(f));
+            }
+        }
+
+        self.needs_reconcile = false;
+        self.fault_stats.reconciles += 1;
+        self.trace_reconcile_end(rep.reinstalled as u32, rep.deleted as u32);
+        Ok(rep)
     }
 
     /// Incremental update of a running program (§7 "Incremental Update"):

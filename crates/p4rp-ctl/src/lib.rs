@@ -11,12 +11,17 @@
 //!   [`TelemetryReport`] joining control-side and packet-side series
 //!   (rendered by `status --metrics`, documented in `docs/TELEMETRY.md`).
 
+pub mod chaos;
 pub mod cli;
 pub mod controller;
 pub mod resman;
 pub mod telemetry;
 
+pub use chaos::{ChaosConfig, ChaosOutcome};
 pub use cli::Cli;
-pub use controller::{Controller, CtlError, CtlResult, DeployReport, InstalledProgram, RevokeReport};
+pub use controller::{
+    AuditReport, Controller, CtlError, CtlResult, DeployReport, InstalledProgram, ReconcileReport,
+    RevokeReport,
+};
 pub use resman::ResourceManager;
-pub use telemetry::{LifecycleSpan, ResourceGauges, TelemetryReport};
+pub use telemetry::{FaultStats, LifecycleSpan, ResourceGauges, TelemetryReport};

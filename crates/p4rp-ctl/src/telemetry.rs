@@ -56,6 +56,12 @@ pub struct LifecycleSpan {
     pub memory_released: u64,
     /// Simulated data plane update latency (Table 1).
     pub update_delay_ns: u64,
+    /// Channel faults this event hit mid-plan (injected or real).
+    pub faults: u64,
+    /// Transient-fault retries this event consumed.
+    pub retries: u64,
+    /// Undo operations applied rolling back this event's partial state.
+    pub rollback_ops: u64,
 }
 
 serde::impl_serde_struct!(LifecycleSpan {
@@ -73,12 +79,15 @@ serde::impl_serde_struct!(LifecycleSpan {
     memory_claimed,
     memory_released,
     update_delay_ns,
+    faults,
+    retries,
+    rollback_ops,
 });
 
 impl LifecycleSpan {
     /// One human-readable row (the `status --metrics` rendering).
     pub fn render(&self) -> String {
-        format!(
+        let mut row = format!(
             "#{} {:<6} {:<12} id {:<3} epoch {:<3} +{} entries, -{} entries, \
              +{}/-{} buckets, alloc {:.2} ms, apply {:.2} ms, update {:.2} ms",
             self.seq,
@@ -93,7 +102,14 @@ impl LifecycleSpan {
             self.solver_wall_ns as f64 / 1e6,
             self.channel_wall_ns as f64 / 1e6,
             self.update_delay_ns as f64 / 1e6,
-        )
+        );
+        if self.faults + self.retries + self.rollback_ops > 0 {
+            row.push_str(&format!(
+                ", {} fault(s), {} retries, {} undo ops",
+                self.faults, self.retries, self.rollback_ops
+            ));
+        }
+        row
     }
 }
 
@@ -146,6 +162,45 @@ impl ResourceGauges {
     }
 }
 
+/// Fault-injection and recovery counters (see `docs/CHAOS.md`): how often
+/// the control channel misbehaved and what the transactional controller
+/// did about it. All zeros when no fault plan is armed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Triggers the channel's fault plan has fired.
+    pub faults_injected: u64,
+    /// Deploys that hit a mid-install fault (rolled back or wedged).
+    pub deploy_faults: u64,
+    /// Revokes that hit a mid-remove fault (finished by reconcile or a
+    /// later retry).
+    pub revoke_faults: u64,
+    /// Transient-fault batch retries (timeouts, channel drops).
+    pub retries: u64,
+    /// Rollbacks executed after a mid-plan fault.
+    pub rollbacks: u64,
+    /// Undo operations applied across all rollbacks.
+    pub rollback_ops: u64,
+    /// Reconciliation passes completed.
+    pub reconciles: u64,
+    /// Programs currently wedged (cleanup itself faulted; a later revoke
+    /// or reconcile retires them).
+    pub wedged: u64,
+    /// Device generation last observed (bumped by every device reset).
+    pub device_generation: u64,
+}
+
+serde::impl_serde_struct!(FaultStats {
+    faults_injected,
+    deploy_faults,
+    revoke_faults,
+    retries,
+    rollbacks,
+    rollback_ops,
+    reconciles,
+    wedged,
+    device_generation,
+});
+
 /// The single JSON document `status --metrics` is built from: control
 /// spans + resource gauges + control-channel write latency + (when
 /// enabled) the data plane's packet-side counters.
@@ -166,6 +221,8 @@ pub struct TelemetryReport {
     /// Flight-recorder statistics (`TraceStats::disabled()` when the
     /// flight recorder is off — see `docs/TRACING.md`).
     pub trace: TraceStats,
+    /// Fault-injection and recovery counters (`docs/CHAOS.md`).
+    pub faults: FaultStats,
 }
 
 serde::impl_serde_struct!(TelemetryReport {
@@ -176,6 +233,7 @@ serde::impl_serde_struct!(TelemetryReport {
     control_write_latency,
     dataplane,
     trace,
+    faults,
 });
 
 impl TelemetryReport {
@@ -226,6 +284,24 @@ impl TelemetryReport {
                 out.push_str(&s.render());
                 out.push('\n');
             }
+        }
+        let fs = &self.faults;
+        if fs == &FaultStats::default() {
+            out.push_str("faults: none\n");
+        } else {
+            out.push_str(&format!(
+                "faults: {} injected | deploys {} / revokes {} hit | {} retries | \
+                 {} rollbacks ({} undo ops) | {} reconciles | {} wedged | device gen {}\n",
+                fs.faults_injected,
+                fs.deploy_faults,
+                fs.revoke_faults,
+                fs.retries,
+                fs.rollbacks,
+                fs.rollback_ops,
+                fs.reconciles,
+                fs.wedged,
+                fs.device_generation
+            ));
         }
         if self.trace.enabled {
             out.push_str(&format!(
@@ -292,6 +368,9 @@ mod tests {
             memory_claimed: if kind == "deploy" { 64 } else { 0 },
             memory_released: if kind == "revoke" { 64 } else { 0 },
             update_delay_ns: 4_000_000,
+            faults: 0,
+            retries: 0,
+            rollback_ops: 0,
         }
     }
 
@@ -315,6 +394,17 @@ mod tests {
                 retained: 1234,
                 violations: 0,
             },
+            faults: FaultStats {
+                faults_injected: 3,
+                deploy_faults: 1,
+                revoke_faults: 0,
+                retries: 2,
+                rollbacks: 1,
+                rollback_ops: 7,
+                reconciles: 1,
+                wedged: 0,
+                device_generation: 1,
+            },
         };
         let text = report.to_json();
         let back = TelemetryReport::from_json(&text).unwrap();
@@ -335,14 +425,39 @@ mod tests {
             control_write_latency: Histogram::exponential(10_000, 2, 12),
             dataplane: None,
             trace: TraceStats::disabled(),
+            faults: FaultStats::default(),
         };
         let s = report.summary();
         assert!(s.contains("telemetry epoch 2"), "{s}");
         assert!(s.contains("deploy"), "{s}");
         assert!(s.contains("+9 entries"), "{s}");
         assert!(s.contains("control writes: none"), "{s}");
+        assert!(s.contains("faults: none"), "{s}");
         assert!(s.contains("flight recorder: disabled"), "{s}");
         assert!(s.contains("dataplane telemetry: disabled"), "{s}");
+    }
+
+    #[test]
+    fn fault_summary_and_span_counters_render_when_nonzero() {
+        let mut sp = span(0, "deploy");
+        sp.faults = 1;
+        sp.retries = 2;
+        sp.rollback_ops = 5;
+        let row = sp.render();
+        assert!(row.contains("1 fault(s), 2 retries, 5 undo ops"), "{row}");
+        let report = TelemetryReport {
+            epoch: 1,
+            programs_deployed: 0,
+            spans: vec![sp],
+            resources: ResourceGauges::collect(&ResourceManager::new()),
+            control_write_latency: Histogram::exponential(10_000, 2, 12),
+            dataplane: None,
+            trace: TraceStats::disabled(),
+            faults: FaultStats { faults_injected: 4, wedged: 1, ..FaultStats::default() },
+        };
+        let s = report.summary();
+        assert!(s.contains("4 injected"), "{s}");
+        assert!(s.contains("1 wedged"), "{s}");
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! batch.
 
 use crate::clock::{Nanos, SimClock};
-use crate::error::SimResult;
+use crate::error::{SimError, SimResult};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::switch::{ControlOp, OpResult, Switch};
 use crate::telemetry::Histogram;
 
@@ -100,6 +101,36 @@ impl LatencyModel {
     }
 }
 
+/// What a timed-out batch RPC costs before the channel gives up — the
+/// client-side deadline, charged to the simulated clock so retry/backoff
+/// shows up in update-delay telemetry.
+pub const BATCH_TIMEOUT_COST: Nanos = Nanos(100_000_000);
+
+/// The outcome of a checked batch: the results of the *applied prefix*,
+/// the modeled latency, and the error that stopped the batch early (if
+/// any). This is the transactional controller's view — unlike
+/// [`ControlChannel::apply_batch`], a fault does not discard the prefix's
+/// results, so the caller knows exactly what to undo.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Results of the ops that applied, in order.
+    pub results: Vec<OpResult>,
+    /// Modeled latency of the (possibly truncated) batch.
+    pub cost: Nanos,
+    /// Why the batch stopped before applying every op; `None` = complete.
+    pub error: Option<SimError>,
+}
+
+impl BatchOutcome {
+    /// Collapse to the legacy fail-stop result shape.
+    pub fn into_result(self) -> SimResult<(Vec<OpResult>, Nanos)> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok((self.results, self.cost)),
+        }
+    }
+}
+
 /// A control session against one switch.
 #[derive(Debug, Clone)]
 pub struct ControlChannel {
@@ -112,6 +143,10 @@ pub struct ControlChannel {
     /// nanoseconds. Always on: the control path is cold, so the histogram
     /// update is free compared to the modeled RPC itself.
     pub write_latency: Histogram,
+    /// Deterministic fault schedule. The default (disarmed) plan never
+    /// fires and costs two branch-on-empty checks per batch.
+    pub fault: FaultPlan,
+    connected: bool,
 }
 
 impl Default for ControlChannel {
@@ -129,7 +164,21 @@ impl ControlChannel {
             // Geometric 10 µs … 20.5 ms edges bracket the calibrated
             // per-op costs (25 µs register writes, 330 µs inserts).
             write_latency: Histogram::exponential(10_000, 2, 12),
+            fault: FaultPlan::none(),
+            connected: true,
         }
+    }
+
+    /// The channel can reach the device. `false` after a
+    /// [`FaultKind::ChannelDrop`] until [`reconnect`](Self::reconnect).
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// Re-establish a dropped channel (models re-opening the gRPC
+    /// session).
+    pub fn reconnect(&mut self) {
+        self.connected = true;
     }
 
     /// Apply a batch of operations in order, advancing the simulated clock.
@@ -144,7 +193,7 @@ impl ControlChannel {
         sw: &mut Switch,
         ops: &[ControlOp],
     ) -> SimResult<(Vec<OpResult>, Nanos)> {
-        self.apply_batch_impl(sw, ops, false)
+        self.apply_batch_impl(sw, ops, false).into_result()
     }
 
     /// [`apply_batch`](Self::apply_batch) on the vectored path: the batch
@@ -157,7 +206,19 @@ impl ControlChannel {
         sw: &mut Switch,
         ops: &[ControlOp],
     ) -> SimResult<(Vec<OpResult>, Nanos)> {
-        self.apply_batch_impl(sw, ops, true)
+        self.apply_batch_impl(sw, ops, true).into_result()
+    }
+
+    /// The transactional interface: like [`apply_batch`](Self::apply_batch)
+    /// but a fault keeps the applied prefix's results, so the caller can
+    /// undo exactly what landed. Consults the armed [`FaultPlan`].
+    pub fn apply_batch_checked(
+        &mut self,
+        sw: &mut Switch,
+        ops: &[ControlOp],
+        vectored: bool,
+    ) -> BatchOutcome {
+        self.apply_batch_impl(sw, ops, vectored)
     }
 
     fn apply_batch_impl(
@@ -165,28 +226,75 @@ impl ControlChannel {
         sw: &mut Switch,
         ops: &[ControlOp],
         vectored: bool,
-    ) -> SimResult<(Vec<OpResult>, Nanos)> {
+    ) -> BatchOutcome {
+        let start = self.clock.now();
+        // A dropped channel fails the RPC client-side: the device never
+        // sees the batch, and no time is modeled (the failure is
+        // immediate).
+        if !self.connected {
+            return BatchOutcome {
+                results: Vec::new(),
+                cost: Nanos(0),
+                error: Some(SimError::ChannelDown),
+            };
+        }
+        // Batch-level faults fire before anything reaches the device.
+        if let Some(f) = self.fault.batch_fault(ops.len()) {
+            let at = self.fault.ops_attempted();
+            let (cost, error) = match f {
+                FaultKind::BatchTimeout => {
+                    // The RPC burns its client deadline, then errors out.
+                    self.clock.advance(BATCH_TIMEOUT_COST);
+                    (BATCH_TIMEOUT_COST, SimError::ChannelTimeout)
+                }
+                FaultKind::ChannelDrop => {
+                    self.connected = false;
+                    (Nanos(0), SimError::ChannelDown)
+                }
+                // `batch_fault` only ever fires batch-level kinds.
+                FaultKind::FailOp | FaultKind::DeviceReset => unreachable!(),
+            };
+            if let Some(t) = sw.trace_mut() {
+                t.set_now(self.clock.now());
+                t.fault_injected(f, at);
+            }
+            return BatchOutcome { results: Vec::new(), cost, error: Some(error) };
+        }
         let mut total = self.model.per_batch;
         let mut results = Vec::with_capacity(ops.len());
+        let mut error = None;
         // Open a control-track batch span in the flight recorder (no-op
         // when tracing is off). The batch id lets the invariant checker
         // flag any packet event that lands inside the critical section.
-        let start = self.clock.now();
         let batch = sw.trace_mut().map(|t| {
             t.set_now(start);
             t.batch_begin(ops.len())
         });
         for op in ops {
+            // Op-level faults fire *instead of* applying the op.
+            if let Some(f) = self.fault.op_fault(op) {
+                let at = self.fault.ops_attempted() - 1;
+                error = Some(match f {
+                    FaultKind::FailOp => SimError::FaultInjected { at_op: at },
+                    FaultKind::DeviceReset => {
+                        sw.reset_device();
+                        SimError::DeviceReset { generation: sw.generation() }
+                    }
+                    // `op_fault` only ever fires op-level kinds.
+                    FaultKind::BatchTimeout | FaultKind::ChannelDrop => unreachable!(),
+                });
+                if let (Some(_), Some(t)) = (batch, sw.trace_mut()) {
+                    t.fault_injected(f, at);
+                }
+                break;
+            }
             let r = match sw.apply_op(op) {
                 Ok(r) => r,
                 Err(e) => {
-                    // Fail-stop still closes the batch span: the trace
-                    // shows the truncated batch, and the checker's
-                    // critical section does not leak into later packets.
-                    if let (Some(b), Some(t)) = (batch, sw.trace_mut()) {
-                        t.batch_end(b, results.len(), total);
-                    }
-                    return Err(e);
+                    // Fail-stop: the batch stops, the applied prefix stays
+                    // on the device.
+                    error = Some(e);
+                    break;
                 }
             };
             let cost = if vectored {
@@ -209,12 +317,15 @@ impl ControlChannel {
             }
             results.push(r);
         }
+        // The truncated batch still consumed its modeled time; closing the
+        // span on every path keeps the checker's critical section from
+        // leaking into later packets.
         self.clock.advance(total);
         if let (Some(b), Some(t)) = (batch, sw.trace_mut()) {
-            t.batch_end(b, ops.len(), total);
+            t.batch_end(b, results.len(), total);
             t.set_now(self.clock.now());
         }
-        Ok((results, total))
+        BatchOutcome { results, cost: total, error }
     }
 
     /// Pure cost estimation without touching a switch (used by planners).
@@ -311,6 +422,94 @@ mod tests {
         // All three entries really landed.
         let tref = TableRef { gress: Gress::Ingress, stage: 0, table: 0 };
         assert_eq!(sw.table(tref).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn injected_failop_keeps_prefix_results() {
+        use crate::fault::FaultTrigger;
+        let mut sw = switch_with_one_table();
+        let mut ch = ControlChannel {
+            fault: FaultPlan::new(vec![FaultTrigger {
+                at: 1,
+                op_kind: None,
+                fault: FaultKind::FailOp,
+            }]),
+            ..Default::default()
+        };
+        let ops = vec![insert_op(1), insert_op(2), insert_op(3)];
+        let out = ch.apply_batch_checked(&mut sw, &ops, false);
+        assert_eq!(out.error, Some(SimError::FaultInjected { at_op: 1 }));
+        assert_eq!(out.results.len(), 1, "only the first op applied");
+        let tref = TableRef { gress: Gress::Ingress, stage: 0, table: 0 };
+        assert_eq!(sw.table(tref).unwrap().len(), 1);
+        // The plan is exhausted: the same batch now goes through.
+        let out = ch.apply_batch_checked(&mut sw, &[insert_op(4)], false);
+        assert!(out.error.is_none());
+    }
+
+    #[test]
+    fn timeout_applies_nothing_and_burns_the_deadline() {
+        use crate::fault::FaultTrigger;
+        let mut sw = switch_with_one_table();
+        let mut ch = ControlChannel {
+            fault: FaultPlan::new(vec![FaultTrigger {
+                at: 0,
+                op_kind: None,
+                fault: FaultKind::BatchTimeout,
+            }]),
+            ..Default::default()
+        };
+        let out = ch.apply_batch_checked(&mut sw, &[insert_op(1)], false);
+        assert_eq!(out.error, Some(SimError::ChannelTimeout));
+        assert!(out.results.is_empty());
+        assert_eq!(ch.clock.now(), BATCH_TIMEOUT_COST);
+        let tref = TableRef { gress: Gress::Ingress, stage: 0, table: 0 };
+        assert_eq!(sw.table(tref).unwrap().len(), 0, "device never saw the batch");
+        assert!(ch.is_connected());
+    }
+
+    #[test]
+    fn drop_downs_the_channel_until_reconnect() {
+        use crate::fault::FaultTrigger;
+        let mut sw = switch_with_one_table();
+        let mut ch = ControlChannel {
+            fault: FaultPlan::new(vec![FaultTrigger {
+                at: 0,
+                op_kind: None,
+                fault: FaultKind::ChannelDrop,
+            }]),
+            ..Default::default()
+        };
+        let out = ch.apply_batch_checked(&mut sw, &[insert_op(1)], false);
+        assert_eq!(out.error, Some(SimError::ChannelDown));
+        assert!(!ch.is_connected());
+        // Every batch fails while down, even with the plan exhausted.
+        let out = ch.apply_batch_checked(&mut sw, &[insert_op(1)], false);
+        assert_eq!(out.error, Some(SimError::ChannelDown));
+        ch.reconnect();
+        assert!(ch.apply_batch_checked(&mut sw, &[insert_op(1)], false).error.is_none());
+    }
+
+    #[test]
+    fn device_reset_wipes_state_and_bumps_generation() {
+        use crate::fault::FaultTrigger;
+        let mut sw = switch_with_one_table();
+        let mut ch = ControlChannel::default();
+        let tref = TableRef { gress: Gress::Ingress, stage: 0, table: 0 };
+        ch.apply_batch(&mut sw, &[insert_op(1), insert_op(2)]).unwrap();
+        assert_eq!(sw.generation(), 0);
+        // A freshly armed plan counts ops from zero.
+        ch.fault = FaultPlan::new(vec![FaultTrigger {
+            at: 2,
+            op_kind: None,
+            fault: FaultKind::DeviceReset,
+        }]);
+        let ops = vec![insert_op(3), insert_op(4), insert_op(5)];
+        let out = ch.apply_batch_checked(&mut sw, &ops, false);
+        assert_eq!(out.error, Some(SimError::DeviceReset { generation: 1 }));
+        assert_eq!(out.results.len(), 2, "two ops of this batch applied before the reset");
+        assert_eq!(sw.generation(), 1);
+        assert_eq!(sw.table(tref).unwrap().len(), 0, "reset wiped everything");
     }
 
     #[test]

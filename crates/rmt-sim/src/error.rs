@@ -44,6 +44,19 @@ pub enum SimError {
     NoSuchPort(u16),
     /// Anything that indicates the simulator itself was misconfigured.
     Config(String),
+    /// An injected fault failed this operation (the op was not applied;
+    /// the batch's earlier ops stay on the device — fail-stop).
+    /// FaultInjected.
+    FaultInjected { at_op: u64 },
+    /// The whole batch timed out before anything was applied. Retryable.
+    ChannelTimeout,
+    /// The control channel is down; nothing was applied. The channel
+    /// stays down until `reconnect()`.
+    ChannelDown,
+    /// The device reset mid-batch: all tables wiped, registers zeroed,
+    /// generation bumped. `generation` is the post-reset value.
+    /// DeviceReset.
+    DeviceReset { generation: u64 },
 }
 
 impl fmt::Display for SimError {
@@ -75,6 +88,14 @@ impl fmt::Display for SimError {
             }
             SimError::NoSuchPort(p) => write!(f, "no such port {p}"),
             SimError::Config(msg) => write!(f, "configuration error: {msg}"),
+            SimError::FaultInjected { at_op } => {
+                write!(f, "injected fault failed control op {at_op}")
+            }
+            SimError::ChannelTimeout => write!(f, "control batch timed out"),
+            SimError::ChannelDown => write!(f, "control channel is down"),
+            SimError::DeviceReset { generation } => {
+                write!(f, "device reset mid-batch (now generation {generation})")
+            }
         }
     }
 }

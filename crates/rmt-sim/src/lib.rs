@@ -93,6 +93,7 @@ pub mod action;
 pub mod clock;
 pub mod control;
 pub mod error;
+pub mod fault;
 pub mod fxhash;
 pub mod hash;
 pub mod parser;
@@ -111,8 +112,9 @@ pub mod trace;
 pub mod prelude {
     pub use crate::action::{ActionDef, AluFunc, HashCall, HashInput, Operand, SaluCall, VliwOp};
     pub use crate::clock::{Bandwidth, Nanos, SimClock};
-    pub use crate::control::{ControlChannel, LatencyModel, VectoredModel};
+    pub use crate::control::{BatchOutcome, ControlChannel, LatencyModel, VectoredModel};
     pub use crate::error::{SimError, SimResult};
+    pub use crate::fault::{FaultKind, FaultPlan, FaultTrigger, OpKind};
     pub use crate::hash::CrcSpec;
     pub use crate::parser::{HeaderDef, HeaderField, HeaderTypeId, NextState, ParseState, Parser};
     pub use crate::phv::{FieldId, FieldTable, Phv};

@@ -178,6 +178,10 @@ pub struct Switch {
     mcast_groups: std::collections::HashMap<u16, Vec<u16>>,
     provisioned: bool,
     next_handle: u64,
+    /// Device generation: bumped by every [`Switch::reset_device`], so the
+    /// control plane can tell "my entries vanished" from "the device
+    /// rebooted underneath me".
+    generation: u64,
     counters: Vec<PortCounters>,
     /// Cpu counters.
     pub cpu_counters: PortCounters,
@@ -225,6 +229,7 @@ impl Switch {
             mcast_groups: std::collections::HashMap::new(),
             provisioned: false,
             next_handle: 1,
+            generation: 0,
             counters: vec![PortCounters::default(); ports],
             cpu_counters: PortCounters::default(),
             drops: 0,
@@ -363,6 +368,46 @@ impl Switch {
         self.cpu_counters = PortCounters::default();
         self.drops = 0;
         self.recirc_passes = 0;
+    }
+
+    /// Device generation (bumped by [`Switch::reset_device`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Power-cycle the data plane: every table wiped, every register array
+    /// zeroed, multicast groups cleared, generation bumped. The compiled
+    /// pipeline configuration (parser, table/array shapes) survives — this
+    /// models a device reboot that reloads the P4 binary but loses all
+    /// runtime state. Entry handles are *not* reused afterwards.
+    pub fn reset_device(&mut self) {
+        for pipe in [&mut self.ingress, &mut self.egress] {
+            for stage in &mut pipe.stages {
+                for table in &mut stage.tables {
+                    table.clear();
+                }
+                for array in &mut stage.arrays {
+                    let size = array.size();
+                    array.reset_range(0, size).expect("full-array reset is in range");
+                }
+            }
+        }
+        self.mcast_groups.clear();
+        self.generation += 1;
+    }
+
+    /// Every table in the device, in deterministic pipeline order — the
+    /// audit surface for control-plane reconciliation.
+    pub fn table_refs(&self) -> Vec<TableRef> {
+        let mut refs = Vec::new();
+        for pipe in [&self.ingress, &self.egress] {
+            for (si, stage) in pipe.stages.iter().enumerate() {
+                for ti in 0..stage.tables.len() {
+                    refs.push(TableRef { gress: stage.gress, stage: si, table: ti });
+                }
+            }
+        }
+        refs
     }
 
     fn pipeline(&self, gress: Gress) -> &Pipeline {

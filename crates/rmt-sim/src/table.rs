@@ -129,7 +129,7 @@ fn lpm_bucket_key(v: u64, prefix_len: u8, bits: u8) -> u64 {
 pub struct EntryHandle(pub u64);
 
 /// One table entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableEntry {
     /// Matches.
     pub matches: Vec<MatchValue>,
@@ -267,15 +267,7 @@ pub struct SlotLookup {
 impl Table {
     /// Construct with defaults appropriate to the type.
     pub fn new(name: impl Into<String>, key: KeySpec, actions: Vec<ActionDef>, capacity: usize) -> Table {
-        let index = if key.fields.len() == 1 && key.fields[0].1 == MatchKind::Lpm {
-            Index::Lpm(LpmIndex::default())
-        } else if key.fields.len() <= MAX_EXACT_KEY_FIELDS
-            && key.fields.iter().all(|(_, k)| *k == MatchKind::Exact)
-        {
-            Index::Exact(FxHashMap::default())
-        } else {
-            Index::Scan
-        };
+        let index = Self::fresh_index(&key);
         Table {
             name: name.into(),
             key,
@@ -341,6 +333,19 @@ impl Table {
     /// Drop the index permanently: the ordered scan remains authoritative.
     fn degrade(&mut self) {
         self.index = Index::Scan;
+    }
+
+    /// The empty index a fresh table of this key spec starts with.
+    fn fresh_index(key: &KeySpec) -> Index {
+        if key.fields.len() == 1 && key.fields[0].1 == MatchKind::Lpm {
+            Index::Lpm(LpmIndex::default())
+        } else if key.fields.len() <= MAX_EXACT_KEY_FIELDS
+            && key.fields.iter().all(|(_, k)| *k == MatchKind::Exact)
+        {
+            Index::Exact(FxHashMap::default())
+        } else {
+            Index::Scan
+        }
     }
 
     /// Exact-index key of a conforming entry, or `None` if the entry does
@@ -545,6 +550,17 @@ impl Table {
     /// Contains.
     pub fn contains(&self, handle: EntryHandle) -> bool {
         self.by_handle.contains_key(&handle)
+    }
+
+    /// Drop every entry at once (a device reset, not per-entry deletes).
+    /// The index is rebuilt empty from the key spec, recovering from any
+    /// degradation the wiped entries caused.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_slots.clear();
+        self.order.clear();
+        self.by_handle.clear();
+        self.index = Self::fresh_index(&self.key);
     }
 
     /// The slot the indexed or scanned lookup selects, if any. Does not

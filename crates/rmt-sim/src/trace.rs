@@ -216,6 +216,39 @@ pub enum TraceEventKind {
         /// Simulated update delay, nanoseconds.
         dur_ns: u64,
     },
+    /// The fault plan fired a trigger on the control channel.
+    FaultInjected {
+        /// Which fault.
+        fault: crate::fault::FaultKind,
+        /// Global control-op index the trigger fired at.
+        at_op: u64,
+    },
+    /// The controller started rolling back a partially applied plan.
+    RollbackBegin {
+        /// Program id being undone.
+        prog_id: u16,
+    },
+    /// The rollback finished (fully, or stopped short by a double fault).
+    RollbackEnd {
+        /// Program id.
+        prog_id: u16,
+        /// Undo operations applied.
+        ops: u32,
+        /// Every applied op was undone; `false` means the program wedged.
+        complete: bool,
+    },
+    /// The controller started auditing device state against its own view.
+    ReconcileBegin {
+        /// Device generation at audit time.
+        generation: u64,
+    },
+    /// The reconciliation pass finished.
+    ReconcileEnd {
+        /// Entries re-installed on the device.
+        reinstalled: u32,
+        /// Divergent entries garbage-collected.
+        deleted: u32,
+    },
 }
 
 /// Which lifecycle event a [`TraceEventKind::Lifecycle`] records.
@@ -272,6 +305,11 @@ impl TraceEventKind {
             TraceEventKind::RegWrite { .. } => "reg_write",
             TraceEventKind::EpochBump { .. } => "epoch_bump",
             TraceEventKind::Lifecycle { .. } => "lifecycle",
+            TraceEventKind::FaultInjected { .. } => "fault_injected",
+            TraceEventKind::RollbackBegin { .. } => "rollback_begin",
+            TraceEventKind::RollbackEnd { .. } => "rollback_end",
+            TraceEventKind::ReconcileBegin { .. } => "reconcile_begin",
+            TraceEventKind::ReconcileEnd { .. } => "reconcile_end",
         }
     }
 }
@@ -351,6 +389,22 @@ impl TraceEvent {
             TraceEventKind::EpochBump { epoch } => format!("ctl epoch → {epoch}"),
             TraceEventKind::Lifecycle { kind, prog_id, epoch, dur_ns } => {
                 format!("ctl {kind} prog {prog_id} (epoch {epoch}, {dur_ns} ns)")
+            }
+            TraceEventKind::FaultInjected { fault, at_op } => {
+                format!("ctl fault {} at op {at_op}", fault.name())
+            }
+            TraceEventKind::RollbackBegin { prog_id } => {
+                format!("ctl rollback prog {prog_id} begin")
+            }
+            TraceEventKind::RollbackEnd { prog_id, ops, complete } => format!(
+                "ctl rollback prog {prog_id} end   ({ops} ops, {})",
+                if complete { "complete" } else { "wedged" }
+            ),
+            TraceEventKind::ReconcileBegin { generation } => {
+                format!("ctl reconcile begin (device gen {generation})")
+            }
+            TraceEventKind::ReconcileEnd { reinstalled, deleted } => {
+                format!("ctl reconcile end   (+{reinstalled} reinstalled, -{deleted} gc'd)")
             }
         };
         format!("{head}  {body}")
@@ -750,6 +804,31 @@ impl TraceBuffer {
     /// A program lifecycle event completed.
     pub fn lifecycle(&mut self, kind: LifecycleKind, prog_id: u16, epoch: u64, dur: Nanos) {
         self.record(TraceEventKind::Lifecycle { kind, prog_id, epoch, dur_ns: dur.0 });
+    }
+
+    /// The fault plan fired a trigger on the control channel.
+    pub fn fault_injected(&mut self, fault: crate::fault::FaultKind, at_op: u64) {
+        self.record(TraceEventKind::FaultInjected { fault, at_op });
+    }
+
+    /// The controller started undoing a partially applied plan.
+    pub fn rollback_begin(&mut self, prog_id: u16) {
+        self.record(TraceEventKind::RollbackBegin { prog_id });
+    }
+
+    /// The rollback finished (`complete` = every applied op undone).
+    pub fn rollback_end(&mut self, prog_id: u16, ops: u32, complete: bool) {
+        self.record(TraceEventKind::RollbackEnd { prog_id, ops, complete });
+    }
+
+    /// The controller started a device-state audit.
+    pub fn reconcile_begin(&mut self, generation: u64) {
+        self.record(TraceEventKind::ReconcileBegin { generation });
+    }
+
+    /// The reconciliation pass finished.
+    pub fn reconcile_end(&mut self, reinstalled: u32, deleted: u32) {
+        self.record(TraceEventKind::ReconcileEnd { reinstalled, deleted });
     }
 
     // ---- post-mortem ---------------------------------------------------
@@ -1280,6 +1359,72 @@ pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> ser
                 0,
                 vec![("s", serde::Value::Str("p".into()))],
                 vec![seq, ("epoch", serde::Value::U64(e))],
+            ),
+            TraceEventKind::FaultInjected { fault, at_op } => chrome_event(
+                "fault_injected",
+                "fault",
+                "i",
+                ts,
+                CONTROL_PID,
+                0,
+                vec![("s", serde::Value::Str("p".into()))],
+                vec![
+                    seq,
+                    epoch,
+                    ("fault", serde::Value::Str(fault.name().into())),
+                    ("at_op", serde::Value::U64(at_op)),
+                ],
+            ),
+            TraceEventKind::RollbackBegin { prog_id } => chrome_event(
+                "rollback_begin",
+                "fault",
+                "i",
+                ts,
+                CONTROL_PID,
+                0,
+                vec![("s", serde::Value::Str("t".into()))],
+                vec![seq, epoch, ("prog_id", serde::Value::U64(u64::from(prog_id)))],
+            ),
+            TraceEventKind::RollbackEnd { prog_id, ops, complete } => chrome_event(
+                "rollback_end",
+                "fault",
+                "i",
+                ts,
+                CONTROL_PID,
+                0,
+                vec![("s", serde::Value::Str("t".into()))],
+                vec![
+                    seq,
+                    epoch,
+                    ("prog_id", serde::Value::U64(u64::from(prog_id))),
+                    ("ops", serde::Value::U64(u64::from(ops))),
+                    ("complete", serde::Value::Bool(complete)),
+                ],
+            ),
+            TraceEventKind::ReconcileBegin { generation } => chrome_event(
+                "reconcile_begin",
+                "fault",
+                "i",
+                ts,
+                CONTROL_PID,
+                0,
+                vec![("s", serde::Value::Str("t".into()))],
+                vec![seq, epoch, ("generation", serde::Value::U64(generation))],
+            ),
+            TraceEventKind::ReconcileEnd { reinstalled, deleted } => chrome_event(
+                "reconcile_end",
+                "fault",
+                "i",
+                ts,
+                CONTROL_PID,
+                0,
+                vec![("s", serde::Value::Str("t".into()))],
+                vec![
+                    seq,
+                    epoch,
+                    ("reinstalled", serde::Value::U64(u64::from(reinstalled))),
+                    ("deleted", serde::Value::U64(u64::from(deleted))),
+                ],
             ),
             kind => {
                 let packet = kind.packet().unwrap_or(0);

@@ -45,5 +45,9 @@ pub use p4rp_progs;
 pub use rmt_sim;
 pub use traffic;
 
-pub use p4rp_ctl::{Controller, CtlError, DeployReport, RevokeReport, TelemetryReport};
+pub use p4rp_ctl::{
+    AuditReport, ChaosConfig, ChaosOutcome, Controller, CtlError, DeployReport, FaultStats,
+    ReconcileReport, RevokeReport, TelemetryReport,
+};
+pub use rmt_sim::fault::{FaultKind, FaultPlan, FaultTrigger};
 pub use p4rp_lang::{count_loc, parse};

@@ -72,3 +72,82 @@ fn controller_survives_bad_inputs() {
     assert_eq!(ctl.deployed_programs().count(), 1);
     assert_eq!(ctl.resources().init_entries_used(), 1);
 }
+
+const PROG: &str = "@ m 64\nprogram p(<hdr.ipv4.dst, 10.0.0.1, 0xffffffff>) \
+                    { LOADI(mar, 1); MEMREAD(m); FORWARD(1); }";
+
+/// A dropped control channel is absorbed by the deploy's retry loop; a
+/// sustained outage surfaces a typed error and the controller recovers
+/// once the channel comes back.
+#[test]
+fn controller_survives_channel_drop() {
+    use p4runpro::rmt_sim::fault::FaultPlan;
+
+    let mut ctl = p4runpro::Controller::with_defaults().unwrap();
+    // One drop: reconnect + retry make the deploy succeed anyway.
+    ctl.set_fault_plan(FaultPlan::parse_spec("drop@0").unwrap());
+    ctl.deploy(PROG).unwrap();
+    assert!(ctl.channel().is_connected());
+    let stats = ctl.fault_stats();
+    assert_eq!(stats.faults_injected, 1);
+    assert!(stats.retries >= 1);
+    ctl.revoke("p").unwrap();
+
+    // Five consecutive drops exhaust the retry budget: typed error, no
+    // partial state, and the next deploy (after reconnect) succeeds.
+    ctl.set_fault_plan(
+        FaultPlan::parse_spec("drop@0,drop@0,drop@0,drop@0,drop@0").unwrap(),
+    );
+    let err = ctl.deploy(PROG).unwrap_err();
+    assert!(
+        matches!(err, p4runpro::CtlError::DeployFault { .. }),
+        "sustained outage must be a typed deploy fault, got {err}"
+    );
+    assert!(ctl.program("p").is_none());
+    if !ctl.channel().is_connected() {
+        ctl.channel_mut().reconnect();
+    }
+    ctl.deploy(PROG).unwrap();
+    assert!(ctl.audit().unwrap().clean());
+}
+
+/// A fault during rollback (a double fault) wedges the program with a
+/// typed error instead of panicking, and revoking a half-rolled-back
+/// program is idempotent: each retry makes progress until the name frees.
+#[test]
+fn double_fault_wedges_and_revoke_is_idempotent() {
+    use p4runpro::rmt_sim::fault::FaultPlan;
+
+    let mut ctl = p4runpro::Controller::with_defaults().unwrap();
+    ctl.set_fast_path(true);
+    let pristine = ctl.telemetry_report().resources;
+    // failop@2 kills the install mid-batch; failop@3 then kills the
+    // rollback's own batch (rollback ops continue the op count).
+    ctl.set_fault_plan(FaultPlan::parse_spec("failop@2,failop@3").unwrap());
+    let err = ctl.deploy(PROG).unwrap_err();
+    let wedged_err = matches!(err, p4runpro::CtlError::Wedged { .. });
+    assert!(wedged_err, "double fault must wedge, got {err}");
+    assert_eq!(ctl.fault_stats().wedged, 1);
+    assert_eq!(ctl.wedged_programs().count(), 1);
+
+    // The name stays taken while wedged.
+    let dup = ctl.deploy(PROG).unwrap_err();
+    assert!(matches!(dup, p4runpro::CtlError::DuplicateProgram(_)), "got {dup}");
+
+    // Revoke retries the parked cleanup. Under more injected faults it
+    // stays wedged (idempotent, no double refund); once the plan
+    // exhausts it completes, and a further revoke is NoSuchProgram.
+    ctl.set_fault_plan(FaultPlan::parse_spec("failop@0").unwrap());
+    let again = ctl.revoke("p").unwrap_err();
+    assert!(matches!(again, p4runpro::CtlError::Wedged { .. }), "got {again}");
+    ctl.revoke("p").unwrap();
+    assert_eq!(ctl.wedged_programs().count(), 0);
+    let gone = ctl.revoke("p").unwrap_err();
+    assert!(matches!(gone, p4runpro::CtlError::NoSuchProgram(_)), "got {gone}");
+
+    // Fully recovered: every claimed resource refunded exactly once.
+    assert_eq!(ctl.telemetry_report().resources, pristine);
+    assert!(ctl.audit().unwrap().clean());
+    ctl.deploy(PROG).unwrap();
+    assert!(ctl.audit().unwrap().clean());
+}
