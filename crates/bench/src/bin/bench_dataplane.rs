@@ -16,11 +16,13 @@
 //! bench_dataplane`); the JSON lands in the current directory.
 
 use bench::fixtures::{cache_controller, exact_fixture, ternary_fixture};
+use rmt_sim::clock::Nanos;
 use rmt_sim::switch::ProcessOutcome;
 use rmt_sim::trace::TraceConfig;
 use serde::{json, Value};
 use std::hint::black_box;
 use std::time::Instant;
+use traffic::replay::{ParallelReplay, Replay, TimedPacket};
 
 /// Measurements taken on this machine immediately before the fast-path
 /// changes (same fixtures, same harness methodology). The seed recording in
@@ -31,6 +33,25 @@ const BEFORE_CACHE_HIT_NS: f64 = 2900.1;
 const BEFORE_CACHE_MISS_NS: f64 = 2656.5;
 const BEFORE_NO_PROGRAM_NS: f64 = 876.8;
 const SEED_BASELINE_CACHE_HIT_NS: f64 = 2450.0;
+
+/// The cache-hit figure the data-plane fast-path PR recorded on this
+/// machine (tracing disabled), kept for the history row in the JSON.
+const PR5_CACHE_HIT_NS: f64 = 923.6;
+/// The same fixture at the pre-parallel-engine HEAD, re-measured
+/// immediately before this change landed — same methodology as the
+/// `BEFORE_*` constants above, so guard and measurement share today's
+/// hardware conditions rather than the original session's.
+const PR5_CACHE_HIT_REMEASURED_NS: f64 = 1119.1;
+/// The parallel engine's snapshot indirection hides behind a
+/// branch-on-None on the sequential path; the guard bounds any
+/// regression it could introduce.
+const GUARD_MAX_RATIO: f64 = 1.05;
+
+/// Packets per parallel-scaling replay window.
+const REPLAY_PACKETS: usize = 20_000;
+/// Distinct five-tuples in the replay mix (all NetCache hits), so the
+/// RSS-style shard hash actually spreads flows across workers.
+const REPLAY_FLOWS: usize = 64;
 
 /// Mean ns/iter: warm up, calibrate the iteration count for an ~50 ms
 /// measurement window, then report the best of three windows — the minimum
@@ -62,6 +83,113 @@ fn round1(v: f64) -> f64 {
     (v * 10.0).round() / 10.0
 }
 
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// The cache-hit replay mix: [`REPLAY_PACKETS`] frames round-robin over
+/// [`REPLAY_FLOWS`] distinct five-tuples, every one a NetCache read of
+/// the resident key — so per-packet work matches the `cache_hit` probe
+/// while the RSS-style shard hash spreads flows across workers.
+fn replay_mix() -> Vec<TimedPacket> {
+    let flows = traffic::make_flows(9, REPLAY_FLOWS, 0.0);
+    let frames: Vec<Vec<u8>> = flows
+        .iter()
+        .map(|f| traffic::netcache_frame(&f.tuple, netpkt::CacheOp::Read, 0x8888, 0))
+        .collect();
+    (0..REPLAY_PACKETS)
+        .map(|i| TimedPacket {
+            t: Nanos(i as u64 * 100),
+            port: 0,
+            frame: frames[i % frames.len()].clone(),
+        })
+        .collect()
+}
+
+/// ns/packet for the sequential engine over the replay mix (best of 3).
+fn sequential_replay_ns(trace: &[TimedPacket]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let (mut ctl, _, _, _) = cache_controller();
+        let mut r = Replay::new(trace.to_vec());
+        let t = Instant::now();
+        r.run_all_into(|port, frame, out| {
+            ctl.inject_into(port, frame, out).expect("replay inject");
+        });
+        best = best.min(t.elapsed().as_nanos() as f64 / trace.len() as f64);
+    }
+    best
+}
+
+/// ns/packet for the threaded engine at `workers` workers (best of 3).
+fn parallel_replay_ns(trace: &[TimedPacket], workers: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let (mut ctl, _, _, _) = cache_controller();
+        ctl.enable_workers(workers);
+        let pr = ParallelReplay::new(trace.to_vec(), workers);
+        let pool = ctl.workers_mut().expect("pool installed");
+        let t = Instant::now();
+        let out = pr.run(pool).expect("parallel replay");
+        let ns = t.elapsed().as_nanos() as f64 / out.packets.max(1) as f64;
+        assert_eq!(out.packets as usize, trace.len());
+        best = best.min(ns);
+    }
+    best
+}
+
+/// Mean wall latency of one deploy+revoke round; with `snapshots` the
+/// control channel also publishes every batch as a worker delta, so the
+/// two figures bracket the snapshot-publish cost.
+fn deploy_probe_ns(snapshots: bool, rounds: usize) -> f64 {
+    let (mut ctl, _, _, _) = cache_controller();
+    if snapshots {
+        ctl.channel_mut().enable_snapshots();
+    }
+    let t = Instant::now();
+    for i in 0..rounds {
+        let src = format!(
+            "program probe(<hdr.ipv4.dst, 10.77.{}.1, 0xffffffff>) {{ FORWARD(1); }}",
+            i % 200
+        );
+        ctl.deploy(&src).expect("probe deploys");
+        ctl.revoke("probe").expect("probe revokes");
+    }
+    t.elapsed().as_nanos() as f64 / rounds as f64
+}
+
+/// Drive the 2-worker replay while the master churns deploy/revoke
+/// batches on another thread. Returns (replay ns/pkt under churn, mean
+/// deploy latency under churn) — the stall ratio against the quiet
+/// 2-worker figure is the "publishes never block workers" probe.
+fn churned_parallel_replay(trace: &[TimedPacket], deploys: usize) -> (f64, f64) {
+    let (mut ctl, _, _, _) = cache_controller();
+    ctl.enable_workers(2);
+    let mut pool = ctl.disable_workers().expect("pool installed");
+    let pr = ParallelReplay::new(trace.to_vec(), 2);
+    let mut deploy_total = 0u128;
+    let mut replay_ns = 0.0;
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| {
+            let t = Instant::now();
+            let out = pr.run(&mut pool).expect("parallel replay");
+            t.elapsed().as_nanos() as f64 / out.packets.max(1) as f64
+        });
+        for i in 0..deploys {
+            let src = format!(
+                "program probe(<hdr.ipv4.dst, 10.77.{}.1, 0xffffffff>) {{ FORWARD(1); }}",
+                i % 200
+            );
+            let t = Instant::now();
+            ctl.deploy(&src).expect("probe deploys");
+            deploy_total += t.elapsed().as_nanos();
+            ctl.revoke("probe").expect("probe revokes");
+        }
+        replay_ns = handle.join().expect("replay thread");
+    });
+    (replay_ns, deploy_total as f64 / deploys.max(1) as f64)
+}
+
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
@@ -88,9 +216,21 @@ fn main() {
         ctl.inject(0, black_box(&plain)).unwrap();
     });
     let mut out = ProcessOutcome::empty();
-    let reused = time_ns(|| {
-        ctl.inject_into(0, black_box(&hit), &mut out).unwrap();
-    });
+    // With no worker pool installed, the sharded entry point is one
+    // `Option` branch away from `inject_into` — this is the sequential
+    // path every command takes, measured through the new indirection.
+    // The two probes interleave so slow wall-clock drift (this is a
+    // shared box) lands on both sides of the ratio equally.
+    let mut reused = f64::INFINITY;
+    let mut sharded_fallback = f64::INFINITY;
+    for _ in 0..3 {
+        reused = reused.min(time_ns(|| {
+            ctl.inject_into(0, black_box(&hit), &mut out).unwrap();
+        }));
+        sharded_fallback = sharded_fallback.min(time_ns(|| {
+            ctl.inject_sharded_into(0, black_box(&hit), &mut out).unwrap();
+        }));
+    }
 
     println!("measuring flight-recorder overhead ...");
     // The `cache_hit` figure above doubles as the tracing-disabled
@@ -141,6 +281,83 @@ fn main() {
         ]));
     }
 
+    println!("measuring parallel replay scaling ...");
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mix = replay_mix();
+    let seq_ns = sequential_replay_ns(&mix);
+    let worker_counts = [1usize, 2, 4];
+    let mut worker_ns = Vec::new();
+    let mut scaling_rows = Vec::new();
+    for &w in &worker_counts {
+        let ns = parallel_replay_ns(&mix, w);
+        worker_ns.push(ns);
+        scaling_rows.push(obj(vec![
+            ("workers", Value::U64(w as u64)),
+            ("ns_per_pkt", Value::F64(round1(ns))),
+            ("aggregate_mpps", Value::F64(round3(1000.0 / ns))),
+            ("speedup_vs_sequential", Value::F64(round3(seq_ns / ns))),
+        ]));
+    }
+    let two_worker_speedup = worker_ns[0] / worker_ns[1];
+    let scaling_assert = if host_cores >= 2 {
+        assert!(
+            two_worker_speedup >= 1.7,
+            "2-worker replay only {two_worker_speedup:.2}x of 1-worker on a \
+             {host_cores}-core host (need >= 1.7x)"
+        );
+        format!("ok ({two_worker_speedup:.2}x at 2 workers, >= 1.7x required)")
+    } else {
+        format!("skipped (host_cores = {host_cores})")
+    };
+    println!("  2-worker speedup {two_worker_speedup:.2}x on {host_cores} core(s): {scaling_assert}");
+
+    // Single-worker guard: the snapshot indirection must stay a
+    // branch-on-None on the sequential path.
+    let guard_ratio = cache_hit / PR5_CACHE_HIT_REMEASURED_NS;
+    assert!(
+        guard_ratio < GUARD_MAX_RATIO,
+        "sequential cache-hit regressed to {cache_hit:.1} ns \
+         ({guard_ratio:.3}x of the re-measured pre-change figure \
+         {PR5_CACHE_HIT_REMEASURED_NS} ns)"
+    );
+    let fallback_ratio = sharded_fallback / reused;
+    assert!(
+        fallback_ratio < GUARD_MAX_RATIO,
+        "inject_sharded fallback costs {sharded_fallback:.1} ns vs \
+         {reused:.1} ns direct ({fallback_ratio:.3}x, branch-on-None broken?)"
+    );
+
+    println!("measuring snapshot-publish latency ...");
+    let plain_deploy = deploy_probe_ns(false, 200);
+    let published_deploy = deploy_probe_ns(true, 200);
+    let mut publish_fields = vec![
+        ("deploy_revoke_ns", Value::F64(round1(plain_deploy))),
+        ("deploy_revoke_published_ns", Value::F64(round1(published_deploy))),
+        ("publish_overhead_ratio", Value::F64(round3(published_deploy / plain_deploy))),
+    ];
+    if host_cores >= 2 {
+        let (churn_replay_ns, deploy_under_churn_ns) = churned_parallel_replay(&mix, 50);
+        let stall_ratio = churn_replay_ns / worker_ns[1];
+        assert!(
+            stall_ratio < 2.0,
+            "deploy churn stalled the 2-worker replay: {churn_replay_ns:.1} ns/pkt \
+             vs {:.1} ns/pkt quiet ({stall_ratio:.2}x)",
+            worker_ns[1]
+        );
+        publish_fields.push(("replay_under_churn_ns_per_pkt", Value::F64(round1(churn_replay_ns))));
+        publish_fields.push(("deploy_under_churn_ns", Value::F64(round1(deploy_under_churn_ns))));
+        publish_fields.push(("worker_stall_ratio", Value::F64(round3(stall_ratio))));
+        publish_fields.push((
+            "stall_assert",
+            Value::Str(format!("ok ({stall_ratio:.2}x, < 2.0x required)")),
+        ));
+    } else {
+        publish_fields.push((
+            "stall_assert",
+            Value::Str(format!("skipped (host_cores = {host_cores})")),
+        ));
+    }
+
     let doc = obj(vec![
         ("bench", Value::Str("dataplane".into())),
         ("units", Value::Str("ns_per_iter".into())),
@@ -166,6 +383,32 @@ fn main() {
             ]),
         ),
         ("table_lookup", Value::Array(lookups)),
+        (
+            "parallel_scaling",
+            obj(vec![
+                ("host_cores", Value::U64(host_cores as u64)),
+                ("replay_packets", Value::U64(REPLAY_PACKETS as u64)),
+                ("replay_flows", Value::U64(REPLAY_FLOWS as u64)),
+                ("sequential_ns_per_pkt", Value::F64(round1(seq_ns))),
+                ("workers", Value::Array(scaling_rows)),
+                ("two_worker_speedup", Value::F64(round3(two_worker_speedup))),
+                ("scaling_assert", Value::Str(scaling_assert)),
+            ]),
+        ),
+        (
+            "single_worker_guard",
+            obj(vec![
+                ("pr5_cache_hit_ns", Value::F64(PR5_CACHE_HIT_NS)),
+                ("pr5_cache_hit_remeasured_ns", Value::F64(PR5_CACHE_HIT_REMEASURED_NS)),
+                ("cache_hit_ns", Value::F64(round1(cache_hit))),
+                ("ratio_vs_remeasured", Value::F64(round3(guard_ratio))),
+                ("inject_into_ns", Value::F64(round1(reused))),
+                ("inject_sharded_fallback_ns", Value::F64(round1(sharded_fallback))),
+                ("fallback_ratio", Value::F64(round3(fallback_ratio))),
+                ("max_ratio", Value::F64(GUARD_MAX_RATIO)),
+            ]),
+        ),
+        ("snapshot_publish", obj(publish_fields)),
     ]);
 
     let rendered = json::to_string_pretty(&doc);

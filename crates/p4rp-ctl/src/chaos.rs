@@ -43,6 +43,11 @@ pub struct ChaosConfig {
     pub faults: FaultPlan,
     /// Packets injected per traffic burst.
     pub packets_per_burst: usize,
+    /// Data-plane workers. 1 (the default) runs the sequential engine —
+    /// exactly the pre-parallel campaign; more shards every burst across
+    /// the multi-worker engine while deploy/revoke churn publishes
+    /// snapshot deltas underneath it.
+    pub workers: usize,
 }
 
 impl Default for ChaosConfig {
@@ -53,6 +58,7 @@ impl Default for ChaosConfig {
             programs: 6,
             faults: FaultPlan::none(),
             packets_per_burst: 4,
+            workers: 1,
         }
     }
 }
@@ -157,7 +163,11 @@ pub fn sentinel_source() -> String {
 /// time appears in the ring, so the same seed reproduces the same value.
 pub fn trace_fingerprint(ctl: &Controller) -> u64 {
     let mut h = DefaultHasher::new();
-    if let Some(t) = ctl.trace() {
+    // The *merged* ring: with workers, packet events live on per-worker
+    // rings and the merge is deterministic (global timestamp/packet-id
+    // order); without, this is a clone of the master ring, so sequential
+    // fingerprints are unchanged.
+    if let Some(t) = ctl.merged_trace() {
         for ev in t.events() {
             ev.seq.hash(&mut h);
             ev.t_ns.hash(&mut h);
@@ -166,6 +176,21 @@ pub fn trace_fingerprint(ctl: &Controller) -> u64 {
         }
     }
     h.finish()
+}
+
+/// Invariant-checker violations across every live ring (master plus
+/// workers). Checkers run per-ring at record time; the merge never
+/// re-checks, so this is the authoritative count.
+pub fn total_violations(ctl: &Controller) -> usize {
+    let master = ctl.trace().map_or(0, |t| t.violations().len());
+    let workers = ctl.workers().map_or(0, |p| {
+        p.workers()
+            .iter()
+            .filter_map(|w| w.switch().trace())
+            .map(|t| t.violations().len())
+            .sum()
+    });
+    master + workers
 }
 
 /// Run one campaign. See the module docs for the scenario shape; the
@@ -183,6 +208,14 @@ pub fn run(cfg: &ChaosConfig) -> CtlResult<ChaosOutcome> {
 
     // The sentinel goes in before any fault can fire.
     ctl.deploy(&sentinel_source())?;
+    // Fork the worker pool *after* the sentinel is resident: workers
+    // inherit it in the fork, and every later deploy/revoke reaches them
+    // as one atomic snapshot delta. `inject_sharded` falls back to the
+    // sequential engine when no pool exists, so `workers: 1` replays the
+    // pre-parallel campaign bit-for-bit.
+    if cfg.workers > 1 {
+        ctl.enable_workers(cfg.workers);
+    }
     ctl.set_fault_plan(cfg.faults.clone());
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -259,7 +292,7 @@ pub fn run(cfg: &ChaosConfig) -> CtlResult<ChaosOutcome> {
                         let i = resident[rng.random_range(0..resident.len())];
                         (pool_dst(i), pool_port(i), false)
                     };
-                    let outcome = ctl.inject(0, &frame_to(dst))?;
+                    let outcome = ctl.inject_sharded(0, &frame_to(dst))?;
                     let hit = outcome.emitted.iter().any(|&(pt, _)| pt == port);
                     if !coherent {
                         continue;
@@ -313,14 +346,14 @@ pub fn run(cfg: &ChaosConfig) -> CtlResult<ChaosOutcome> {
     // Post-drain burst: the sentinel and every surviving program must
     // forward again.
     resident.retain(|i| ctl.program(&format!("c{i}")).is_some());
-    let outcome = ctl.inject(0, &frame_to(SENTINEL_DST))?;
+    let outcome = ctl.inject_sharded(0, &frame_to(SENTINEL_DST))?;
     if outcome.emitted.iter().any(|&(pt, _)| pt == SENTINEL_PORT) {
         out.sentinel_hits += 1;
     } else {
         out.sentinel_misses += 1;
     }
     for &i in &resident {
-        let outcome = ctl.inject(0, &frame_to(pool_dst(i)))?;
+        let outcome = ctl.inject_sharded(0, &frame_to(pool_dst(i)))?;
         if outcome.emitted.iter().any(|&(pt, _)| pt == pool_port(i)) {
             out.resident_hits += 1;
         } else {
@@ -330,7 +363,7 @@ pub fn run(cfg: &ChaosConfig) -> CtlResult<ChaosOutcome> {
 
     out.final_audit = ctl.audit()?;
     out.fault_stats = ctl.fault_stats();
-    out.invariant_violations = ctl.trace().map_or(0, |t| t.violations().len());
+    out.invariant_violations = total_violations(&ctl);
     out.trace_fingerprint = trace_fingerprint(&ctl);
     Ok(out)
 }
@@ -366,6 +399,25 @@ mod tests {
         let b = run(&cfg).unwrap();
         assert_eq!(a.sentinel_misses, 0, "sentinel misforwarded: {a:?}");
         assert_eq!(a.resident_misses, 0, "resident program misforwarded: {a:?}");
+        assert_eq!(a.invariant_violations, 0);
+        assert!(a.converged, "drain did not converge: {a:?}");
+        assert!(a.final_audit.clean(), "device diverged: {:?}", a.final_audit);
+        assert_eq!(a.trace_fingerprint, b.trace_fingerprint, "same seed, different trace");
+    }
+
+    #[test]
+    fn parallel_campaign_is_clean_and_deterministic() {
+        let cfg = ChaosConfig {
+            seed: 13,
+            steps: 40,
+            workers: 2,
+            faults: FaultPlan::random(13, 4, 300),
+            ..ChaosConfig::default()
+        };
+        let a = run(&cfg).unwrap();
+        let b = run(&cfg).unwrap();
+        assert_eq!(a.sentinel_misses, 0, "sentinel misforwarded under workers: {a:?}");
+        assert_eq!(a.resident_misses, 0, "resident misforwarded under workers: {a:?}");
         assert_eq!(a.invariant_violations, 0);
         assert!(a.converged, "drain did not converge: {a:?}");
         assert!(a.final_audit.clean(), "device diverged: {:?}", a.final_audit);

@@ -26,10 +26,16 @@
 //!                             |flow <a.b.c.d> [port]]
 //! trace journeys               per-packet journey reconstruction
 //! trace export [path]          Chrome trace-event JSON (Perfetto-viewable)
+//! replay [--packets <n>] [--flows <n>] [--workers <n>] [--seed <n>]
+//!                              synthesize a flow mix and replay it through
+//!                              the data plane; `--workers > 1` shards flows
+//!                              across the parallel engine (docs/PERF.md)
 //! chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>]
-//!                              seeded fault-injection campaign on a fresh
+//!           [--workers <n>]    seeded fault-injection campaign on a fresh
 //!                              controller (spec syntax in docs/CHAOS.md,
-//!                              e.g. `failop@5,reset@12,drop:insert@20`)
+//!                              e.g. `failop@5,reset@12,drop:insert@20`);
+//!                              `--workers > 1` runs traffic on the sharded
+//!                              multi-worker engine under deploy churn
 //! help                         this text
 //! ```
 //!
@@ -77,6 +83,7 @@ impl Cli {
             "mem" => self.mem(rest),
             "memwrite" => self.memwrite(rest),
             "trace" => Ok(self.trace_cmd(rest)),
+            "replay" => Ok(self.replay_cmd(rest)),
             "chaos" => Ok(chaos_cmd(rest)),
             other => Ok(format!("unknown command `{other}` — try `help`")),
         };
@@ -332,6 +339,87 @@ impl Cli {
         }
     }
 
+    /// `replay [--packets <n>] [--flows <n>] [--workers <n>] [--seed <n>]`:
+    /// synthesize a seeded flow mix and replay it through the data plane.
+    /// With `--workers 1` (the default) this is the sequential engine —
+    /// exactly the path every other command exercises; with more, flows
+    /// are sharded across the parallel engine and the merged outcome is
+    /// reported (the per-worker breakdown lands in `status --json`).
+    fn replay_cmd(&mut self, rest: &str) -> String {
+        const USAGE: &str = "usage: replay [--packets <n>] [--flows <n>] [--workers <n>] [--seed <n>]";
+        let (mut packets, mut flows, mut workers, mut seed) = (2000usize, 64usize, 1usize, 1u64);
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let mut it = parts.iter();
+        while let Some(flag) = it.next() {
+            let Some(value) = it.next() else {
+                return format!("missing value for `{flag}`\n{USAGE}");
+            };
+            let parsed: Result<usize, _> = value.parse();
+            match (*flag, parsed) {
+                ("--packets", Ok(n)) if n > 0 => packets = n,
+                ("--flows", Ok(n)) if n > 0 => flows = n,
+                ("--workers", Ok(n)) if n > 0 => workers = n,
+                ("--seed", _) => match value.parse() {
+                    Ok(n) => seed = n,
+                    Err(_) => return format!("bad seed `{value}`"),
+                },
+                ("--packets" | "--flows" | "--workers", _) => {
+                    return format!("bad value `{value}` for `{flag}`\n{USAGE}");
+                }
+                (other, _) => return format!("unknown flag `{other}`\n{USAGE}"),
+            }
+        }
+        let mix = traffic::gen::make_flows(seed, flows, 0.5);
+        let trace: Vec<traffic::replay::TimedPacket> = (0..packets)
+            .map(|i| traffic::replay::TimedPacket {
+                t: rmt_sim::clock::Nanos::from_micros(i as u64),
+                port: 0,
+                frame: traffic::gen::frame_for(&mix[i % mix.len()].tuple, 64),
+            })
+            .collect();
+        if workers <= 1 {
+            let mut r = traffic::replay::Replay::new(trace);
+            let mut failed = None;
+            r.run_all_into(|port, frame, out| {
+                if failed.is_none() {
+                    if let Err(e) = self.ctl.inject_into(port, frame, out) {
+                        failed = Some(format!("error: {e}"));
+                    }
+                }
+            });
+            if let Some(e) = failed {
+                return e;
+            }
+            let (tx, dropped) = r
+                .stats
+                .iter()
+                .fold((0u64, 0u64), |(t, d), s| (t + s.tx_pkts, d + s.dropped));
+            return format!(
+                "replayed {packets} packet(s), {flows} flow(s), sequential engine: \
+                 {tx} tx, {dropped} dropped"
+            );
+        }
+        self.ctl.enable_workers(workers);
+        let pr = traffic::replay::ParallelReplay::new(trace, workers);
+        let shards = pr.shard_sizes();
+        let pool = self.ctl.workers_mut().expect("workers just enabled");
+        match pr.run(pool) {
+            Ok(out) => {
+                let (tx, dropped) = out
+                    .stats
+                    .iter()
+                    .fold((0u64, 0u64), |(t, d), s| (t + s.tx_pkts, d + s.dropped));
+                format!(
+                    "replayed {packets} packet(s), {flows} flow(s) across {workers} worker(s) \
+                     (shards {shards:?}): {tx} tx, {dropped} dropped, snapshot generation {} \
+                     — per-worker counters in `status --json`",
+                    self.ctl.channel().snapshot_generation()
+                )
+            }
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
     fn memwrite(&mut self, rest: &str) -> CtlResult<String> {
         let parts: Vec<&str> = rest.split_whitespace().collect();
         if parts.len() != 4 {
@@ -344,13 +432,14 @@ impl Cli {
     }
 }
 
-/// `chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>]`:
-/// run a seeded, deterministic fault-injection campaign against a fresh
-/// controller and summarise what survived. The fault spec syntax is
-/// `<kind>[:<opkind>]@<index>[,…]` — see `docs/CHAOS.md`.
+/// `chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>]
+/// [--workers <n>]`: run a seeded, deterministic fault-injection campaign
+/// against a fresh controller and summarise what survived. The fault spec
+/// syntax is `<kind>[:<opkind>]@<index>[,…]` — see `docs/CHAOS.md`.
+/// `--workers` > 1 drives injections through the sharded parallel engine.
 fn chaos_cmd(rest: &str) -> String {
-    const USAGE: &str =
-        "usage: chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>]";
+    const USAGE: &str = "usage: chaos run [--seed <n>] [--faults <spec>] \
+                         [--steps <n>] [--programs <n>] [--workers <n>]";
     let parts: Vec<&str> = rest.split_whitespace().collect();
     if parts.first() != Some(&"run") {
         return USAGE.to_string();
@@ -377,6 +466,10 @@ fn chaos_cmd(rest: &str) -> String {
             "--faults" => match rmt_sim::fault::FaultPlan::parse_spec(value) {
                 Ok(plan) => cfg.faults = plan,
                 Err(e) => return format!("bad fault spec `{value}`: {e}"),
+            },
+            "--workers" => match value.parse() {
+                Ok(n) if n > 0 => cfg.workers = n,
+                _ => return format!("bad worker count `{value}`"),
             },
             other => return format!("unknown flag `{other}`\n{USAGE}"),
         }
@@ -478,7 +571,7 @@ fn parse_ipv4(s: &str) -> Option<u32> {
     Some(u32::from_be_bytes(octets))
 }
 
-const HELP: &str = "commands: deploy <src> | deploy-many <file...> | revoke <name> | revoke-many <name...> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>] | help";
+const HELP: &str = "commands: deploy <src> | deploy-many <file...> | revoke <name> | revoke-many <name...> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | replay [--packets <n>] [--flows <n>] [--workers <n>] [--seed <n>] | chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>] [--workers <n>] | help";
 
 #[cfg(test)]
 mod tests {
@@ -692,5 +785,46 @@ mod tests {
         assert!(cli.exec("deploy BOGUS").starts_with("error:"));
         assert!(cli.exec("frobnicate").contains("unknown command"));
         assert!(cli.exec("help").contains("deploy"));
+        assert!(cli.exec("help").contains("replay"), "replay missing from help");
+    }
+
+    #[test]
+    fn replay_sequential_engine_reports_merged_counters() {
+        let mut cli = cli();
+        cli.exec(&format!("deploy {SRC}"));
+        let out = cli.exec("replay --packets 200 --flows 8 --seed 3");
+        assert!(out.contains("200 packet(s)"), "{out}");
+        assert!(out.contains("sequential engine"), "{out}");
+        // Sequential replay must not install a worker pool.
+        let report =
+            crate::telemetry::TelemetryReport::from_json(&cli.exec("status --json")).unwrap();
+        assert!(report.parallel.is_none(), "{report:?}");
+    }
+
+    #[test]
+    fn replay_parallel_engine_exposes_per_worker_stats() {
+        let mut cli = cli();
+        cli.exec(&format!("deploy {SRC}"));
+        let out = cli.exec("replay --packets 300 --flows 16 --workers 2 --seed 5");
+        assert!(out.contains("across 2 worker(s)"), "{out}");
+        assert!(out.contains("snapshot generation"), "{out}");
+        let report =
+            crate::telemetry::TelemetryReport::from_json(&cli.exec("status --json")).unwrap();
+        let par = report.parallel.as_ref().expect("parallel section missing");
+        assert_eq!(par.workers, 2);
+        assert_eq!(par.per_worker.len(), 2);
+        let injected: u64 = par.per_worker.iter().map(|w| w.packets).sum();
+        assert_eq!(injected, 300, "{par:?}");
+        assert_eq!(report, cli.ctl.telemetry_report());
+    }
+
+    #[test]
+    fn replay_rejects_bad_flags() {
+        let mut cli = cli();
+        assert!(cli.exec("replay --packets").contains("missing value"));
+        assert!(cli.exec("replay --packets 0").starts_with("bad value"));
+        assert!(cli.exec("replay --workers zero").starts_with("bad value"));
+        assert!(cli.exec("replay --seed x").starts_with("bad seed"));
+        assert!(cli.exec("replay --sideways 1").contains("unknown flag"));
     }
 }

@@ -11,7 +11,7 @@
 //! channel (Table 1).
 
 use crate::resman::ResourceManager;
-use crate::telemetry::{FaultStats, LifecycleSpan, ResourceGauges, TelemetryReport};
+use crate::telemetry::{FaultStats, LifecycleSpan, ParallelStats, ResourceGauges, TelemetryReport};
 use p4rp_compiler::alloc::{allocate, AllocConfig, AllocView, Allocation};
 use p4rp_compiler::consistency::{plan_install, plan_remove, InstalledHandles};
 use p4rp_compiler::entrygen::{generate_cached, EntryGenCache, ProgramImage};
@@ -23,8 +23,10 @@ use rmt_sim::clock::Nanos;
 use rmt_sim::control::{BatchOutcome, ControlChannel, LatencyModel};
 use rmt_sim::error::SimError;
 use rmt_sim::fault::FaultPlan;
+use rmt_sim::parallel::WorkerPool;
 use rmt_sim::switch::{ControlOp, OpResult, ProcessOutcome, Switch, SwitchConfig, TableRef};
 use rmt_sim::table::{EntryHandle, TableEntry};
+use rmt_sim::telemetry::MetricsRecorder;
 use rmt_sim::trace::{LifecycleKind, TraceBuffer, TraceConfig, TraceStats};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -250,6 +252,10 @@ pub struct Controller {
     /// A device reset left the controller's view divergent from the
     /// device; cleared by a successful `reconcile()`.
     needs_reconcile: bool,
+    /// The sharded multi-worker data plane, when enabled
+    /// ([`Controller::enable_workers`]). `None` keeps the sequential
+    /// engine on a branch-not-taken.
+    workers: Option<WorkerPool>,
 }
 
 impl Controller {
@@ -276,6 +282,7 @@ impl Controller {
             wedged: HashMap::new(),
             fault_stats: FaultStats::default(),
             needs_reconcile: false,
+            workers: None,
         })
     }
 
@@ -457,9 +464,17 @@ impl Controller {
             spans: self.spans.clone(),
             resources: ResourceGauges::collect(&self.resman),
             control_write_latency: self.channel.write_latency.clone(),
-            dataplane: self.switch.telemetry().cloned(),
+            // With the parallel engine on, packet-side counters are the
+            // master's merged with every worker's — the report reads the
+            // same whatever the worker count.
+            dataplane: self.merged_dataplane(),
             trace: self.switch.trace_stats(),
             faults: self.fault_stats(),
+            parallel: self.workers.as_ref().map(|pool| ParallelStats {
+                workers: pool.len() as u64,
+                snapshot_generation: self.channel.snapshot_generation(),
+                per_worker: pool.stats(),
+            }),
         }
     }
 
@@ -1491,6 +1506,100 @@ impl Controller {
         outcome: &mut ProcessOutcome,
     ) -> CtlResult<()> {
         Ok(self.switch.process_frame_into(port, frame, outcome)?)
+    }
+
+    /// Turn on the sharded multi-worker data plane with `n` workers.
+    ///
+    /// Enables snapshot publication on the control channel (so every
+    /// subsequent deploy/revoke batch flows to workers as one atomic
+    /// delta) and forks `n` worker switches from the master's current
+    /// state. Call *after* enabling telemetry/tracing so the workers
+    /// inherit recorders. With `n <= 1` this still routes injections
+    /// through one worker — use it only when you want the parallel
+    /// engine's code path; the default (`None`) costs the sequential
+    /// path one branch.
+    pub fn enable_workers(&mut self, n: usize) -> &WorkerPool {
+        let publisher = &*self.channel.enable_snapshots();
+        self.workers = Some(WorkerPool::new(&self.switch, publisher, n));
+        self.workers.as_ref().expect("just installed")
+    }
+
+    /// Tear the worker pool down, returning it for final inspection. The
+    /// master switch is untouched (it never processed the workers'
+    /// packets).
+    pub fn disable_workers(&mut self) -> Option<WorkerPool> {
+        self.workers.take()
+    }
+
+    /// The worker pool, if the parallel engine is on.
+    pub fn workers(&self) -> Option<&WorkerPool> {
+        self.workers.as_ref()
+    }
+
+    /// The worker pool, mutably (threaded replay drivers borrow the
+    /// workers through this).
+    pub fn workers_mut(&mut self) -> Option<&mut WorkerPool> {
+        self.workers.as_mut()
+    }
+
+    /// Inject one frame through the active engine: with a worker pool,
+    /// the frame is sharded to its flow's worker under a globally
+    /// assigned packet id (so traces stay worker-count-independent);
+    /// without one, this is exactly [`Controller::inject_into`].
+    pub fn inject_sharded_into(
+        &mut self,
+        port: u16,
+        frame: &[u8],
+        outcome: &mut ProcessOutcome,
+    ) -> CtlResult<()> {
+        let Some(pool) = self.workers.as_mut() else {
+            return Ok(self.switch.process_frame_into(port, frame, outcome)?);
+        };
+        // The master's packet-id cursor stays the single id authority:
+        // advance it per injection so sequential and parallel runs hand
+        // out identical ids, whatever the interleaving of engines.
+        let id = self.switch.next_packet_id();
+        self.switch.set_next_packet_id(id + 1);
+        let now = self.channel.clock.now();
+        let shard = pool.shard_for(frame);
+        let w = pool.worker_mut(shard);
+        if let Some(t) = w.switch_mut().trace_mut() {
+            t.set_now(now);
+        }
+        Ok(w.inject_at(id, port, frame, outcome)?)
+    }
+
+    /// [`Controller::inject_sharded_into`] allocating a fresh outcome.
+    pub fn inject_sharded(&mut self, port: u16, frame: &[u8]) -> CtlResult<ProcessOutcome> {
+        let mut out = ProcessOutcome::empty();
+        self.inject_sharded_into(port, frame, &mut out)?;
+        Ok(out)
+    }
+
+    /// Packet-side telemetry with every worker's counters folded in
+    /// (master ∪ workers); identical to the master's recorder when the
+    /// parallel engine is off. `None` when telemetry is disabled.
+    pub fn merged_dataplane(&self) -> Option<MetricsRecorder> {
+        let mut merged = self.switch.telemetry().cloned()?;
+        if let Some(pool) = &self.workers {
+            for w in pool.workers() {
+                if let Some(m) = w.switch().telemetry() {
+                    merged.merge(m);
+                }
+            }
+        }
+        Some(merged)
+    }
+
+    /// The flight-recorder ring with every worker's packet events merged
+    /// in deterministic order (see `rmt_sim::trace::merge_rings`);
+    /// a clone of the master's ring when the parallel engine is off.
+    /// `None` when tracing is disabled.
+    pub fn merged_trace(&self) -> Option<TraceBuffer> {
+        match &self.workers {
+            Some(pool) => pool.merged_trace(&self.switch),
+            None => self.switch.trace().cloned(),
+        }
     }
 }
 

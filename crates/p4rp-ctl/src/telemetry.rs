@@ -15,6 +15,7 @@
 
 use crate::resman::ResourceManager;
 use p4rp_dataplane::{INIT_TABLE_SIZE, RECIRC_TABLE_SIZE};
+use rmt_sim::parallel::WorkerStats;
 use rmt_sim::telemetry::{Histogram, MetricsRecorder};
 use rmt_sim::trace::TraceStats;
 
@@ -201,6 +202,27 @@ serde::impl_serde_struct!(FaultStats {
     device_generation,
 });
 
+/// Sharded multi-worker engine status (see `docs/PERF.md`): how many
+/// workers are active, the snapshot generation the control plane has
+/// published up to, and each worker's packet/trace counters. The
+/// `dataplane` section of the enclosing report already carries the
+/// *merged* counters, so this section is purely the per-worker breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Active worker count (0 = sequential engine).
+    pub workers: u64,
+    /// Latest control-state snapshot generation published to workers.
+    pub snapshot_generation: u64,
+    /// Per-worker counters, in worker order.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+serde::impl_serde_struct!(ParallelStats {
+    workers,
+    snapshot_generation,
+    per_worker,
+});
+
 /// The single JSON document `status --metrics` is built from: control
 /// spans + resource gauges + control-channel write latency + (when
 /// enabled) the data plane's packet-side counters.
@@ -223,6 +245,8 @@ pub struct TelemetryReport {
     pub trace: TraceStats,
     /// Fault-injection and recovery counters (`docs/CHAOS.md`).
     pub faults: FaultStats,
+    /// Multi-worker engine status; `None` when running sequentially.
+    pub parallel: Option<ParallelStats>,
 }
 
 serde::impl_serde_struct!(TelemetryReport {
@@ -234,6 +258,7 @@ serde::impl_serde_struct!(TelemetryReport {
     dataplane,
     trace,
     faults,
+    parallel,
 });
 
 impl TelemetryReport {
@@ -344,6 +369,25 @@ impl TelemetryReport {
                 }
             }
         }
+        if let Some(p) = &self.parallel {
+            out.push_str(&format!(
+                "parallel engine: {} workers | snapshot generation {}\n",
+                p.workers, p.snapshot_generation
+            ));
+            for w in &p.per_worker {
+                out.push_str(&format!(
+                    "  worker {}: {} pkts, {} drops, {} recirc passes, gen {}, \
+                     trace {} recorded / {} dropped\n",
+                    w.worker,
+                    w.packets,
+                    w.drops,
+                    w.recirc_passes,
+                    w.snapshot_generation,
+                    w.trace_recorded,
+                    w.trace_dropped
+                ));
+            }
+        }
         out
     }
 }
@@ -405,12 +449,28 @@ mod tests {
                 wedged: 0,
                 device_generation: 1,
             },
+            parallel: Some(ParallelStats {
+                workers: 2,
+                snapshot_generation: 5,
+                per_worker: vec![
+                    WorkerStats {
+                        worker: 0,
+                        packets: 10,
+                        drops: 1,
+                        recirc_passes: 2,
+                        snapshot_generation: 5,
+                        trace_recorded: 40,
+                        trace_dropped: 0,
+                    },
+                    WorkerStats { worker: 1, packets: 7, ..WorkerStats::default() },
+                ],
+            }),
         };
         let text = report.to_json();
         let back = TelemetryReport::from_json(&text).unwrap();
         assert_eq!(back, report);
-        // And with dataplane telemetry disabled.
-        let disabled = TelemetryReport { dataplane: None, ..report };
+        // And with dataplane telemetry / the parallel engine disabled.
+        let disabled = TelemetryReport { dataplane: None, parallel: None, ..report };
         let back = TelemetryReport::from_json(&disabled.to_json()).unwrap();
         assert_eq!(back, disabled);
     }
@@ -426,6 +486,7 @@ mod tests {
             dataplane: None,
             trace: TraceStats::disabled(),
             faults: FaultStats::default(),
+            parallel: None,
         };
         let s = report.summary();
         assert!(s.contains("telemetry epoch 2"), "{s}");
@@ -454,10 +515,17 @@ mod tests {
             dataplane: None,
             trace: TraceStats::disabled(),
             faults: FaultStats { faults_injected: 4, wedged: 1, ..FaultStats::default() },
+            parallel: Some(ParallelStats {
+                workers: 2,
+                snapshot_generation: 3,
+                per_worker: vec![WorkerStats::default()],
+            }),
         };
         let s = report.summary();
         assert!(s.contains("4 injected"), "{s}");
         assert!(s.contains("1 wedged"), "{s}");
+        assert!(s.contains("parallel engine: 2 workers"), "{s}");
+        assert!(s.contains("snapshot generation 3"), "{s}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::clock::{Nanos, SimClock};
 use crate::error::{SimError, SimResult};
 use crate::fault::{FaultKind, FaultPlan};
+use crate::snapshot::{AppliedOp, SnapshotPublisher};
 use crate::switch::{ControlOp, OpResult, Switch};
 use crate::telemetry::Histogram;
 
@@ -147,6 +148,11 @@ pub struct ControlChannel {
     /// fires and costs two branch-on-empty checks per batch.
     pub fault: FaultPlan,
     connected: bool,
+    /// Snapshot publication for parallel data-plane workers (see
+    /// [`crate::snapshot`]). `None` (the default) keeps every batch on a
+    /// single branch-not-taken — the same zero-overhead discipline as the
+    /// disabled flight recorder.
+    publisher: Option<SnapshotPublisher>,
 }
 
 impl Default for ControlChannel {
@@ -166,7 +172,26 @@ impl ControlChannel {
             write_latency: Histogram::exponential(10_000, 2, 12),
             fault: FaultPlan::none(),
             connected: true,
+            publisher: None,
         }
+    }
+
+    /// Start publishing every applied batch as an atomic snapshot delta
+    /// (idempotent). Returns the publisher so callers can
+    /// [`subscribe`](SnapshotPublisher::subscribe) worker readers.
+    pub fn enable_snapshots(&mut self) -> &mut SnapshotPublisher {
+        self.publisher.get_or_insert_with(SnapshotPublisher::new)
+    }
+
+    /// The snapshot publisher, when enabled.
+    pub fn snapshots(&self) -> Option<&SnapshotPublisher> {
+        self.publisher.as_ref()
+    }
+
+    /// The latest published snapshot generation; 0 when publication is
+    /// disabled or nothing has been published yet.
+    pub fn snapshot_generation(&self) -> u64 {
+        self.publisher.as_ref().map_or(0, |p| p.generation())
     }
 
     /// The channel can reach the device. `false` after a
@@ -263,6 +288,10 @@ impl ControlChannel {
         let mut total = self.model.per_batch;
         let mut results = Vec::with_capacity(ops.len());
         let mut error = None;
+        // Collect what actually lands for snapshot publication. With no
+        // publisher installed this is a branch-not-taken per op.
+        let mut applied: Option<Vec<AppliedOp>> =
+            self.publisher.as_ref().map(|_| Vec::with_capacity(ops.len()));
         // Open a control-track batch span in the flight recorder (no-op
         // when tracing is off). The batch id lets the invariant checker
         // flag any packet event that lands inside the critical section.
@@ -278,6 +307,12 @@ impl ControlChannel {
                     FaultKind::FailOp => SimError::FaultInjected { at_op: at },
                     FaultKind::DeviceReset => {
                         sw.reset_device();
+                        // The wipe is device state a worker must mirror:
+                        // it rides the delta in sequence, after the
+                        // applied prefix.
+                        if let Some(a) = applied.as_mut() {
+                            a.push(AppliedOp::Reset);
+                        }
                         SimError::DeviceReset { generation: sw.generation() }
                     }
                     // `op_fault` only ever fires op-level kinds.
@@ -315,6 +350,36 @@ impl ControlChannel {
             if let (Some(_), Some(t)) = (batch, sw.trace_mut()) {
                 t.control_op(op, &r);
             }
+            if let Some(a) = applied.as_mut() {
+                match (op, &r) {
+                    (ControlOp::InsertEntry { table, entry }, OpResult::Inserted(h)) => {
+                        a.push(AppliedOp::Insert {
+                            table: *table,
+                            handle: *h,
+                            entry: entry.clone(),
+                        });
+                    }
+                    (ControlOp::DeleteEntry { table, handle }, _) => {
+                        a.push(AppliedOp::Delete { table: *table, handle: *handle });
+                    }
+                    (ControlOp::WriteReg { array, addr, value }, _) => {
+                        a.push(AppliedOp::WriteReg {
+                            array: *array,
+                            addr: *addr,
+                            value: *value,
+                        });
+                    }
+                    (ControlOp::ResetRegRange { array, start, len }, _) => {
+                        a.push(AppliedOp::ResetRegRange {
+                            array: *array,
+                            start: *start,
+                            len: *len,
+                        });
+                    }
+                    // Reads change nothing; workers need not see them.
+                    _ => {}
+                }
+            }
             results.push(r);
         }
         // The truncated batch still consumed its modeled time; closing the
@@ -324,6 +389,20 @@ impl ControlChannel {
         if let (Some(b), Some(t)) = (batch, sw.trace_mut()) {
             t.batch_end(b, results.len(), total);
             t.set_now(self.clock.now());
+        }
+        // Publish the applied prefix — everything that is actually on the
+        // device, fault or not — as one atomic delta. Batches that touched
+        // nothing (all-reads, or faulted before the first op) publish
+        // nothing: workers' state already matches the master's.
+        if let (Some(p), Some(ops)) = (self.publisher.as_mut(), applied) {
+            if !ops.is_empty() {
+                let epoch = sw
+                    .telemetry()
+                    .map(|m| m.epoch)
+                    .or_else(|| sw.trace().map(|t| t.epoch()))
+                    .unwrap_or(0);
+                p.publish(epoch, ops);
+            }
         }
         BatchOutcome { results, cost: total, error }
     }
@@ -510,6 +589,77 @@ mod tests {
         assert_eq!(out.results.len(), 2, "two ops of this batch applied before the reset");
         assert_eq!(sw.generation(), 1);
         assert_eq!(sw.table(tref).unwrap().len(), 0, "reset wiped everything");
+    }
+
+    #[test]
+    fn snapshots_publish_applied_prefix_atomically() {
+        use crate::fault::FaultTrigger;
+        use crate::snapshot::AppliedOp;
+        let mut sw = switch_with_one_table();
+        let mut ch = ControlChannel::default();
+        let mut reader = ch.enable_snapshots().subscribe();
+        // A clean batch publishes exactly once, whole.
+        ch.apply_batch(&mut sw, &[insert_op(1), insert_op(2)]).unwrap();
+        assert_eq!(ch.snapshot_generation(), 1);
+        let got = reader.poll();
+        assert_eq!(got.len(), 1, "one batch, one delta");
+        assert_eq!(got[0].ops.len(), 2);
+        assert!(matches!(
+            got[0].ops[0],
+            AppliedOp::Insert { handle: crate::table::EntryHandle(1), .. }
+        ));
+        // A faulted batch publishes only its applied prefix.
+        ch.fault = FaultPlan::new(vec![FaultTrigger {
+            at: 1,
+            op_kind: None,
+            fault: FaultKind::FailOp,
+        }]);
+        let out = ch.apply_batch_checked(&mut sw, &[insert_op(3), insert_op(4)], false);
+        assert!(out.error.is_some());
+        let got = reader.poll();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ops.len(), 1, "only the pre-fault prefix landed");
+        // A batch that never reaches the device publishes nothing.
+        ch.fault = FaultPlan::new(vec![FaultTrigger {
+            at: 0,
+            op_kind: None,
+            fault: FaultKind::BatchTimeout,
+        }]);
+        ch.apply_batch_checked(&mut sw, &[insert_op(5)], false);
+        assert!(reader.poll().is_empty(), "timed-out batch applied nothing");
+        assert_eq!(ch.snapshot_generation(), 2);
+    }
+
+    #[test]
+    fn worker_adopting_deltas_converges_to_master() {
+        let mut master = switch_with_one_table();
+        let mut ch = ControlChannel::default();
+        let mut reader = ch.enable_snapshots().subscribe();
+        let mut worker = master.fork_worker();
+        let tref = TableRef { gress: Gress::Ingress, stage: 0, table: 0 };
+        ch.apply_batch(&mut master, &[insert_op(7), insert_op(8)]).unwrap();
+        let (r, _) = ch
+            .apply_batch(
+                &mut master,
+                &[ControlOp::DeleteEntry { table: tref, handle: crate::table::EntryHandle(1) }],
+            )
+            .unwrap();
+        assert_eq!(r[0], OpResult::Deleted);
+        for d in reader.poll().to_vec() {
+            worker.adopt_delta(&d).unwrap();
+        }
+        assert_eq!(worker.table(tref).unwrap().len(), master.table(tref).unwrap().len());
+        // Handle allocation stays aligned: the next insert on either side
+        // would get the same handle.
+        let (wr, _) = ch.apply_batch(&mut master, &[insert_op(9)]).unwrap();
+        for d in reader.poll().to_vec() {
+            worker.adopt_delta(&d).unwrap();
+        }
+        let OpResult::Inserted(mh) = wr[0] else { panic!("insert") };
+        assert!(
+            worker.table(tref).unwrap().contains(mh),
+            "worker sees the master-assigned handle"
+        );
     }
 
     #[test]

@@ -96,12 +96,14 @@ pub mod error;
 pub mod fault;
 pub mod fxhash;
 pub mod hash;
+pub mod parallel;
 pub mod parser;
 pub mod phv;
 pub mod pipeline;
 pub mod power;
 pub mod resources;
 pub mod salu;
+pub mod snapshot;
 pub mod switch;
 pub mod table;
 pub mod telemetry;
@@ -116,12 +118,16 @@ pub mod prelude {
     pub use crate::error::{SimError, SimResult};
     pub use crate::fault::{FaultKind, FaultPlan, FaultTrigger, OpKind};
     pub use crate::hash::CrcSpec;
+    pub use crate::parallel::{WorkerPool, WorkerStats};
     pub use crate::parser::{HeaderDef, HeaderField, HeaderTypeId, NextState, ParseState, Parser};
     pub use crate::phv::{FieldId, FieldTable, Phv};
     pub use crate::pipeline::{Gress, Pipeline, Stage, StageLimits};
     pub use crate::power::{PowerEstimate, PowerModel};
     pub use crate::resources::ChipReport;
     pub use crate::salu::{RegArray, SaluCond, SaluExpr, SaluInstr, SaluOutput};
+    pub use crate::snapshot::{
+        AppliedOp, BatchDelta, SnapshotPublisher, SnapshotReader,
+    };
     pub use crate::switch::{
         ArrayRef, ControlOp, OpResult, PortCounters, ProcessOutcome, Switch, SwitchConfig,
         TableRef,

@@ -299,6 +299,15 @@ impl Switch {
         self.next_packet_id
     }
 
+    /// Pin the id the next injected frame will carry. The parallel replay
+    /// driver stamps each packet with its *global* trace position before
+    /// injection, so per-packet trace events carry the same ids a
+    /// sequential replay of the same trace would — which is what makes
+    /// merged rings worker-count-independent.
+    pub fn set_next_packet_id(&mut self, id: u64) {
+        self.next_packet_id = id;
+    }
+
     /// Mark headers to strip at final emission (by presence field).
     pub fn set_strip_on_emit(&mut self, presence_fields: Vec<FieldId>) {
         self.strip_on_emit = presence_fields;
@@ -485,6 +494,89 @@ impl Switch {
                 Ok(OpResult::Reset)
             }
         }
+    }
+
+    /// Replay one published control-batch delta onto this switch — the
+    /// worker side of the snapshot protocol (see [`crate::snapshot`]).
+    /// Inserts reuse the master-assigned handle (keeping `next_handle` in
+    /// sync so later deletes resolve), and a mid-batch device reset lands
+    /// at its recorded position in the op sequence. The delta was built
+    /// from operations that already succeeded on an identically shaped
+    /// master device, so failures here indicate a diverged clone and are
+    /// surfaced rather than skipped.
+    pub fn adopt_delta(&mut self, delta: &crate::snapshot::BatchDelta) -> SimResult<()> {
+        use crate::snapshot::AppliedOp;
+        for op in &delta.ops {
+            match op {
+                AppliedOp::Insert { table, handle, entry } => {
+                    let t = self
+                        .pipeline_mut(table.gress)
+                        .stage_mut(table.stage)?
+                        .table_mut(table.table)?;
+                    t.insert(*handle, entry.clone())?;
+                    self.next_handle = self.next_handle.max(handle.0 + 1);
+                }
+                AppliedOp::Delete { table, handle } => {
+                    let t = self
+                        .pipeline_mut(table.gress)
+                        .stage_mut(table.stage)?
+                        .table_mut(table.table)?;
+                    t.delete(*handle)?;
+                }
+                AppliedOp::WriteReg { array, addr, value } => {
+                    let a = self
+                        .pipeline_mut(array.gress)
+                        .stage_mut(array.stage)?
+                        .array_mut(array.array)?;
+                    a.write(*addr, *value)?;
+                }
+                AppliedOp::ResetRegRange { array, start, len } => {
+                    let a = self
+                        .pipeline_mut(array.gress)
+                        .stage_mut(array.stage)?
+                        .array_mut(array.array)?;
+                    a.reset_range(*start, *len)?;
+                }
+                AppliedOp::Reset => self.reset_device(),
+            }
+        }
+        // Epoch-before-batch, worker edition: the batch's table state and
+        // its epoch label become visible to this worker's packets
+        // together, between two frames.
+        if let Some(m) = &mut self.telemetry {
+            m.epoch = m.epoch.max(delta.epoch);
+        }
+        if let Some(t) = &mut self.trace {
+            if delta.epoch > t.epoch() {
+                t.set_epoch(delta.epoch);
+            }
+        }
+        Ok(())
+    }
+
+    /// Clone this switch for a worker thread: identical provisioned
+    /// configuration and table/register contents, but fresh counters and —
+    /// when enabled on the master — a fresh telemetry recorder and a fresh
+    /// trace ring (same configuration, same epoch/clock position), so
+    /// per-worker observations start at zero and merge cleanly.
+    pub fn fork_worker(&self) -> Switch {
+        let mut w = self.clone();
+        w.counters = vec![PortCounters::default(); w.counters.len()];
+        w.cpu_counters = PortCounters::default();
+        w.drops = 0;
+        w.recirc_passes = 0;
+        if let Some(m) = &mut w.telemetry {
+            let epoch = m.epoch;
+            *m = MetricsRecorder::new();
+            m.epoch = epoch;
+        }
+        if let Some(t) = &mut w.trace {
+            let mut fresh = TraceBuffer::new(t.config().clone());
+            fresh.set_now(t.now());
+            fresh.set_epoch(t.epoch());
+            **t = fresh;
+        }
+        w
     }
 
     /// Process one frame injected on an external port, running the full

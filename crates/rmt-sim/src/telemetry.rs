@@ -253,6 +253,16 @@ impl TmMetrics {
             + self.recirculated.get()
             + self.multicast.get()
     }
+
+    /// Fold another TM's counters in.
+    pub fn merge(&mut self, other: &TmMetrics) {
+        self.forwarded.merge(other.forwarded);
+        self.returned.merge(other.returned);
+        self.dropped.merge(other.dropped);
+        self.recirculated.merge(other.recirculated);
+        self.multicast.merge(other.multicast);
+        self.reports.merge(other.reports);
+    }
 }
 
 /// The hook trait the simulator reports events into.
@@ -402,6 +412,14 @@ impl PipelineMetrics {
         }
         t
     }
+
+    /// Fold another pipeline's counters in, stage by stage (growing to the
+    /// longer of the two).
+    pub fn merge(&mut self, other: &PipelineMetrics) {
+        for (idx, s) in other.stages.iter().enumerate() {
+            self.stage_mut(idx).merge(s);
+        }
+    }
 }
 
 /// The storing [`Recorder`]: everything the data plane reports, plus the
@@ -442,6 +460,21 @@ impl MetricsRecorder {
             Gress::Ingress => &mut self.ingress,
             Gress::Egress => &mut self.egress,
         }
+    }
+
+    /// Fold another recorder's counters in — the deterministic aggregation
+    /// the parallel engine uses to merge per-worker telemetry. Every
+    /// counter is additive and parser paths are keyed maps, so the merge
+    /// result is independent of worker count and merge order; the epoch
+    /// keeps the later (larger) label.
+    pub fn merge(&mut self, other: &MetricsRecorder) {
+        self.epoch = self.epoch.max(other.epoch);
+        self.ingress.merge(&other.ingress);
+        self.egress.merge(&other.egress);
+        for (k, v) in &other.parser_paths {
+            *self.parser_paths.entry(k.clone()).or_insert(0) += v;
+        }
+        self.tm.merge(&other.tm);
     }
 }
 
@@ -594,6 +627,36 @@ mod tests {
         assert_eq!(r.tm.dropped.get(), 1);
         assert_eq!(r.tm.reports.get(), 1);
         assert_eq!(r.tm.enqueued(), 2);
+    }
+
+    #[test]
+    fn metrics_merge_is_additive_and_order_independent() {
+        let mut a = MetricsRecorder::new();
+        a.epoch = 2;
+        a.table_lookup(Gress::Ingress, 1, true);
+        a.parser_path(0x0003);
+        a.tm_decision(Verdict::Forward(1), false);
+        let mut b = MetricsRecorder::new();
+        b.epoch = 5;
+        b.table_lookup(Gress::Ingress, 1, false);
+        b.table_lookup(Gress::Egress, 3, true);
+        b.parser_path(0x0003);
+        b.parser_path(0x0001);
+        b.tm_decision(Verdict::Drop, true);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.epoch, 5);
+        let s = &ab.ingress.stages[1];
+        assert_eq!((s.hits.get(), s.misses.get()), (1, 1));
+        assert_eq!(ab.egress.stages[3].hits.get(), 1);
+        assert_eq!(ab.parser_paths.get("0x0003"), Some(&2));
+        assert_eq!(ab.tm.forwarded.get(), 1);
+        assert_eq!(ab.tm.dropped.get(), 1);
+        assert_eq!(ab.tm.reports.get(), 1);
     }
 
     #[test]

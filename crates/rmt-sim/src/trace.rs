@@ -636,6 +636,12 @@ impl TraceBuffer {
         self.cfg.capacity
     }
 
+    /// The ring's configuration (used to fork per-worker rings with the
+    /// master's settings).
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
     /// Events recorded since enable (including overwritten ones).
     pub fn recorded(&self) -> u64 {
         self.next_seq
@@ -713,6 +719,24 @@ impl TraceBuffer {
             return;
         }
         self.push(ev);
+    }
+
+    /// Append an already-stamped event (its `t_ns`/`epoch` preserved, its
+    /// `seq` renumbered into this ring's sequence). The merge path for
+    /// per-worker rings: the online invariant checker is *not* re-run —
+    /// worker rings were each checked live, and a merged interleaving
+    /// legitimately nests packets inside control batches that ran
+    /// concurrently on other threads.
+    pub fn absorb(&mut self, ev: TraceEvent) {
+        let ev = TraceEvent { seq: self.next_seq, ..ev };
+        self.next_seq += 1;
+        self.push(ev);
+    }
+
+    /// Fold `n` pre-merge drops into this ring's exact drop count (events
+    /// a source ring lost to wraparound before the merge saw them).
+    pub fn add_dropped(&mut self, n: u64) {
+        self.dropped += n;
     }
 
     fn push(&mut self, ev: TraceEvent) {
@@ -914,6 +938,49 @@ impl crate::telemetry::Recorder for TraceBuffer {
     fn packet_end(&mut self, packet: u64, passes: u8, dropped: bool) {
         self.record(TraceEventKind::PacketEnd { packet, passes, dropped });
     }
+}
+
+// ---- merging -----------------------------------------------------------
+
+/// Merge several rings (the master's control ring plus per-worker packet
+/// rings) into one causally ordered ring, deterministically: events sort
+/// by trace time, then control-before-packet, then packet id, then source
+/// sequence — none of which depend on how packets were sharded across
+/// workers, so the merged stream is worker-count-independent whenever
+/// packet ids are (the parallel driver assigns them by global trace
+/// position). Sequence numbers are renumbered contiguously and drop
+/// accounting is exact: the merged ring starts from the sum of the source
+/// rings' drops and adds its own wraparound drops on top.
+///
+/// The online [`InvariantChecker`] is deliberately *not* re-run on the
+/// merged stream (see [`TraceBuffer::absorb`]); consult each source
+/// ring's [`TraceBuffer::violations`] instead.
+pub fn merge_rings<'a>(
+    rings: impl IntoIterator<Item = &'a TraceBuffer>,
+    cfg: TraceConfig,
+) -> TraceBuffer {
+    let mut all: Vec<TraceEvent> = Vec::new();
+    let mut dropped = 0;
+    let mut now = 0u64;
+    let mut epoch = 0u64;
+    for r in rings {
+        dropped += r.dropped_events();
+        now = now.max(r.now().0);
+        epoch = epoch.max(r.epoch());
+        all.extend(r.events().copied());
+    }
+    all.sort_by_key(|ev| {
+        let packet = ev.kind.packet();
+        (ev.t_ns, packet.is_some(), packet.unwrap_or(0), ev.seq)
+    });
+    let mut out = TraceBuffer::new(cfg);
+    out.add_dropped(dropped);
+    for ev in all {
+        out.absorb(ev);
+    }
+    out.set_now(Nanos(now));
+    out.set_epoch(epoch);
+    out
 }
 
 /// Extract the IPv4 five-tuple of an Ethernet frame (big-endian addresses),

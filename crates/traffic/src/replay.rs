@@ -13,6 +13,8 @@
 use crossbeam::channel::{bounded, Receiver};
 use netpkt::FiveTuple;
 use rmt_sim::clock::Nanos;
+use rmt_sim::error::SimResult;
+use rmt_sim::parallel::{shard_for_frame, WorkerPool, WorkerStats};
 use rmt_sim::switch::ProcessOutcome;
 use std::collections::HashSet;
 
@@ -231,6 +233,182 @@ impl Replay {
         } else {
             (a - b).abs() / (a + b)
         }
+    }
+}
+
+/// What a sharded multi-worker replay produced, merged back into the
+/// sequential [`Replay`]'s shapes so downstream consumers (status
+/// reports, experiment harnesses) are worker-count-agnostic.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Bucket statistics summed across workers, aligned by bucket index
+    /// (bucket boundaries are global, so index `i` is the same 50 ms
+    /// window on every worker).
+    pub stats: Vec<BucketStats>,
+    /// Per-port emitted-byte totals summed across workers.
+    pub port_tx_bytes: std::collections::HashMap<u16, u64>,
+    /// Reported (punted) flows unioned across workers.
+    pub reported_flows: HashSet<FiveTuple>,
+    /// Per-worker bucket series, in worker order (kept for imbalance
+    /// inspection; the merged `stats` is what experiments consume).
+    pub per_worker: Vec<Vec<BucketStats>>,
+    /// Per-worker engine counters sampled after the run.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Packets injected across all workers.
+    pub packets: u64,
+}
+
+/// Sharded multi-worker replay: the parallel front-end over a
+/// [`WorkerPool`].
+///
+/// The trace is split by [`shard_for_frame`] — an RSS-style five-tuple
+/// hash — so every packet of a flow lands on the same worker and per-flow
+/// order is preserved. Each worker thread drives a private sequential
+/// [`Replay`] over its shard; before each injection the worker adopts any
+/// control-plane snapshot deltas published since its last packet
+/// (batch-granular, never torn — see `rmt_sim::snapshot`).
+///
+/// Every packet is injected under the **global** packet id it would have
+/// carried in a sequential replay of the same trace (`base + trace
+/// index`), so per-packet trace events are bit-identical to the
+/// sequential engine's and the merged ring is worker-count-independent.
+pub struct ParallelReplay {
+    shards: Vec<Vec<TimedPacket>>,
+    ids: Vec<Vec<u64>>,
+    bucket: Nanos,
+    total: u64,
+}
+
+impl ParallelReplay {
+    /// Shard a trace for `workers` workers, 50 ms buckets.
+    pub fn new(packets: Vec<TimedPacket>, workers: usize) -> ParallelReplay {
+        ParallelReplay::with_bucket(packets, workers, Nanos::from_millis(50))
+    }
+
+    /// With an explicit bucket width.
+    pub fn with_bucket(packets: Vec<TimedPacket>, workers: usize, bucket: Nanos) -> ParallelReplay {
+        let n = workers.max(1);
+        let mut shards: Vec<Vec<TimedPacket>> = (0..n).map(|_| Vec::new()).collect();
+        let mut ids: Vec<Vec<u64>> = (0..n).map(|_| Vec::new()).collect();
+        let total = packets.len() as u64;
+        for (i, p) in packets.into_iter().enumerate() {
+            let s = shard_for_frame(&p.frame, n);
+            ids[s].push(i as u64);
+            shards[s].push(p);
+        }
+        ParallelReplay { shards, ids, bucket, total }
+    }
+
+    /// Packets per shard, in worker order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(Vec::len).collect()
+    }
+
+    /// Total packets in the trace.
+    pub fn total_packets(&self) -> u64 {
+        self.total
+    }
+
+    /// Drive the whole trace through `pool`, one OS thread per worker.
+    ///
+    /// The pool must have exactly as many workers as this replay was
+    /// sharded for. Control-plane activity may proceed concurrently on
+    /// the master switch: workers pick up published batches at packet
+    /// boundaries and are never blocked by a deploy.
+    pub fn run(self, pool: &mut WorkerPool) -> SimResult<ParallelOutcome> {
+        assert_eq!(
+            pool.len(),
+            self.shards.len(),
+            "pool size must match the shard count"
+        );
+        // Workers fork with the master's packet-id cursor, so `base +
+        // global index` reproduces the ids a sequential replay would
+        // assign from the same starting point.
+        let base = pool
+            .workers()
+            .iter()
+            .map(|w| w.switch().next_packet_id())
+            .max()
+            .unwrap_or(0);
+        let bucket = self.bucket;
+        let runs: Vec<SimResult<Replay>> = std::thread::scope(|s| {
+            let handles: Vec<_> = pool
+                .workers_mut()
+                .iter_mut()
+                .zip(self.shards.into_iter().zip(self.ids))
+                .map(|(w, (shard, ids))| {
+                    s.spawn(move || {
+                        let mut r = Replay::with_bucket(shard, bucket);
+                        // Tag buckets with the epoch the worker starts
+                        // under; concurrent epoch bumps surface through
+                        // the merged telemetry, not bucket tags.
+                        r.epoch = w.switch().telemetry().map_or(0, |m| m.epoch);
+                        let mut err = None;
+                        let mut k = 0usize;
+                        r.run_all_into_at(|t, port, frame, out| {
+                            if err.is_none() {
+                                if let Some(tr) = w.switch_mut().trace_mut() {
+                                    tr.set_now(t);
+                                }
+                                if let Err(e) = w.inject_at(base + ids[k], port, frame, out) {
+                                    err = Some(e);
+                                }
+                            }
+                            k += 1;
+                        });
+                        match err {
+                            Some(e) => Err(e),
+                            None => Ok(r),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replay worker thread panicked"))
+                .collect()
+        });
+        let mut per_worker = Vec::with_capacity(runs.len());
+        let mut port_tx_bytes = std::collections::HashMap::new();
+        let mut reported_flows = HashSet::new();
+        for run in runs {
+            let r = run?;
+            for (port, bytes) in &r.port_tx_bytes {
+                *port_tx_bytes.entry(*port).or_insert(0) += bytes;
+            }
+            reported_flows.extend(r.reported_flows.iter().cloned());
+            per_worker.push(r.stats);
+        }
+        // Bucket boundaries are global (every worker's bucket `i` covers
+        // `[i·bucket, (i+1)·bucket)`), so summation by index is exact.
+        let buckets = per_worker.iter().map(Vec::len).max().unwrap_or(0);
+        let mut stats = Vec::with_capacity(buckets);
+        for i in 0..buckets {
+            let mut m = BucketStats {
+                t_secs: (Nanos(self.bucket.0 * i as u64)).as_secs_f64(),
+                ..Default::default()
+            };
+            for w in &per_worker {
+                if let Some(s) = w.get(i) {
+                    m.offered_bytes += s.offered_bytes;
+                    m.offered_pkts += s.offered_pkts;
+                    m.tx_bytes += s.tx_bytes;
+                    m.tx_pkts += s.tx_pkts;
+                    m.dropped += s.dropped;
+                    m.reports += s.reports;
+                    m.epoch = m.epoch.max(s.epoch);
+                }
+            }
+            stats.push(m);
+        }
+        Ok(ParallelOutcome {
+            stats,
+            port_tx_bytes,
+            reported_flows,
+            per_worker,
+            worker_stats: pool.stats(),
+            packets: self.total,
+        })
     }
 }
 

@@ -293,6 +293,7 @@ proptest! {
             programs,
             faults: FaultPlan::random(seed ^ 0x9e3779b9, nfaults, horizon),
             packets_per_burst: 3,
+            workers: 1,
         };
         let out = chaos::run(&cfg).map_err(|e| {
             proptest::test_runner::TestCaseError::Fail(format!("seed {seed}: campaign error {e}"))

@@ -1,10 +1,19 @@
 //! Offline vendored stand-in for the `crossbeam` crate.
 //!
-//! Only the `channel` module is provided, backed by `std::sync::mpsc`.
-//! `bounded(n)` maps to `mpsc::sync_channel(n)` and `unbounded()` to
-//! `mpsc::channel()`; semantics the workspace relies on (blocking send
-//! on a full bounded channel, iteration ending when the sender drops)
-//! are identical.
+//! Two modules are provided:
+//!
+//! * [`channel`], backed by `std::sync::mpsc`. `bounded(n)` maps to
+//!   `mpsc::sync_channel(n)` and `unbounded()` to `mpsc::channel()`;
+//!   semantics the workspace relies on (blocking send on a full bounded
+//!   channel, iteration ending when the sender drops) are identical.
+//! * [`rcu`], a generation-stamped publication cell in the spirit of
+//!   `crossbeam-epoch`: one writer publishes immutable `Arc` snapshots,
+//!   many readers poll a single atomic generation counter and clone the
+//!   `Arc` only when it changed. Reclamation is the `Arc` drop of the
+//!   superseded snapshot once the last reader releases it — the same
+//!   deferred-destruction contract epoch GC provides, collapsed onto
+//!   `Arc` because snapshots here are coarse (one per control batch, not
+//!   one per node).
 
 pub mod channel {
     use std::sync::mpsc;
@@ -95,9 +104,111 @@ pub mod channel {
     }
 }
 
+pub mod rcu {
+    //! Single-writer / many-reader snapshot publication.
+    //!
+    //! The writer side calls [`RcuCell::publish`]; each publish replaces
+    //! the current `Arc<T>` and bumps the generation counter *inside* the
+    //! lock, so a reader that observes generation `g` under the lock is
+    //! guaranteed to hold the snapshot of exactly that generation. The
+    //! reader fast path ([`RcuReader::refresh`]) is one `Acquire` load of
+    //! the generation counter; the lock is taken only on an actual change,
+    //! which on the intended workloads (per-packet polling against
+    //! control-plane-rate publishes) makes the steady state lock-free.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// The publication cell: an atomically versioned `Arc<T>` slot.
+    #[derive(Debug)]
+    pub struct RcuCell<T> {
+        generation: AtomicU64,
+        value: Mutex<Arc<T>>,
+    }
+
+    impl<T: Default> Default for RcuCell<T> {
+        fn default() -> Self {
+            RcuCell::new(T::default())
+        }
+    }
+
+    impl<T> RcuCell<T> {
+        /// A cell holding `value` at generation 0.
+        pub fn new(value: T) -> RcuCell<T> {
+            RcuCell { generation: AtomicU64::new(0), value: Mutex::new(Arc::new(value)) }
+        }
+
+        /// Replace the published snapshot; returns the new generation.
+        /// Intended for a single writer — concurrent publishes serialize
+        /// on the internal lock but their ordering is then unspecified.
+        pub fn publish(&self, value: T) -> u64 {
+            let mut slot = self.value.lock().expect("rcu cell poisoned");
+            *slot = Arc::new(value);
+            // Bumped while the lock is held so generation and snapshot
+            // can never be observed out of step by `load`.
+            self.generation.fetch_add(1, Ordering::Release) + 1
+        }
+
+        /// The current generation (0 until the first publish). One
+        /// `Acquire` load — safe to call per packet.
+        pub fn generation(&self) -> u64 {
+            self.generation.load(Ordering::Acquire)
+        }
+
+        /// The current `(generation, snapshot)` pair, consistent with each
+        /// other.
+        pub fn load(&self) -> (u64, Arc<T>) {
+            let slot = self.value.lock().expect("rcu cell poisoned");
+            (self.generation.load(Ordering::Acquire), Arc::clone(&slot))
+        }
+    }
+
+    /// A reader's cached subscription to an [`RcuCell`].
+    #[derive(Debug)]
+    pub struct RcuReader<T> {
+        cell: Arc<RcuCell<T>>,
+        seen: u64,
+        cached: Arc<T>,
+    }
+
+    impl<T> RcuReader<T> {
+        /// Subscribe, capturing the cell's current snapshot.
+        pub fn new(cell: Arc<RcuCell<T>>) -> RcuReader<T> {
+            let (seen, cached) = cell.load();
+            RcuReader { cell, seen, cached }
+        }
+
+        /// The generation of the snapshot this reader holds.
+        pub fn seen(&self) -> u64 {
+            self.seen
+        }
+
+        /// The snapshot this reader holds (no staleness check).
+        pub fn current(&self) -> &Arc<T> {
+            &self.cached
+        }
+
+        /// Poll for a newer snapshot. Returns `None` (after one atomic
+        /// load) when nothing was published since the last call; on a
+        /// change, re-caches and returns the fresh snapshot. Dropping the
+        /// previous `Arc` here is the RCU reclamation point.
+        pub fn refresh(&mut self) -> Option<&Arc<T>> {
+            if self.cell.generation() == self.seen {
+                return None;
+            }
+            let (gen, arc) = self.cell.load();
+            self.seen = gen;
+            self.cached = arc;
+            Some(&self.cached)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel;
+    use super::rcu::{RcuCell, RcuReader};
+    use std::sync::Arc;
 
     #[test]
     fn bounded_roundtrip() {
@@ -110,6 +221,40 @@ mod tests {
         let got: Vec<u32> = rx.iter().collect();
         handle.join().unwrap();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rcu_reader_sees_each_publish_once() {
+        let cell = Arc::new(RcuCell::new(vec![1u32]));
+        let mut reader = RcuReader::new(Arc::clone(&cell));
+        assert_eq!(reader.seen(), 0);
+        assert!(reader.refresh().is_none(), "nothing published yet");
+        cell.publish(vec![1, 2]);
+        assert_eq!(cell.generation(), 1);
+        assert_eq!(reader.refresh().unwrap().as_slice(), &[1, 2]);
+        assert!(reader.refresh().is_none(), "already caught up");
+        cell.publish(vec![1, 2, 3]);
+        cell.publish(vec![1, 2, 3, 4]);
+        // A reader that skipped a generation lands on the latest.
+        assert_eq!(reader.refresh().unwrap().len(), 4);
+        assert_eq!(reader.seen(), 3);
+    }
+
+    #[test]
+    fn rcu_publish_is_visible_across_threads() {
+        let cell = Arc::new(RcuCell::new(0u64));
+        let mut reader = RcuReader::new(Arc::clone(&cell));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                for i in 1..=100u64 {
+                    cell.publish(i);
+                }
+            })
+        };
+        writer.join().unwrap();
+        assert_eq!(**reader.refresh().unwrap(), 100);
+        assert_eq!(reader.seen(), 100);
     }
 
     #[test]
