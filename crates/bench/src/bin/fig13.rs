@@ -34,7 +34,10 @@ fn case_a_impact_on_traffic() {
     let trace = synthesize(&p);
 
     let mut ctl = Controller::with_defaults().unwrap();
-    ctl.enable_telemetry();
+    // Attribution splits the packet-side counters per owning program, so
+    // the "churn disturbs nothing" claim can be read off the rows: the
+    // carrier program owns every packet, the churned programs own none.
+    ctl.enable_attribution();
     // The basic forwarding program (all IPv4 → port 1).
     ctl.deploy("program basefwd(<hdr.ipv4.src, 0.0.0.0, 0x00000000>) { FORWARD(1); }")
         .unwrap();
@@ -95,11 +98,18 @@ fn case_a_impact_on_traffic() {
     let report = ctl.telemetry_report();
     let tm = &report.dataplane.as_ref().expect("telemetry enabled").tm;
     println!(
-        "telemetry: {} lifecycle spans across {} epochs; TM drops during churn: {} (must be 0)\n",
+        "telemetry: {} lifecycle spans across {} epochs; TM drops during churn: {} (must be 0)",
         report.spans.len(),
         report.epoch,
         tm.dropped.get()
     );
+    // Per-program attribution: the carrier owns the traffic; churned
+    // programs (filters on 10.0.x.x, disjoint from the trace) own none.
+    println!("per-program attribution:");
+    for p in report.programs.iter().filter(|p| p.packets > 0 || p.hits > 0) {
+        println!("  {}", p.render());
+    }
+    println!();
 }
 
 /// (b) In-network cache: hit rate 0.6; misses (40 Mbps) reach the server.

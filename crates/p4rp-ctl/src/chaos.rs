@@ -14,7 +14,7 @@
 //! [`ChaosOutcome::trace_fingerprint`] on every run of the same seed.
 
 use crate::controller::{AuditReport, Controller, CtlError, CtlResult};
-use crate::telemetry::FaultStats;
+use crate::telemetry::{FaultStats, SloThresholds};
 use netpkt::{EtherType, EthernetRepr, IpProtocol, Ipv4Repr, Mac, ParsedPacket, UdpRepr};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -48,6 +48,13 @@ pub struct ChaosConfig {
     /// the multi-worker engine while deploy/revoke churn publishes
     /// snapshot deltas underneath it.
     pub workers: usize,
+    /// SLO watchdog thresholds to arm for the campaign. `None` (the
+    /// default) runs without a watchdog; `Some` also enables per-program
+    /// attribution so the drop-rate SLO evaluates real merged counters.
+    /// Because every watchdog input is sim-clock / seeded-state driven,
+    /// the emitted `SloViolation` events replay bit-for-bit and enter
+    /// [`ChaosOutcome::trace_fingerprint`].
+    pub watchdog: Option<SloThresholds>,
 }
 
 impl Default for ChaosConfig {
@@ -59,6 +66,7 @@ impl Default for ChaosConfig {
             faults: FaultPlan::none(),
             packets_per_burst: 4,
             workers: 1,
+            watchdog: None,
         }
     }
 }
@@ -97,6 +105,9 @@ pub struct ChaosOutcome {
     pub trace_fingerprint: u64,
     /// The drain phase converged (clean audit, nothing wedged).
     pub converged: bool,
+    /// `SloViolation` events in the merged trace ring (0 when no
+    /// watchdog was armed, or when no threshold was breached).
+    pub slo_violations: u64,
 }
 
 /// Build a minimal UDP frame addressed to `dst` (what the pool programs
@@ -213,6 +224,14 @@ pub fn run(cfg: &ChaosConfig) -> CtlResult<ChaosOutcome> {
     // as one atomic snapshot delta. `inject_sharded` falls back to the
     // sequential engine when no pool exists, so `workers: 1` replays the
     // pre-parallel campaign bit-for-bit.
+    // Watchdog campaigns also enable per-program attribution (before the
+    // worker fork, so every worker inherits it): the drop-rate SLO then
+    // evaluates the real merged TM counters and a breach event names the
+    // heaviest-dropping program.
+    if let Some(t) = &cfg.watchdog {
+        ctl.enable_attribution();
+        ctl.arm_watchdog(t.clone());
+    }
     if cfg.workers > 1 {
         ctl.enable_workers(cfg.workers);
     }
@@ -321,6 +340,10 @@ pub fn run(cfg: &ChaosConfig) -> CtlResult<ChaosOutcome> {
     let budget = 16 + cfg.faults.triggers().len();
     let mut converged = false;
     for _ in 0..budget {
+        // Each drain pass re-evaluates the armed SLOs (a no-op when
+        // disarmed): faults that accumulated during the campaign breach
+        // here at a deterministic sim-clock instant.
+        ctl.slo_check();
         if !ctl.channel().is_connected() {
             ctl.channel_mut().reconnect();
         }
@@ -360,6 +383,16 @@ pub fn run(cfg: &ChaosConfig) -> CtlResult<ChaosOutcome> {
             out.resident_misses += 1;
         }
     }
+
+    // Final SLO pass over the post-drain state, then count the emitted
+    // violation events straight from the merged ring — the same ring the
+    // fingerprint hashes, so breaches are part of the determinism receipt.
+    ctl.slo_check();
+    out.slo_violations = ctl.merged_trace().map_or(0, |t| {
+        t.events()
+            .filter(|e| matches!(e.kind, rmt_sim::trace::TraceEventKind::SloViolation { .. }))
+            .count() as u64
+    });
 
     out.final_audit = ctl.audit()?;
     out.fault_stats = ctl.fault_stats();
@@ -403,6 +436,52 @@ mod tests {
         assert!(a.converged, "drain did not converge: {a:?}");
         assert!(a.final_audit.clean(), "device diverged: {:?}", a.final_audit);
         assert_eq!(a.trace_fingerprint, b.trace_fingerprint, "same seed, different trace");
+    }
+
+    #[test]
+    fn clean_campaign_with_armed_watchdog_emits_no_violations() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            steps: 30,
+            watchdog: Some(SloThresholds {
+                max_deploy_failures: Some(0),
+                max_p99_write_ns: Some(u64::MAX),
+                ..SloThresholds::default()
+            }),
+            ..ChaosConfig::default()
+        };
+        let out = run(&cfg).unwrap();
+        assert_eq!(out.slo_violations, 0, "{out:?}");
+        assert!(out.converged);
+        assert!(out.final_audit.clean());
+    }
+
+    #[test]
+    fn breaching_faults_produce_deterministic_slo_violations() {
+        let cfg = ChaosConfig {
+            seed: 11,
+            steps: 60,
+            faults: FaultPlan::random(11, 6, 400),
+            watchdog: Some(SloThresholds {
+                max_deploy_failures: Some(0),
+                max_drop_ppm: Some(0),
+                ..SloThresholds::default()
+            }),
+            ..ChaosConfig::default()
+        };
+        let a = run(&cfg).unwrap();
+        let b = run(&cfg).unwrap();
+        assert!(
+            a.deploys_faulted + a.revokes_faulted > 0,
+            "campaign should hit faults: {a:?}"
+        );
+        assert!(a.slo_violations > 0, "breaching thresholds must emit events: {a:?}");
+        assert_eq!(a.slo_violations, b.slo_violations);
+        assert_eq!(
+            a.trace_fingerprint, b.trace_fingerprint,
+            "SloViolation events must replay bit-for-bit"
+        );
+        assert!(a.converged, "{a:?}");
     }
 
     #[test]

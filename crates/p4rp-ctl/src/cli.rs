@@ -29,13 +29,28 @@
 //! replay [--packets <n>] [--flows <n>] [--workers <n>] [--seed <n>]
 //!                              synthesize a flow mix and replay it through
 //!                              the data plane; `--workers > 1` shards flows
-//!                              across the parallel engine (docs/PERF.md)
+//!                              across the parallel engine (docs/PERF.md);
+//!                              each replay also cuts a time-series bucket
+//! top [--once]                 per-program usage ranked by attributed
+//!                              packets; enables attribution on first use
+//!                              (docs/METRICS.md)
+//! metrics export [path|-]      Prometheus text exposition to a file or
+//!                              stdout
+//! metrics serve <addr>         answer one /metrics scrape on a loopback
+//!                              TCP listener (blocks until the scrape)
+//! watchdog arm [--drop-ppm <n>] [--deploy-faults <n>] [--p99-ns <n>]
+//!                              arm SLO thresholds; breaches emit
+//!                              SloViolation trace events
+//! watchdog status | disarm     inspect or drop the armed watchdog
+//! series on [capacity]         start the windowed telemetry time series
 //! chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>]
 //!           [--workers <n>]    seeded fault-injection campaign on a fresh
+//!           [--slo-drop-ppm <n>] [--slo-deploy-faults <n>] [--slo-p99-ns <n>]
 //!                              controller (spec syntax in docs/CHAOS.md,
 //!                              e.g. `failop@5,reset@12,drop:insert@20`);
 //!                              `--workers > 1` runs traffic on the sharded
-//!                              multi-worker engine under deploy churn
+//!                              multi-worker engine under deploy churn;
+//!                              `--slo-*` arms the campaign watchdog
 //! help                         this text
 //! ```
 //!
@@ -84,6 +99,10 @@ impl Cli {
             "memwrite" => self.memwrite(rest),
             "trace" => Ok(self.trace_cmd(rest)),
             "replay" => Ok(self.replay_cmd(rest)),
+            "top" => Ok(self.top_cmd(rest)),
+            "metrics" => Ok(self.metrics_cmd(rest)),
+            "watchdog" => Ok(self.watchdog_cmd(rest)),
+            "series" => Ok(self.series_cmd(rest)),
             "chaos" => Ok(chaos_cmd(rest)),
             other => Ok(format!("unknown command `{other}` — try `help`")),
         };
@@ -394,6 +413,9 @@ impl Cli {
                 .stats
                 .iter()
                 .fold((0u64, 0u64), |(t, d), s| (t + s.tx_pkts, d + s.dropped));
+            // A finished replay is a series tick and an SLO checkpoint.
+            self.ctl.tick_series();
+            self.ctl.slo_check();
             return format!(
                 "replayed {packets} packet(s), {flows} flow(s), sequential engine: \
                  {tx} tx, {dropped} dropped"
@@ -409,6 +431,8 @@ impl Cli {
                     .stats
                     .iter()
                     .fold((0u64, 0u64), |(t, d), s| (t + s.tx_pkts, d + s.dropped));
+                self.ctl.tick_series();
+                self.ctl.slo_check();
                 format!(
                     "replayed {packets} packet(s), {flows} flow(s) across {workers} worker(s) \
                      (shards {shards:?}): {tx} tx, {dropped} dropped, snapshot generation {} \
@@ -417,6 +441,154 @@ impl Cli {
                 )
             }
             Err(e) => format!("error: {e}"),
+        }
+    }
+
+    /// `top [--once]`: per-program usage ranked by attributed packets.
+    /// Enables attribution on first use, so counters accumulate from
+    /// here on; `--once` is accepted for scripting symmetry (the CLI
+    /// always renders exactly one frame — there is no terminal loop in
+    /// the simulator).
+    fn top_cmd(&mut self, rest: &str) -> String {
+        match rest {
+            "" | "--once" => {}
+            other => return format!("unknown flag `{other}`\nusage: top [--once]"),
+        }
+        let first = !self.ctl.attribution_enabled();
+        if first {
+            self.ctl.enable_attribution();
+        }
+        let mut out = crate::metrics::render_top(&self.ctl.telemetry_report());
+        if first {
+            out.push_str("(attribution just enabled — packet counters attribute from now on)\n");
+        }
+        out
+    }
+
+    /// `metrics export [path|-]` / `metrics serve <addr>`.
+    fn metrics_cmd(&mut self, rest: &str) -> String {
+        const USAGE: &str = "usage: metrics export [path|-] | metrics serve <addr>";
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("export") => {
+                let body = crate::metrics::render_prometheus(&self.ctl.telemetry_report());
+                match parts.get(1).copied() {
+                    None | Some("-") => body,
+                    Some(path) => {
+                        if let Some(dir) = std::path::Path::new(path).parent() {
+                            if !dir.as_os_str().is_empty() {
+                                let _ = std::fs::create_dir_all(dir);
+                            }
+                        }
+                        match std::fs::write(path, &body) {
+                            Ok(()) => format!(
+                                "wrote {} exposition line(s) to {path}",
+                                body.lines().count()
+                            ),
+                            Err(e) => format!("error writing {path}: {e}"),
+                        }
+                    }
+                }
+            }
+            Some("serve") => {
+                let Some(addr) = parts.get(1) else {
+                    return USAGE.to_string();
+                };
+                let listener = match std::net::TcpListener::bind(addr) {
+                    Ok(l) => l,
+                    Err(e) => return format!("error binding {addr}: {e}"),
+                };
+                let local = listener
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| addr.to_string());
+                let body = crate::metrics::render_prometheus(&self.ctl.telemetry_report());
+                match crate::metrics::serve_once(&listener, &body) {
+                    Ok(()) => format!(
+                        "served one scrape ({} line(s)) on http://{local}/metrics",
+                        body.lines().count()
+                    ),
+                    Err(e) => format!("error serving on {local}: {e}"),
+                }
+            }
+            _ => USAGE.to_string(),
+        }
+    }
+
+    /// `watchdog arm [--drop-ppm <n>] [--deploy-faults <n>] [--p99-ns <n>]`
+    /// / `watchdog status` / `watchdog disarm`.
+    fn watchdog_cmd(&mut self, rest: &str) -> String {
+        const USAGE: &str = "usage: watchdog arm [--drop-ppm <n>] [--deploy-faults <n>] \
+                             [--p99-ns <n>] | watchdog status | watchdog disarm";
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("arm") => {
+                let mut t = crate::telemetry::SloThresholds::default();
+                let mut it = parts[1..].iter();
+                while let Some(flag) = it.next() {
+                    let Some(value) = it.next() else {
+                        return format!("missing value for `{flag}`\n{USAGE}");
+                    };
+                    let parsed: Result<u64, _> = value.parse();
+                    match (*flag, parsed) {
+                        ("--drop-ppm", Ok(n)) => t.max_drop_ppm = Some(n),
+                        ("--deploy-faults", Ok(n)) => t.max_deploy_failures = Some(n),
+                        ("--p99-ns", Ok(n)) => t.max_p99_write_ns = Some(n),
+                        ("--drop-ppm" | "--deploy-faults" | "--p99-ns", _) => {
+                            return format!("bad value `{value}` for `{flag}`");
+                        }
+                        (other, _) => return format!("unknown flag `{other}`\n{USAGE}"),
+                    }
+                }
+                if !t.is_armed() {
+                    return format!("no thresholds given\n{USAGE}");
+                }
+                self.ctl.arm_watchdog(t);
+                // Evaluate immediately so `status` right after `arm`
+                // reflects any standing breach.
+                self.ctl.slo_check();
+                render_watchdog(self.ctl.watchdog_status().as_ref())
+            }
+            None | Some("status") => render_watchdog(self.ctl.watchdog_status().as_ref()),
+            Some("disarm") => match self.ctl.disarm_watchdog() {
+                Some(s) => format!("watchdog disarmed after {} violation(s)", s.violations),
+                None => "watchdog was not armed".to_string(),
+            },
+            Some(other) => format!("unknown watchdog subcommand `{other}`\n{USAGE}"),
+        }
+    }
+
+    /// `series on [capacity]`: start windowed time-series collection
+    /// (buckets cut on every lifecycle event and replay).
+    fn series_cmd(&mut self, rest: &str) -> String {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("on") => {
+                let capacity = match parts.get(1) {
+                    None => 256,
+                    Some(c) => match c.parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => return format!("bad capacity `{c}`"),
+                    },
+                };
+                self.ctl.enable_series(capacity);
+                let s = self.ctl.series().expect("just enabled");
+                format!(
+                    "series on: {} point(s) retained (capacity {})",
+                    s.points.len(),
+                    s.capacity
+                )
+            }
+            None | Some("status") => match self.ctl.series() {
+                None => "series off".to_string(),
+                Some(s) => format!(
+                    "series on: {} point(s) retained (capacity {}, {} evicted)",
+                    s.points.len(),
+                    s.capacity,
+                    s.evicted
+                ),
+            },
+            Some(other) => format!("unknown series subcommand `{other}` — try `series on [cap]`"),
         }
     }
 
@@ -432,6 +604,36 @@ impl Cli {
     }
 }
 
+/// Render the watchdog's status line.
+fn render_watchdog(status: Option<&crate::telemetry::SloStatus>) -> String {
+    match status {
+        None => "watchdog disarmed".to_string(),
+        Some(s) => {
+            let t = &s.thresholds;
+            let mut limits = Vec::new();
+            if let Some(v) = t.max_drop_ppm {
+                limits.push(format!("drop ≤ {v} ppm"));
+            }
+            if let Some(v) = t.max_deploy_failures {
+                limits.push(format!("deploy faults ≤ {v}"));
+            }
+            if let Some(v) = t.max_p99_write_ns {
+                limits.push(format!("write p99 ≤ {v} ns"));
+            }
+            format!(
+                "watchdog armed: {} | {} violation(s){}",
+                limits.join(", "),
+                s.violations,
+                if s.breached.is_empty() {
+                    String::new()
+                } else {
+                    format!(" | IN BREACH: {}", s.breached.join(", "))
+                }
+            )
+        }
+    }
+}
+
 /// `chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>]
 /// [--workers <n>]`: run a seeded, deterministic fault-injection campaign
 /// against a fresh controller and summarise what survived. The fault spec
@@ -439,7 +641,8 @@ impl Cli {
 /// `--workers` > 1 drives injections through the sharded parallel engine.
 fn chaos_cmd(rest: &str) -> String {
     const USAGE: &str = "usage: chaos run [--seed <n>] [--faults <spec>] \
-                         [--steps <n>] [--programs <n>] [--workers <n>]";
+                         [--steps <n>] [--programs <n>] [--workers <n>] \
+                         [--slo-drop-ppm <n>] [--slo-deploy-faults <n>] [--slo-p99-ns <n>]";
     let parts: Vec<&str> = rest.split_whitespace().collect();
     if parts.first() != Some(&"run") {
         return USAGE.to_string();
@@ -470,6 +673,17 @@ fn chaos_cmd(rest: &str) -> String {
             "--workers" => match value.parse() {
                 Ok(n) if n > 0 => cfg.workers = n,
                 _ => return format!("bad worker count `{value}`"),
+            },
+            "--slo-drop-ppm" | "--slo-deploy-faults" | "--slo-p99-ns" => match value.parse() {
+                Ok(n) => {
+                    let t = cfg.watchdog.get_or_insert_with(Default::default);
+                    match *flag {
+                        "--slo-drop-ppm" => t.max_drop_ppm = Some(n),
+                        "--slo-deploy-faults" => t.max_deploy_failures = Some(n),
+                        _ => t.max_p99_write_ns = Some(n),
+                    }
+                }
+                Err(_) => return format!("bad threshold `{value}` for `{flag}`"),
             },
             other => return format!("unknown flag `{other}`\n{USAGE}"),
         }
@@ -512,7 +726,11 @@ fn chaos_cmd(rest: &str) -> String {
                 out.fault_stats.device_generation,
                 out.trace_fingerprint,
                 if out.converged { "converged" } else { "DID NOT CONVERGE" },
-            )
+            ) + &if cfg.watchdog.is_some() {
+                format!("\nslo watchdog: {} violation(s)", out.slo_violations)
+            } else {
+                String::new()
+            }
         }
         Err(e) => format!("error: {e}"),
     }
@@ -571,7 +789,7 @@ fn parse_ipv4(s: &str) -> Option<u32> {
     Some(u32::from_be_bytes(octets))
 }
 
-const HELP: &str = "commands: deploy <src> | deploy-many <file...> | revoke <name> | revoke-many <name...> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | replay [--packets <n>] [--flows <n>] [--workers <n>] [--seed <n>] | chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>] [--workers <n>] | help";
+const HELP: &str = "commands: deploy <src> | deploy-many <file...> | revoke <name> | revoke-many <name...> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | replay [--packets <n>] [--flows <n>] [--workers <n>] [--seed <n>] | top [--once] | metrics <export [path|-]|serve <addr>> | watchdog <arm [--drop-ppm <n>] [--deploy-faults <n>] [--p99-ns <n>]|status|disarm> | series <on [cap]|status> | chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>] [--workers <n>] [--slo-drop-ppm <n>] [--slo-deploy-faults <n>] [--slo-p99-ns <n>] | help";
 
 #[cfg(test)]
 mod tests {
@@ -816,6 +1034,110 @@ mod tests {
         let injected: u64 = par.per_worker.iter().map(|w| w.packets).sum();
         assert_eq!(injected, 300, "{par:?}");
         assert_eq!(report, cli.ctl.telemetry_report());
+    }
+
+    #[test]
+    fn top_enables_attribution_and_ranks_programs() {
+        let mut cli = cli();
+        cli.exec(&format!("deploy {SRC}"));
+        let out = cli.exec("top --once");
+        assert!(out.contains("attribution just enabled"), "{out}");
+        assert!(out.contains("PROGRAM"), "{out}");
+        cli.exec("replay --packets 100 --flows 4 --seed 2");
+        let out = cli.exec("top");
+        assert!(!out.contains("attribution just enabled"), "{out}");
+        assert!(out.contains('p'), "{out}");
+        let report =
+            crate::telemetry::TelemetryReport::from_json(&cli.exec("status --json")).unwrap();
+        assert!(!report.programs.is_empty(), "{report:?}");
+        assert!(cli.exec("top --loop").contains("unknown flag"));
+    }
+
+    #[test]
+    fn metrics_export_writes_parseable_exposition() {
+        let dir = std::env::temp_dir().join(format!("p4rp-cli-metrics-{}", std::process::id()));
+        let path = dir.join("metrics.prom");
+        let mut cli = cli();
+        cli.exec("top --once"); // enables attribution
+        cli.exec(&format!("deploy {SRC}"));
+        cli.exec("replay --packets 50 --flows 4 --seed 1");
+        let body = cli.exec("metrics export");
+        let samples = crate::metrics::parse_prometheus(&body).expect("well-formed");
+        assert!(samples.iter().any(|s| s.name == "p4rp_program_packets_total"), "{body}");
+        let out = cli.exec(&format!("metrics export {}", path.display()));
+        assert!(out.starts_with("wrote"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, body);
+        assert!(cli.exec("metrics").starts_with("usage:"));
+        assert!(cli.exec("metrics serve").starts_with("usage:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watchdog_arm_status_disarm_cycle() {
+        let mut cli = cli();
+        assert_eq!(cli.exec("watchdog"), "watchdog disarmed");
+        let out = cli.exec("watchdog arm --drop-ppm 1000 --p99-ns 500000000");
+        assert!(out.contains("watchdog armed: drop ≤ 1000 ppm"), "{out}");
+        assert!(out.contains("0 violation(s)"), "{out}");
+        let out = cli.exec("watchdog status");
+        assert!(out.contains("watchdog armed"), "{out}");
+        let report =
+            crate::telemetry::TelemetryReport::from_json(&cli.exec("status --json")).unwrap();
+        let slo = report.slo.expect("slo section armed");
+        assert_eq!(slo.thresholds.max_drop_ppm, Some(1000));
+        let out = cli.exec("watchdog disarm");
+        assert!(out.contains("disarmed after 0 violation(s)"), "{out}");
+        assert_eq!(cli.exec("watchdog disarm"), "watchdog was not armed");
+        assert!(cli.exec("watchdog arm").contains("no thresholds given"));
+        assert!(cli.exec("watchdog arm --drop-ppm x").starts_with("bad value"));
+        assert!(cli.exec("watchdog poke").contains("unknown watchdog subcommand"));
+    }
+
+    #[test]
+    fn watchdog_breach_surfaces_in_trace_and_status() {
+        let mut cli = cli();
+        cli.exec("trace on 1024");
+        cli.ctl.enable_telemetry();
+        cli.exec("watchdog arm --p99-ns 1"); // everything breaches this
+        cli.exec(&format!("deploy {SRC}"));
+        cli.exec("replay --packets 20 --flows 2 --seed 1");
+        let out = cli.exec("watchdog status");
+        assert!(out.contains("IN BREACH: p99_latency"), "{out}");
+        let dump = cli.exec("trace dump control");
+        assert!(dump.contains("ctl slo p99_latency"), "{dump}");
+        let report =
+            crate::telemetry::TelemetryReport::from_json(&cli.exec("status --json")).unwrap();
+        assert_eq!(report.slo.unwrap().violations, 1, "breach must latch once");
+    }
+
+    #[test]
+    fn series_collects_buckets_on_lifecycle_and_replay() {
+        let mut cli = cli();
+        cli.ctl.enable_telemetry();
+        assert_eq!(cli.exec("series"), "series off");
+        let out = cli.exec("series on 8");
+        assert!(out.contains("capacity 8"), "{out}");
+        cli.exec(&format!("deploy {SRC}"));
+        cli.exec("replay --packets 50 --flows 4 --seed 1");
+        let report =
+            crate::telemetry::TelemetryReport::from_json(&cli.exec("status --json")).unwrap();
+        let series = report.series.expect("series armed");
+        assert!(series.points.len() >= 2, "deploy + replay must cut buckets: {series:?}");
+        let replay_bucket = series.points.last().unwrap();
+        assert!(replay_bucket.forwarded + replay_bucket.drops > 0, "{series:?}");
+        assert!(cli.exec("series on zero").starts_with("bad capacity"));
+        assert!(cli.exec("series sideways").contains("unknown series subcommand"));
+    }
+
+    #[test]
+    fn chaos_run_with_slo_flags_reports_violations() {
+        let mut cli = cli();
+        let out = cli.exec("chaos run --seed 7 --steps 20 --slo-deploy-faults 0");
+        assert!(out.contains("slo watchdog: 0 violation(s)"), "{out}");
+        let out = cli.exec("chaos run --seed 7 --steps 20");
+        assert!(!out.contains("slo watchdog"), "{out}");
+        assert!(cli.exec("chaos run --slo-drop-ppm x").starts_with("bad threshold"));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! channel (Table 1).
 
 use crate::resman::ResourceManager;
-use crate::telemetry::{FaultStats, LifecycleSpan, ParallelStats, ResourceGauges, TelemetryReport};
+use crate::telemetry::{
+    FaultStats, LifecycleSpan, ParallelStats, ProgramUsage, ResourceGauges, SeriesRing, SloStatus,
+    SloThresholds, TelemetryReport, SCHEMA_VERSION,
+};
 use p4rp_compiler::alloc::{allocate, AllocConfig, AllocView, Allocation};
 use p4rp_compiler::consistency::{plan_install, plan_remove, InstalledHandles};
 use p4rp_compiler::entrygen::{generate_cached, EntryGenCache, ProgramImage};
@@ -26,9 +29,9 @@ use rmt_sim::fault::FaultPlan;
 use rmt_sim::parallel::WorkerPool;
 use rmt_sim::switch::{ControlOp, OpResult, ProcessOutcome, Switch, SwitchConfig, TableRef};
 use rmt_sim::table::{EntryHandle, TableEntry};
-use rmt_sim::telemetry::MetricsRecorder;
-use rmt_sim::trace::{LifecycleKind, TraceBuffer, TraceConfig, TraceStats};
-use std::collections::HashMap;
+use rmt_sim::telemetry::{MetricsRecorder, ProgramMetrics};
+use rmt_sim::trace::{LifecycleKind, SloKind, TraceBuffer, TraceConfig, TraceStats};
+use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
 /// How many times a transient channel fault (timeout, drop) is retried
@@ -256,6 +259,39 @@ pub struct Controller {
     /// ([`Controller::enable_workers`]). `None` keeps the sequential
     /// engine on a branch-not-taken.
     workers: Option<WorkerPool>,
+    /// Windowed time series over the merged dataplane counters; fed on
+    /// epoch bumps and explicit [`Controller::tick_series`] calls.
+    series: Option<SeriesRing>,
+    /// The armed SLO watchdog ([`Controller::arm_watchdog`]).
+    watchdog: Option<Watchdog>,
+}
+
+/// The armed SLO watchdog: thresholds plus per-kind breach latches, so a
+/// breach that persists across checks emits exactly one `SloViolation`
+/// trace event per non-breach → breach transition.
+#[derive(Debug, Clone, Default)]
+struct Watchdog {
+    thresholds: SloThresholds,
+    /// Latched breach state, indexed drop-rate / deploy-failure / p99.
+    breached: [bool; 3],
+    violations: u64,
+}
+
+impl Watchdog {
+    fn status(&self) -> SloStatus {
+        let names = ["drop_rate", "deploy_failure", "p99_latency"];
+        SloStatus {
+            thresholds: self.thresholds.clone(),
+            violations: self.violations,
+            breached: self
+                .breached
+                .iter()
+                .zip(names)
+                .filter(|(b, _)| **b)
+                .map(|(_, n)| n.to_string())
+                .collect(),
+        }
+    }
 }
 
 impl Controller {
@@ -283,6 +319,8 @@ impl Controller {
             fault_stats: FaultStats::default(),
             needs_reconcile: false,
             workers: None,
+            series: None,
+            watchdog: None,
         })
     }
 
@@ -414,6 +452,145 @@ impl Controller {
         self.switch.enable_telemetry().epoch = epoch;
     }
 
+    /// Turn on per-program attribution: packet-side events accumulate
+    /// into per-program slots keyed by the `p4rp.prog_id` PHV field the
+    /// initialization filter's `set_prog` action writes (slot 0 catches
+    /// everything observed before the filter binds — stage-0 lookups,
+    /// unmatched packets). Implies [`Controller::enable_telemetry`].
+    /// Workers forked afterwards inherit the attribution field; enabling
+    /// after `enable_workers` upgrades the live pool too.
+    pub fn enable_attribution(&mut self) {
+        self.enable_telemetry();
+        let f = self.dp.fields.prog_id;
+        self.switch.set_attribution_field(f);
+        if let Some(pool) = &mut self.workers {
+            for w in pool.workers_mut() {
+                w.switch_mut().set_attribution_field(f);
+            }
+        }
+    }
+
+    /// Is per-program attribution on?
+    pub fn attribution_enabled(&self) -> bool {
+        self.switch.telemetry().is_some_and(|m| m.is_attributing())
+    }
+
+    /// Turn on windowed time-series collection retaining the most recent
+    /// `capacity` points. Buckets are cut on every epoch bump and every
+    /// explicit [`Controller::tick_series`] call (event-driven — the
+    /// simulator has no background clock). No-op if already on.
+    pub fn enable_series(&mut self, capacity: usize) {
+        if self.series.is_none() {
+            self.series = Some(SeriesRing::new(capacity));
+        }
+    }
+
+    /// Cut one series bucket at the channel clock's current instant.
+    /// Replay drivers call this at tick boundaries; `bump_epoch` calls it
+    /// on every lifecycle event. No-op when series collection is off.
+    pub fn tick_series(&mut self) {
+        if self.series.is_none() {
+            return;
+        }
+        let dp = self.merged_dataplane();
+        let p99 = self.channel.write_latency.quantile(0.99).unwrap_or(0);
+        let t_ns = self.channel.clock.now().0;
+        let epoch = self.epoch;
+        if let Some(s) = &mut self.series {
+            s.sample(t_ns, epoch, dp.as_ref(), p99);
+        }
+    }
+
+    /// The collected time series, if enabled.
+    pub fn series(&self) -> Option<&SeriesRing> {
+        self.series.as_ref()
+    }
+
+    /// Arm (or re-arm) the SLO watchdog. Re-arming resets the breach
+    /// latches and the violation count.
+    pub fn arm_watchdog(&mut self, thresholds: SloThresholds) {
+        self.watchdog = Some(Watchdog { thresholds, ..Watchdog::default() });
+    }
+
+    /// Disarm the watchdog, returning its final status.
+    pub fn disarm_watchdog(&mut self) -> Option<SloStatus> {
+        self.watchdog.take().map(|w| w.status())
+    }
+
+    /// Watchdog state, `None` when disarmed.
+    pub fn watchdog_status(&self) -> Option<SloStatus> {
+        self.watchdog.as_ref().map(Watchdog::status)
+    }
+
+    /// Evaluate the armed SLO thresholds against current counters,
+    /// emitting one `SloViolation` trace event per non-breach → breach
+    /// transition (a breach that clears re-arms its latch). Returns the
+    /// number of new violations this check produced; 0 when disarmed.
+    ///
+    /// Every input is a sim-clock / seeded-state quantity — merged TM
+    /// verdicts, fault counters, the simulated write-latency histogram —
+    /// so a chaos replay of the same seed produces bit-identical events
+    /// (see `docs/CHAOS.md`).
+    pub fn slo_check(&mut self) -> u64 {
+        let Some(w) = self.watchdog.as_ref() else { return 0 };
+        let t = w.thresholds.clone();
+        // (latch index, kind, attributed program, observed, limit)
+        let mut checks: Vec<(usize, SloKind, u16, u64, u64)> = Vec::new();
+        if let Some(limit) = t.max_drop_ppm {
+            let mut observed = 0u64;
+            let mut prog = 0u16;
+            if let Some(m) = self.merged_dataplane() {
+                let drops = m.tm.dropped.get();
+                let total = drops
+                    + m.tm.forwarded.get()
+                    + m.tm.returned.get()
+                    + m.tm.multicast.get();
+                observed = drops.saturating_mul(1_000_000).checked_div(total).unwrap_or(0);
+                // Attribute the breach to the heaviest dropper (ties →
+                // lowest id; 0 when attribution is off).
+                if let Some(pp) = &m.per_prog {
+                    let mut best = 0u64;
+                    for (id, slot) in pp.iter().enumerate() {
+                        let d = slot.drops.get();
+                        if d > best {
+                            best = d;
+                            prog = id as u16;
+                        }
+                    }
+                }
+            }
+            checks.push((0, SloKind::DropRate, prog, observed, limit));
+        }
+        if let Some(limit) = t.max_deploy_failures {
+            checks.push((1, SloKind::DeployFailure, 0, self.fault_stats().deploy_faults, limit));
+        }
+        if let Some(limit) = t.max_p99_write_ns {
+            let observed = self.channel.write_latency.quantile(0.99).unwrap_or(0);
+            checks.push((2, SloKind::P99Latency, 0, observed, limit));
+        }
+        let now = self.channel.clock.now();
+        let w = self.watchdog.as_mut().expect("armed above");
+        let mut emit: Vec<(SloKind, u16, u64, u64)> = Vec::new();
+        for (idx, kind, prog, observed, limit) in checks {
+            let breach = observed > limit;
+            if breach && !w.breached[idx] {
+                w.violations += 1;
+                emit.push((kind, prog, observed, limit));
+            }
+            w.breached[idx] = breach;
+        }
+        let fresh = emit.len() as u64;
+        if !emit.is_empty() {
+            if let Some(tr) = self.switch.trace_mut() {
+                tr.set_now(now);
+                for (kind, prog, observed, limit) in emit {
+                    tr.slo_violation(kind, prog, observed, limit);
+                }
+            }
+        }
+        fresh
+    }
+
     /// Current telemetry epoch (number of lifecycle events so far).
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -458,16 +635,19 @@ impl Controller {
     /// Snapshot the full telemetry report: spans + gauges + control-channel
     /// latency + (when enabled) the data plane's packet-side counters.
     pub fn telemetry_report(&self) -> TelemetryReport {
+        // With the parallel engine on, packet-side counters are the
+        // master's merged with every worker's — the report reads the
+        // same whatever the worker count.
+        let dataplane = self.merged_dataplane();
+        let programs = self.program_usage(dataplane.as_ref());
         TelemetryReport {
+            schema_version: SCHEMA_VERSION,
             epoch: self.epoch,
             programs_deployed: self.programs.len() as u64,
             spans: self.spans.clone(),
             resources: ResourceGauges::collect(&self.resman),
             control_write_latency: self.channel.write_latency.clone(),
-            // With the parallel engine on, packet-side counters are the
-            // master's merged with every worker's — the report reads the
-            // same whatever the worker count.
-            dataplane: self.merged_dataplane(),
+            dataplane,
             trace: self.switch.trace_stats(),
             faults: self.fault_stats(),
             parallel: self.workers.as_ref().map(|pool| ParallelStats {
@@ -475,7 +655,66 @@ impl Controller {
                 snapshot_generation: self.channel.snapshot_generation(),
                 per_worker: pool.stats(),
             }),
+            programs,
+            slo: self.watchdog.as_ref().map(Watchdog::status),
+            series: self.series.clone(),
         }
+    }
+
+    /// Per-program usage rows: control-side residency (entries, memory)
+    /// joined with the merged attributed packet counters. Row order is
+    /// deterministic (ascending program id, the synthetic slot 0 first).
+    /// Empty when attribution is off.
+    fn program_usage(&self, dp: Option<&MetricsRecorder>) -> Vec<ProgramUsage> {
+        let Some(pp) = dp.and_then(|m| m.per_prog.as_deref()) else {
+            return Vec::new();
+        };
+        let mut resident: BTreeMap<u64, (&str, u64, u64)> = BTreeMap::new();
+        for (name, p) in &self.programs {
+            let mem: u64 = p.image.mem_regions.iter().map(|r| u64::from(r.size)).sum();
+            resident.insert(
+                u64::from(p.image.prog_id),
+                (name.as_str(), p.image.entry_count() as u64, mem),
+            );
+        }
+        let total_res: u64 = resident.values().map(|(_, e, m)| e + m).sum();
+        let max_resident = resident.keys().next_back().map_or(0, |id| *id as usize + 1);
+        let slots = pp.len().max(max_resident).max(1);
+        let empty = ProgramMetrics::default();
+        let mut rows = Vec::new();
+        for id in 0..slots {
+            let m = pp.get(id).unwrap_or(&empty);
+            let (name, entries, memory) = match resident.get(&(id as u64)) {
+                Some((n, e, mm)) => ((*n).to_string(), *e, *mm),
+                None if id == 0 => ("(unattributed)".to_string(), 0, 0),
+                None => {
+                    // A revoked program's slot: keep the row only if it
+                    // actually observed traffic.
+                    if m.packets.get() + m.forwarded.get() + m.drops.get() + m.hits() == 0 {
+                        continue;
+                    }
+                    ("(retired)".to_string(), 0, 0)
+                }
+            };
+            rows.push(ProgramUsage {
+                name,
+                prog_id: id as u64,
+                packets: m.packets.get(),
+                forwarded: m.forwarded.get(),
+                drops: m.drops.get(),
+                recirc_passes: m.recirc_passes.get(),
+                hits: m.hits(),
+                salu_rmws: m.salu_rmws(),
+                entries,
+                memory,
+                resource_share: if total_res == 0 {
+                    0.0
+                } else {
+                    (entries + memory) as f64 / total_res as f64
+                },
+            });
+        }
+        rows
     }
 
     /// A lifecycle event is about to mutate the data plane: open a new
@@ -494,6 +733,10 @@ impl Controller {
             t.set_now(now);
             t.note_epoch(epoch);
         }
+        // Every lifecycle boundary cuts a time-series bucket and runs an
+        // SLO check — both no-ops when the feature is off.
+        self.tick_series();
+        self.slo_check();
         epoch
     }
 

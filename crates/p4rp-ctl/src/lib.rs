@@ -14,6 +14,7 @@
 pub mod chaos;
 pub mod cli;
 pub mod controller;
+pub mod metrics;
 pub mod resman;
 pub mod telemetry;
 
@@ -23,5 +24,9 @@ pub use controller::{
     AuditReport, Controller, CtlError, CtlResult, DeployReport, InstalledProgram, ReconcileReport,
     RevokeReport,
 };
+pub use metrics::{parse_prometheus, render_prometheus, render_top, serve_once, Sample};
 pub use resman::ResourceManager;
-pub use telemetry::{FaultStats, LifecycleSpan, ResourceGauges, TelemetryReport};
+pub use telemetry::{
+    FaultStats, LifecycleSpan, ProgramUsage, ResourceGauges, SeriesPoint, SeriesRing, SloStatus,
+    SloThresholds, TelemetryReport, SCHEMA_VERSION,
+};

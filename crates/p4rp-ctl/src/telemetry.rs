@@ -18,6 +18,15 @@ use p4rp_dataplane::{INIT_TABLE_SIZE, RECIRC_TABLE_SIZE};
 use rmt_sim::parallel::WorkerStats;
 use rmt_sim::telemetry::{Histogram, MetricsRecorder};
 use rmt_sim::trace::TraceStats;
+use std::collections::BTreeMap;
+
+/// Version of the `status --json` document. Bump on any field addition,
+/// removal, or rename, and keep `docs/TELEMETRY.md`'s schema section in
+/// step. Version 1 retroactively names the document as it stood before
+/// explicit versioning; version 2 added `schema_version` itself plus the
+/// per-program (`programs`), SLO (`slo`), and time-series (`series`)
+/// sections.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One program lifecycle event as the controller executed it.
 ///
@@ -223,11 +232,267 @@ serde::impl_serde_struct!(ParallelStats {
     per_worker,
 });
 
+/// One resident program's resource footprint joined with its attributed
+/// packet-side counters — the row type behind `p4rp top` and the
+/// `programs` section of `status --json`.
+///
+/// Slot `prog_id == 0` is the synthetic `(unattributed)` program: packet
+/// events observed before the initialization filter binds a program id
+/// (stage-0 filter lookups, packets matching no resident program). Its
+/// `entries`/`memory`/`resource_share` are always zero.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramUsage {
+    /// Program name (`"(unattributed)"` for slot 0).
+    pub name: String,
+    /// Program identifier carried in recirculation headers.
+    pub prog_id: u64,
+    /// Packets attributed to this program (attribution at packet end).
+    pub packets: u64,
+    /// TM forward/return/multicast verdicts attributed to this program.
+    pub forwarded: u64,
+    /// TM drop verdicts attributed to this program.
+    pub drops: u64,
+    /// Recirculation passes attributed to this program.
+    pub recirc_passes: u64,
+    /// Match-table hits (ingress + egress) attributed to this program.
+    pub hits: u64,
+    /// Stateful-ALU read-modify-writes attributed to this program.
+    pub salu_rmws: u64,
+    /// Table entries this program holds (control-side residency).
+    pub entries: u64,
+    /// Register-memory buckets this program holds.
+    pub memory: u64,
+    /// This program's fraction of all program-held entries + buckets,
+    /// in `[0, 1]`; zero when nothing is allocated.
+    pub resource_share: f64,
+}
+
+serde::impl_serde_struct!(ProgramUsage {
+    name,
+    prog_id,
+    packets,
+    forwarded,
+    drops,
+    recirc_passes,
+    hits,
+    salu_rmws,
+    entries,
+    memory,
+    resource_share,
+});
+
+impl ProgramUsage {
+    /// One human-readable row (the `p4rp top` / `status --metrics`
+    /// rendering).
+    pub fn render(&self) -> String {
+        format!(
+            "{:<16} id {:<3} pkts {:<8} fwd {:<8} drop {:<6} recirc {:<6} \
+             hits {:<8} salu {:<6} entries {:<4} mem {:<5} share {:.1}%",
+            self.name,
+            self.prog_id,
+            self.packets,
+            self.forwarded,
+            self.drops,
+            self.recirc_passes,
+            self.hits,
+            self.salu_rmws,
+            self.entries,
+            self.memory,
+            self.resource_share * 100.0
+        )
+    }
+}
+
+/// SLO watchdog thresholds. Each limit is optional; the watchdog is
+/// *armed* when at least one is set. Rates use integer parts-per-million
+/// and latencies integer nanoseconds so evaluation is bit-exact across
+/// replays of the same seed (see `docs/CHAOS.md`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SloThresholds {
+    /// Maximum TM drop rate in parts-per-million of terminal verdicts.
+    pub max_drop_ppm: Option<u64>,
+    /// Maximum faulted deploys (`FaultStats::deploy_faults`).
+    pub max_deploy_failures: Option<u64>,
+    /// Maximum p99 control-channel write latency in nanoseconds.
+    pub max_p99_write_ns: Option<u64>,
+}
+
+serde::impl_serde_struct!(SloThresholds {
+    max_drop_ppm,
+    max_deploy_failures,
+    max_p99_write_ns,
+});
+
+impl SloThresholds {
+    /// True when at least one limit is set.
+    pub fn is_armed(&self) -> bool {
+        self.max_drop_ppm.is_some()
+            || self.max_deploy_failures.is_some()
+            || self.max_p99_write_ns.is_some()
+    }
+}
+
+/// Watchdog state as reported by `status --json` / `watchdog status`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SloStatus {
+    /// The armed thresholds.
+    pub thresholds: SloThresholds,
+    /// Total `SloViolation` trace events emitted (breach *transitions*,
+    /// not checks: a breach that persists across checks counts once until
+    /// it clears).
+    pub violations: u64,
+    /// SLO kinds currently in breach (`"drop_rate"`,
+    /// `"deploy_failure"`, `"p99_latency"`), stable order.
+    pub breached: Vec<String>,
+}
+
+serde::impl_serde_struct!(SloStatus {
+    thresholds,
+    violations,
+    breached,
+});
+
+/// One bucket of the telemetry time series: counter *deltas* since the
+/// previous point plus latency snapshots, cut at a sim-clock instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Sim-clock timestamp of the cut (nanoseconds).
+    pub t_ns: u64,
+    /// Telemetry epoch active at the cut.
+    pub epoch: u64,
+    /// TM forwarded-verdict delta since the previous point.
+    pub forwarded: u64,
+    /// TM drop-verdict delta since the previous point.
+    pub drops: u64,
+    /// TM recirculation-verdict delta since the previous point.
+    pub recirc: u64,
+    /// p99 control-channel write latency at the cut (snapshot, ns; 0
+    /// when no writes have been observed).
+    pub ctl_write_p99_ns: u64,
+    /// Per-program packet deltas, keyed by decimal program id. Only
+    /// programs with a nonzero delta appear; empty when attribution is
+    /// off.
+    pub per_prog_packets: BTreeMap<String, u64>,
+}
+
+serde::impl_serde_struct!(SeriesPoint {
+    t_ns,
+    epoch,
+    forwarded,
+    drops,
+    recirc,
+    ctl_write_p99_ns,
+    per_prog_packets,
+});
+
+/// Fixed-capacity windowed time series over the merged dataplane
+/// counters. Fed on epoch bumps and replay ticks (event-driven — the
+/// simulator has no background clock); keeps the most recent
+/// `capacity` points and evicts the oldest beyond that. The `last_*`
+/// fields are the internal cumulative cursor the deltas are computed
+/// against; they serialize so a report round-trips losslessly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesRing {
+    /// Maximum retained points.
+    pub capacity: u64,
+    /// Points evicted so far (total samples = `evicted + points.len()`).
+    pub evicted: u64,
+    /// Retained points, oldest first.
+    pub points: Vec<SeriesPoint>,
+    /// Cumulative-counter cursor: TM forwarded at the last cut.
+    pub last_forwarded: u64,
+    /// Cumulative-counter cursor: TM drops at the last cut.
+    pub last_drops: u64,
+    /// Cumulative-counter cursor: TM recirculations at the last cut.
+    pub last_recirc: u64,
+    /// Cumulative-counter cursor: per-program packets at the last cut,
+    /// indexed by program id.
+    pub last_per_prog: Vec<u64>,
+}
+
+serde::impl_serde_struct!(SeriesRing {
+    capacity,
+    evicted,
+    points,
+    last_forwarded,
+    last_drops,
+    last_recirc,
+    last_per_prog,
+});
+
+impl SeriesRing {
+    /// An empty ring retaining at most `capacity` points (min 1).
+    pub fn new(capacity: usize) -> SeriesRing {
+        SeriesRing {
+            capacity: capacity.max(1) as u64,
+            evicted: 0,
+            points: Vec::new(),
+            last_forwarded: 0,
+            last_drops: 0,
+            last_recirc: 0,
+            last_per_prog: Vec::new(),
+        }
+    }
+
+    /// Cut one bucket at sim-time `t_ns`: push the counter deltas since
+    /// the previous cut (computed against the internal cumulative
+    /// cursor) and the current p99 write latency, evicting the oldest
+    /// point if the ring is full. A cut with no traffic still records a
+    /// point — gaps in the series are real idle windows.
+    pub fn sample(
+        &mut self,
+        t_ns: u64,
+        epoch: u64,
+        dp: Option<&MetricsRecorder>,
+        ctl_write_p99_ns: u64,
+    ) {
+        let (fwd, drops, recirc) = match dp {
+            Some(m) => (
+                m.tm.forwarded.get() + m.tm.returned.get() + m.tm.multicast.get(),
+                m.tm.dropped.get(),
+                m.tm.recirculated.get(),
+            ),
+            None => (self.last_forwarded, self.last_drops, self.last_recirc),
+        };
+        let mut per_prog_packets = BTreeMap::new();
+        if let Some(pp) = dp.and_then(|m| m.per_prog.as_ref()) {
+            if self.last_per_prog.len() < pp.len() {
+                self.last_per_prog.resize(pp.len(), 0);
+            }
+            for (id, (slot, last)) in pp.iter().zip(self.last_per_prog.iter_mut()).enumerate() {
+                let now = slot.packets.get();
+                if now > *last {
+                    per_prog_packets.insert(id.to_string(), now - *last);
+                }
+                *last = now;
+            }
+        }
+        self.points.push(SeriesPoint {
+            t_ns,
+            epoch,
+            forwarded: fwd.saturating_sub(self.last_forwarded),
+            drops: drops.saturating_sub(self.last_drops),
+            recirc: recirc.saturating_sub(self.last_recirc),
+            ctl_write_p99_ns,
+            per_prog_packets,
+        });
+        self.last_forwarded = fwd;
+        self.last_drops = drops;
+        self.last_recirc = recirc;
+        while self.points.len() as u64 > self.capacity {
+            self.points.remove(0);
+            self.evicted += 1;
+        }
+    }
+}
+
 /// The single JSON document `status --metrics` is built from: control
 /// spans + resource gauges + control-channel write latency + (when
 /// enabled) the data plane's packet-side counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TelemetryReport {
+    /// Document version ([`SCHEMA_VERSION`]); see `docs/TELEMETRY.md`.
+    pub schema_version: u64,
     /// Current telemetry epoch (number of lifecycle events so far).
     pub epoch: u64,
     /// Programs currently deployed.
@@ -247,9 +512,17 @@ pub struct TelemetryReport {
     pub faults: FaultStats,
     /// Multi-worker engine status; `None` when running sequentially.
     pub parallel: Option<ParallelStats>,
+    /// Per-program usage rows, one per resident program plus the
+    /// synthetic `(unattributed)` slot 0; empty when attribution is off.
+    pub programs: Vec<ProgramUsage>,
+    /// SLO watchdog state; `None` when the watchdog is disarmed.
+    pub slo: Option<SloStatus>,
+    /// Windowed time series; `None` when series collection is off.
+    pub series: Option<SeriesRing>,
 }
 
 serde::impl_serde_struct!(TelemetryReport {
+    schema_version,
     epoch,
     programs_deployed,
     spans,
@@ -259,6 +532,9 @@ serde::impl_serde_struct!(TelemetryReport {
     trace,
     faults,
     parallel,
+    programs,
+    slo,
+    series,
 });
 
 impl TelemetryReport {
@@ -369,6 +645,48 @@ impl TelemetryReport {
                 }
             }
         }
+        if !self.programs.is_empty() {
+            out.push_str("per-program:\n");
+            for p in &self.programs {
+                out.push_str("  ");
+                out.push_str(&p.render());
+                out.push('\n');
+            }
+        }
+        match &self.slo {
+            None => out.push_str("slo watchdog: disarmed\n"),
+            Some(slo) => {
+                let t = &slo.thresholds;
+                let mut limits = Vec::new();
+                if let Some(v) = t.max_drop_ppm {
+                    limits.push(format!("drop ≤ {v} ppm"));
+                }
+                if let Some(v) = t.max_deploy_failures {
+                    limits.push(format!("deploy faults ≤ {v}"));
+                }
+                if let Some(v) = t.max_p99_write_ns {
+                    limits.push(format!("write p99 ≤ {v} ns"));
+                }
+                out.push_str(&format!(
+                    "slo watchdog: armed ({}) | {} violation(s){}\n",
+                    limits.join(", "),
+                    slo.violations,
+                    if slo.breached.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" | in breach: {}", slo.breached.join(", "))
+                    }
+                ));
+            }
+        }
+        if let Some(s) = &self.series {
+            out.push_str(&format!(
+                "series: {} point(s) retained (capacity {}, {} evicted)\n",
+                s.points.len(),
+                s.capacity,
+                s.evicted
+            ));
+        }
         if let Some(p) = &self.parallel {
             out.push_str(&format!(
                 "parallel engine: {} workers | snapshot generation {}\n",
@@ -423,7 +741,10 @@ mod tests {
         let mut h = Histogram::exponential(10_000, 2, 12);
         h.observe(330_000);
         h.observe(25_000);
+        let mut ring = SeriesRing::new(4);
+        ring.sample(1_000, 1, None, 25_000);
         let report = TelemetryReport {
+            schema_version: SCHEMA_VERSION,
             epoch: 2,
             programs_deployed: 0,
             spans: vec![span(0, "deploy"), span(1, "revoke")],
@@ -465,12 +786,42 @@ mod tests {
                     WorkerStats { worker: 1, packets: 7, ..WorkerStats::default() },
                 ],
             }),
+            programs: vec![ProgramUsage {
+                name: "cache".into(),
+                prog_id: 1,
+                packets: 17,
+                forwarded: 15,
+                drops: 2,
+                recirc_passes: 3,
+                hits: 34,
+                salu_rmws: 5,
+                entries: 9,
+                memory: 1024,
+                resource_share: 1.0,
+            }],
+            slo: Some(SloStatus {
+                thresholds: SloThresholds {
+                    max_drop_ppm: Some(100_000),
+                    max_deploy_failures: None,
+                    max_p99_write_ns: Some(500_000),
+                },
+                violations: 1,
+                breached: vec!["drop_rate".into()],
+            }),
+            series: Some(ring),
         };
         let text = report.to_json();
         let back = TelemetryReport::from_json(&text).unwrap();
         assert_eq!(back, report);
-        // And with dataplane telemetry / the parallel engine disabled.
-        let disabled = TelemetryReport { dataplane: None, parallel: None, ..report };
+        // And with the optional sections disabled.
+        let disabled = TelemetryReport {
+            dataplane: None,
+            parallel: None,
+            slo: None,
+            series: None,
+            programs: Vec::new(),
+            ..report
+        };
         let back = TelemetryReport::from_json(&disabled.to_json()).unwrap();
         assert_eq!(back, disabled);
     }
@@ -478,6 +829,7 @@ mod tests {
     #[test]
     fn summary_renders_every_section() {
         let report = TelemetryReport {
+            schema_version: SCHEMA_VERSION,
             epoch: 2,
             programs_deployed: 1,
             spans: vec![span(0, "deploy")],
@@ -487,6 +839,9 @@ mod tests {
             trace: TraceStats::disabled(),
             faults: FaultStats::default(),
             parallel: None,
+            programs: Vec::new(),
+            slo: None,
+            series: None,
         };
         let s = report.summary();
         assert!(s.contains("telemetry epoch 2"), "{s}");
@@ -496,6 +851,84 @@ mod tests {
         assert!(s.contains("faults: none"), "{s}");
         assert!(s.contains("flight recorder: disabled"), "{s}");
         assert!(s.contains("dataplane telemetry: disabled"), "{s}");
+        assert!(s.contains("slo watchdog: disarmed"), "{s}");
+    }
+
+    #[test]
+    fn summary_renders_program_slo_and_series_sections() {
+        let mut ring = SeriesRing::new(2);
+        ring.sample(1_000, 1, None, 0);
+        ring.sample(2_000, 1, None, 0);
+        ring.sample(3_000, 2, None, 0);
+        let report = TelemetryReport {
+            schema_version: SCHEMA_VERSION,
+            epoch: 2,
+            programs_deployed: 1,
+            spans: Vec::new(),
+            resources: ResourceGauges::collect(&ResourceManager::new()),
+            control_write_latency: Histogram::exponential(10_000, 2, 12),
+            dataplane: None,
+            trace: TraceStats::disabled(),
+            faults: FaultStats::default(),
+            parallel: None,
+            programs: vec![ProgramUsage {
+                name: "heavyhitter".into(),
+                prog_id: 2,
+                packets: 420,
+                drops: 7,
+                resource_share: 0.375,
+                ..ProgramUsage::default()
+            }],
+            slo: Some(SloStatus {
+                thresholds: SloThresholds {
+                    max_drop_ppm: Some(1_000),
+                    max_deploy_failures: Some(2),
+                    max_p99_write_ns: None,
+                },
+                violations: 3,
+                breached: vec!["drop_rate".into()],
+            }),
+            series: Some(ring),
+        };
+        let s = report.summary();
+        assert!(s.contains("per-program:"), "{s}");
+        assert!(s.contains("heavyhitter"), "{s}");
+        assert!(s.contains("share 37.5%"), "{s}");
+        assert!(s.contains("slo watchdog: armed"), "{s}");
+        assert!(s.contains("drop ≤ 1000 ppm"), "{s}");
+        assert!(s.contains("3 violation(s)"), "{s}");
+        assert!(s.contains("in breach: drop_rate"), "{s}");
+        assert!(s.contains("series: 2 point(s) retained (capacity 2, 1 evicted)"), "{s}");
+    }
+
+    #[test]
+    fn series_ring_buckets_deltas_and_evicts_oldest() {
+        let mut dp = MetricsRecorder::new();
+        dp.enable_attribution();
+        let mut ring = SeriesRing::new(2);
+        dp.tm.forwarded.add(10);
+        dp.tm.dropped.add(1);
+        dp.prog_metrics_mut(1).unwrap().packets.add(4);
+        ring.sample(1_000, 1, Some(&dp), 111);
+        dp.tm.forwarded.add(5);
+        dp.tm.recirculated.add(2);
+        dp.prog_metrics_mut(1).unwrap().packets.add(1);
+        dp.prog_metrics_mut(2).unwrap().packets.add(6);
+        ring.sample(2_000, 1, Some(&dp), 222);
+        // Idle cut: still records a (zero-delta) point and evicts the
+        // oldest because capacity is 2.
+        ring.sample(3_000, 2, Some(&dp), 222);
+        assert_eq!(ring.points.len(), 2);
+        assert_eq!(ring.evicted, 1);
+        let p = &ring.points[0];
+        assert_eq!((p.t_ns, p.forwarded, p.drops, p.recirc), (2_000, 5, 0, 2));
+        assert_eq!(p.ctl_write_p99_ns, 222);
+        assert_eq!(p.per_prog_packets.get("1"), Some(&1));
+        assert_eq!(p.per_prog_packets.get("2"), Some(&6));
+        let idle = &ring.points[1];
+        assert_eq!((idle.forwarded, idle.drops, idle.recirc), (0, 0, 0));
+        assert!(idle.per_prog_packets.is_empty());
+        assert_eq!(idle.epoch, 2);
     }
 
     #[test]
@@ -507,6 +940,7 @@ mod tests {
         let row = sp.render();
         assert!(row.contains("1 fault(s), 2 retries, 5 undo ops"), "{row}");
         let report = TelemetryReport {
+            schema_version: SCHEMA_VERSION,
             epoch: 1,
             programs_deployed: 0,
             spans: vec![sp],
@@ -520,6 +954,9 @@ mod tests {
                 snapshot_generation: 3,
                 per_worker: vec![WorkerStats::default()],
             }),
+            programs: Vec::new(),
+            slo: None,
+            series: None,
         };
         let s = report.summary();
         assert!(s.contains("4 injected"), "{s}");

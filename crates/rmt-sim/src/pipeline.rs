@@ -10,7 +10,7 @@
 
 use crate::action::ActionScratch;
 use crate::error::{SimError, SimResult};
-use crate::phv::{FieldTable, Phv};
+use crate::phv::{FieldId, FieldTable, Phv};
 use crate::salu::RegArray;
 use crate::table::Table;
 use crate::telemetry::{NopRecorder, Recorder};
@@ -155,6 +155,25 @@ impl Stage {
         phv: &mut Phv,
         rec: &mut dyn Recorder,
     ) -> SimResult<()> {
+        self.execute_attributed(ft, phv, rec, None)
+    }
+
+    /// [`Stage::execute_with`] with per-program attribution: when `attr`
+    /// names the PHV field carrying the owning program id, the recorder's
+    /// program context is refreshed from the PHV before this stage's
+    /// events fire — so events after the filter table's binding action
+    /// land on the owning program's slot, and events before it land on
+    /// slot 0 (see `telemetry::ProgramMetrics`).
+    pub fn execute_attributed(
+        &mut self,
+        ft: &FieldTable,
+        phv: &mut Phv,
+        rec: &mut dyn Recorder,
+        attr: Option<FieldId>,
+    ) -> SimResult<()> {
+        if let Some(f) = attr {
+            rec.prog_ctx(phv.get(f) as u16);
+        }
         let Stage { gress, index, tables, arrays, scratch, .. } = self;
         let (gress, index) = (*gress, *index);
         for table in tables.iter_mut() {
@@ -231,8 +250,21 @@ impl Pipeline {
         phv: &mut Phv,
         rec: &mut dyn Recorder,
     ) -> SimResult<()> {
+        self.process_attributed(ft, phv, rec, None)
+    }
+
+    /// [`Pipeline::process_with`] with per-program attribution (see
+    /// [`Stage::execute_attributed`]). `attr = None` is the plain path —
+    /// one branch per stage, nothing else.
+    pub fn process_attributed(
+        &mut self,
+        ft: &FieldTable,
+        phv: &mut Phv,
+        rec: &mut dyn Recorder,
+        attr: Option<FieldId>,
+    ) -> SimResult<()> {
         for stage in &mut self.stages {
-            stage.execute_with(ft, phv, rec)?;
+            stage.execute_attributed(ft, phv, rec, attr)?;
         }
         Ok(())
     }

@@ -192,6 +192,10 @@ pub struct Switch {
     /// Telemetry storage; `None` (the default) keeps the data path on the
     /// no-op recorder.
     telemetry: Option<MetricsRecorder>,
+    /// PHV field carrying the owning program id (`p4rp.prog_id`), set by
+    /// the control plane when per-program attribution is wanted. `None`
+    /// (the default) keeps attribution entirely off the packet path.
+    attr_field: Option<FieldId>,
     /// Flight recorder; `None` (the default) records nothing. Boxed so the
     /// disabled switch stays small and clones stay cheap.
     trace: Option<Box<TraceBuffer>>,
@@ -235,6 +239,7 @@ impl Switch {
             drops: 0,
             recirc_passes: 0,
             telemetry: None,
+            attr_field: None,
             trace: None,
             next_packet_id: 0,
             scratch_phv,
@@ -244,9 +249,43 @@ impl Switch {
     }
 
     /// Turn telemetry on (idempotent); subsequent frames record into the
-    /// returned [`MetricsRecorder`].
+    /// returned [`MetricsRecorder`]. If an attribution field was already
+    /// configured, the recorder comes up attributing.
     pub fn enable_telemetry(&mut self) -> &mut MetricsRecorder {
-        self.telemetry.get_or_insert_with(MetricsRecorder::new)
+        let attributing = self.attr_field.is_some();
+        let m = self.telemetry.get_or_insert_with(MetricsRecorder::new);
+        if attributing {
+            m.enable_attribution();
+        }
+        m
+    }
+
+    /// Attribute per-stage telemetry to the program id carried in PHV
+    /// field `f` (`p4rp.prog_id`). Takes effect immediately when
+    /// telemetry is on, and persists across [`Switch::enable_telemetry`]
+    /// / [`Switch::fork_worker`]. Attribution costs one PHV read plus a
+    /// recorder call per stage per pass — only when both telemetry and
+    /// this field are set; otherwise the packet path keeps its
+    /// branch-on-None.
+    pub fn set_attribution_field(&mut self, f: FieldId) {
+        self.attr_field = Some(f);
+        if let Some(m) = &mut self.telemetry {
+            m.enable_attribution();
+        }
+    }
+
+    /// The configured attribution field, if any.
+    pub fn attribution_field(&self) -> Option<FieldId> {
+        self.attr_field
+    }
+
+    /// Disarm attribution without touching telemetry: the recorder keeps
+    /// its accumulated per-program slots (a future
+    /// [`Switch::set_attribution_field`] resumes into them), but new
+    /// frames stop reading the PHV field and the stage path reverts to
+    /// branch-on-None.
+    pub fn clear_attribution_field(&mut self) {
+        self.attr_field = None;
     }
 
     /// Turn telemetry off, returning the accumulated metrics if any.
@@ -567,8 +606,12 @@ impl Switch {
         w.recirc_passes = 0;
         if let Some(m) = &mut w.telemetry {
             let epoch = m.epoch;
+            let attributing = m.is_attributing();
             *m = MetricsRecorder::new();
             m.epoch = epoch;
+            if attributing {
+                m.enable_attribution();
+            }
         }
         if let Some(t) = &mut w.trace {
             let mut fresh = TraceBuffer::new(t.config().clone());
@@ -649,6 +692,13 @@ impl Switch {
         // both are on. The borrow covers only `telemetry`/`trace`, so the
         // direct field accesses below (parser, pipelines, counters, …)
         // split-borrow around it.
+        // Per-program attribution: resolve the PHV field to thread through
+        // the pipelines once per frame. `None` (attribution off, or
+        // telemetry off) keeps every stage on the plain path.
+        let attr = match &self.telemetry {
+            Some(m) if m.is_attributing() => self.attr_field,
+            _ => None,
+        };
         let mut nop = NopRecorder;
         let mut tee_storage;
         let rec: &mut dyn Recorder = match (&mut self.telemetry, &mut self.trace) {
@@ -681,8 +731,15 @@ impl Switch {
             phv.set(&self.ft, intr.ingress_port, u64::from(ingress_port));
 
             rec.parser_path(parse.bitmap);
-            self.ingress.process_with(&self.ft, &mut phv, rec)?;
+            self.ingress.process_attributed(&self.ft, &mut phv, rec, attr)?;
             let decision = decide(&self.ft, &phv);
+            // Re-sync the program context before the TM verdict: the
+            // filter table's binding action ran *after* the last stage-top
+            // context refresh, so this is where a fresh binding first
+            // becomes visible to the recorder.
+            if let Some(f) = attr {
+                rec.prog_ctx(phv.get(f) as u16);
+            }
             rec.tm_decision(decision.verdict, decision.report_copy);
             // REPORT copies are punted once, on the packet's final pass
             // (the flag rides the recirculation header between passes).
@@ -704,7 +761,7 @@ impl Switch {
                     // packet still traverses the egress pipeline so that
                     // egress-RPB state updates (e.g. the cache-write
                     // MEMWRITE before a DROP verdict) take effect.
-                    self.egress.process_with(&self.ft, &mut phv, rec)?;
+                    self.egress.process_attributed(&self.ft, &mut phv, rec, attr)?;
                     self.drops += 1;
                     outcome.dropped = true;
                     break;
@@ -715,7 +772,7 @@ impl Switch {
                         outcome.dropped = true;
                         break;
                     }
-                    self.egress.process_with(&self.ft, &mut phv, rec)?;
+                    self.egress.process_attributed(&self.ft, &mut phv, rec, attr)?;
                     self.recirc_passes += 1;
                     // Multi-switch chain: hand the state-headered frame to
                     // the next switch over the wire (the header is *not*
@@ -747,7 +804,7 @@ impl Switch {
                     // clones before the egress pipeline; with identical
                     // egress state the results coincide, so one egress pass
                     // is processed and the frame replicated).
-                    self.egress.process_with(&self.ft, &mut phv, rec)?;
+                    self.egress.process_attributed(&self.ft, &mut phv, rec, attr)?;
                     for f in &self.strip_on_emit {
                         phv.set(&self.ft, *f, 0);
                     }

@@ -270,6 +270,16 @@ impl TmMetrics {
 /// Every method has an empty default body: implementors override only
 /// what they store, and the [`NopRecorder`] overrides nothing.
 pub trait Recorder {
+    /// The program context for subsequent per-stage events: the owning
+    /// program id read out of the PHV (`p4rp.prog_id`, bound by the
+    /// filter table's `set_prog`). 0 means "no program bound yet" — the
+    /// stage-0 filter lookup itself always lands there, because the
+    /// binding action has not executed when the lookup is recorded.
+    /// Only emitted when attribution is enabled on the switch.
+    fn prog_ctx(&mut self, prog: u16) {
+        let _ = prog;
+    }
+
     /// One table lookup finished in `gress` stage `stage`; `hit` is true
     /// for an installed-entry match (default actions count as misses).
     fn table_lookup(&mut self, gress: Gress, stage: usize, hit: bool) {
@@ -341,6 +351,11 @@ pub struct TeeRecorder<'a> {
 }
 
 impl Recorder for TeeRecorder<'_> {
+    fn prog_ctx(&mut self, prog: u16) {
+        self.a.prog_ctx(prog);
+        self.b.prog_ctx(prog);
+    }
+
     fn table_lookup(&mut self, gress: Gress, stage: usize, hit: bool) {
         self.a.table_lookup(gress, stage, hit);
         self.b.table_lookup(gress, stage, hit);
@@ -422,6 +437,65 @@ impl PipelineMetrics {
     }
 }
 
+/// One program's share of the data-plane counters, indexed by the
+/// program id the PHV carried when the event fired (see
+/// [`Recorder::prog_ctx`]). Slot 0 collects the unattributed remainder —
+/// events recorded before the filter table bound a program to the packet
+/// — so summing every slot reproduces the global counters exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramMetrics {
+    /// Packets whose final pass ended under this program.
+    pub packets: Counter,
+    /// TM forward/return/multicast verdicts under this program.
+    pub forwarded: Counter,
+    /// TM drop verdicts under this program.
+    pub drops: Counter,
+    /// TM recirculation verdicts under this program.
+    pub recirc_passes: Counter,
+    /// Per-stage ingress counters attributed to this program.
+    pub ingress: PipelineMetrics,
+    /// Per-stage egress counters attributed to this program.
+    pub egress: PipelineMetrics,
+}
+
+serde::impl_serde_struct!(ProgramMetrics {
+    packets,
+    forwarded,
+    drops,
+    recirc_passes,
+    ingress,
+    egress,
+});
+
+impl ProgramMetrics {
+    fn gress_mut(&mut self, gress: Gress) -> &mut PipelineMetrics {
+        match gress {
+            Gress::Ingress => &mut self.ingress,
+            Gress::Egress => &mut self.egress,
+        }
+    }
+
+    /// Total installed-entry hits across both gresses.
+    pub fn hits(&self) -> u64 {
+        self.ingress.total().hits.get() + self.egress.total().hits.get()
+    }
+
+    /// Total SALU read-modify-writes across both gresses.
+    pub fn salu_rmws(&self) -> u64 {
+        self.ingress.total().salu_reads.get() + self.egress.total().salu_reads.get()
+    }
+
+    /// Fold another program slot's counters in.
+    pub fn merge(&mut self, other: &ProgramMetrics) {
+        self.packets.merge(other.packets);
+        self.forwarded.merge(other.forwarded);
+        self.drops.merge(other.drops);
+        self.recirc_passes.merge(other.recirc_passes);
+        self.ingress.merge(&other.ingress);
+        self.egress.merge(&other.egress);
+    }
+}
+
 /// The storing [`Recorder`]: everything the data plane reports, plus the
 /// control plane's current epoch label.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -439,9 +513,27 @@ pub struct MetricsRecorder {
     pub parser_paths: BTreeMap<String, u64>,
     /// Traffic-manager counters.
     pub tm: TmMetrics,
+    /// Per-program attribution slots, indexed by program id (`None` =
+    /// attribution disabled, the default — every hook then skips the
+    /// per-program bookkeeping behind one branch-on-None). Slot 0 holds
+    /// unattributed events; the vector grows on demand to the highest
+    /// program id observed.
+    pub per_prog: Option<Vec<ProgramMetrics>>,
+    /// The program id the current packet is bound to (transient recorder
+    /// state, reset at `packet_begin`; serialized so snapshots round-trip
+    /// field-for-field).
+    pub cur_prog: u64,
 }
 
-serde::impl_serde_struct!(MetricsRecorder { epoch, ingress, egress, parser_paths, tm });
+serde::impl_serde_struct!(MetricsRecorder {
+    epoch,
+    ingress,
+    egress,
+    parser_paths,
+    tm,
+    per_prog,
+    cur_prog,
+});
 
 impl MetricsRecorder {
     /// Fresh, epoch 0.
@@ -462,11 +554,44 @@ impl MetricsRecorder {
         }
     }
 
+    /// Turn per-program attribution on (idempotent; counters already
+    /// accumulated stay global-only). The switch additionally needs to
+    /// know which PHV field carries the program id — see
+    /// `Switch::set_attribution_field`.
+    pub fn enable_attribution(&mut self) {
+        self.per_prog.get_or_insert_with(Vec::new);
+    }
+
+    /// Whether per-program attribution is on.
+    pub fn is_attributing(&self) -> bool {
+        self.per_prog.is_some()
+    }
+
+    /// The attribution slot for program `prog`, growing the vector on
+    /// demand. `None` when attribution is disabled.
+    pub fn prog_metrics_mut(&mut self, prog: u64) -> Option<&mut ProgramMetrics> {
+        let pp = self.per_prog.as_mut()?;
+        let idx = prog as usize;
+        if idx >= pp.len() {
+            pp.resize(idx + 1, ProgramMetrics::default());
+        }
+        Some(&mut pp[idx])
+    }
+
+    /// The attribution slot for the packet currently in flight.
+    fn cur_slot(&mut self) -> Option<&mut ProgramMetrics> {
+        let prog = self.cur_prog;
+        self.prog_metrics_mut(prog)
+    }
+
     /// Fold another recorder's counters in — the deterministic aggregation
     /// the parallel engine uses to merge per-worker telemetry. Every
     /// counter is additive and parser paths are keyed maps, so the merge
     /// result is independent of worker count and merge order; the epoch
-    /// keeps the later (larger) label.
+    /// keeps the later (larger) label. Attribution enablement merges as a
+    /// union (slot-wise additive when both sides carry slots), and the
+    /// transient `cur_prog` keeps the larger value so the merge stays
+    /// commutative.
     pub fn merge(&mut self, other: &MetricsRecorder) {
         self.epoch = self.epoch.max(other.epoch);
         self.ingress.merge(&other.ingress);
@@ -475,10 +600,29 @@ impl MetricsRecorder {
             *self.parser_paths.entry(k.clone()).or_insert(0) += v;
         }
         self.tm.merge(&other.tm);
+        if let Some(theirs) = &other.per_prog {
+            let pp = self.per_prog.get_or_insert_with(Vec::new);
+            if pp.len() < theirs.len() {
+                pp.resize(theirs.len(), ProgramMetrics::default());
+            }
+            for (slot, o) in pp.iter_mut().zip(theirs) {
+                slot.merge(o);
+            }
+        }
+        self.cur_prog = self.cur_prog.max(other.cur_prog);
     }
 }
 
 impl Recorder for MetricsRecorder {
+    fn prog_ctx(&mut self, prog: u16) {
+        self.cur_prog = u64::from(prog);
+    }
+
+    fn packet_begin(&mut self, _packet: u64, _port: u16, _len: u32) {
+        // A fresh frame starts unbound; the filter table re-binds it.
+        self.cur_prog = 0;
+    }
+
     fn table_lookup(&mut self, gress: Gress, stage: usize, hit: bool) {
         let s = self.gress_mut(gress).stage_mut(stage);
         if hit {
@@ -486,10 +630,21 @@ impl Recorder for MetricsRecorder {
         } else {
             s.misses.incr();
         }
+        if let Some(p) = self.cur_slot() {
+            let s = p.gress_mut(gress).stage_mut(stage);
+            if hit {
+                s.hits.incr();
+            } else {
+                s.misses.incr();
+            }
+        }
     }
 
     fn action_executed(&mut self, gress: Gress, stage: usize) {
         self.gress_mut(gress).stage_mut(stage).actions.incr();
+        if let Some(p) = self.cur_slot() {
+            p.gress_mut(gress).stage_mut(stage).actions.incr();
+        }
     }
 
     fn salu_rmw(&mut self, gress: Gress, stage: usize, wrote: bool) {
@@ -497,6 +652,13 @@ impl Recorder for MetricsRecorder {
         s.salu_reads.incr();
         if wrote {
             s.salu_writes.incr();
+        }
+        if let Some(p) = self.cur_slot() {
+            let s = p.gress_mut(gress).stage_mut(stage);
+            s.salu_reads.incr();
+            if wrote {
+                s.salu_writes.incr();
+            }
         }
     }
 
@@ -514,6 +676,21 @@ impl Recorder for MetricsRecorder {
         }
         if report_copy {
             self.tm.reports.incr();
+        }
+        if let Some(p) = self.cur_slot() {
+            match verdict {
+                Verdict::Forward(_) | Verdict::Return | Verdict::Multicast(_) => {
+                    p.forwarded.incr()
+                }
+                Verdict::Drop => p.drops.incr(),
+                Verdict::Recirculate => p.recirc_passes.incr(),
+            }
+        }
+    }
+
+    fn packet_end(&mut self, _packet: u64, _passes: u8, _dropped: bool) {
+        if let Some(p) = self.cur_slot() {
+            p.packets.incr();
         }
     }
 }
@@ -657,6 +834,78 @@ mod tests {
         assert_eq!(ab.tm.forwarded.get(), 1);
         assert_eq!(ab.tm.dropped.get(), 1);
         assert_eq!(ab.tm.reports.get(), 1);
+    }
+
+    #[test]
+    fn attribution_routes_events_to_program_slots() {
+        let mut r = MetricsRecorder::new();
+        assert!(!r.is_attributing());
+        r.enable_attribution();
+        assert!(r.is_attributing());
+
+        r.packet_begin(1, 0, 64);
+        // Stage 0: the filter lookup fires before the binding action.
+        r.table_lookup(Gress::Ingress, 0, true);
+        r.prog_ctx(2);
+        r.table_lookup(Gress::Ingress, 1, true);
+        r.salu_rmw(Gress::Ingress, 1, true);
+        r.tm_decision(Verdict::Forward(3), false);
+        r.packet_end(1, 1, false);
+
+        r.packet_begin(2, 0, 64);
+        r.table_lookup(Gress::Ingress, 0, false);
+        r.tm_decision(Verdict::Drop, false);
+        r.packet_end(2, 1, true);
+
+        let pp = r.per_prog.as_ref().unwrap();
+        assert_eq!(pp.len(), 3);
+        // Slot 0: the pre-binding filter lookups plus the unmatched packet.
+        assert_eq!(pp[0].ingress.total().hits.get(), 1);
+        assert_eq!(pp[0].ingress.total().misses.get(), 1);
+        assert_eq!(pp[0].drops.get(), 1);
+        assert_eq!(pp[0].packets.get(), 1);
+        // Slot 2: everything after the binding.
+        assert_eq!(pp[2].ingress.total().hits.get(), 1);
+        assert_eq!(pp[2].salu_rmws(), 1);
+        assert_eq!(pp[2].forwarded.get(), 1);
+        assert_eq!(pp[2].packets.get(), 1);
+
+        // The per-program slots decompose the global counters exactly.
+        let hits: u64 = pp.iter().map(|p| p.hits()).sum();
+        assert_eq!(hits, r.ingress.total().hits.get() + r.egress.total().hits.get());
+        let drops: u64 = pp.iter().map(|p| p.drops.get()).sum();
+        assert_eq!(drops, r.tm.dropped.get());
+
+        // Round-trips with attribution slots attached.
+        let back: MetricsRecorder =
+            serde::json::from_str(&serde::json::to_string(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn merge_unions_attribution_and_stays_commutative() {
+        let mut a = MetricsRecorder::new();
+        a.enable_attribution();
+        a.prog_ctx(1);
+        a.table_lookup(Gress::Ingress, 1, true);
+        a.tm_decision(Verdict::Forward(1), false);
+        // b never attributed (e.g. a worker forked before the feature
+        // was on, or a zero-packet worker).
+        let mut b = MetricsRecorder::new();
+        b.table_lookup(Gress::Ingress, 1, false);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "attribution merge is commutative");
+        assert!(ab.is_attributing());
+        let pp = ab.per_prog.as_ref().unwrap();
+        assert_eq!(pp[1].forwarded.get(), 1);
+        // The unattributed side's lookup stays global-only: slots sum to
+        // the *attributed* portion, globals carry everything.
+        assert_eq!(ab.ingress.total().misses.get(), 1);
+        assert_eq!(pp.iter().map(|p| p.hits()).sum::<u64>(), 1);
     }
 
     #[test]

@@ -249,6 +249,44 @@ pub enum TraceEventKind {
         /// Divergent entries garbage-collected.
         deleted: u32,
     },
+    /// The SLO watchdog observed a threshold crossing (armed thresholds
+    /// only; emitted once per non-breach → breach transition, so a
+    /// sustained breach is one event, not a flood).
+    SloViolation {
+        /// Which service-level objective was breached.
+        slo: SloKind,
+        /// Program the breach is attributed to; 0 = switch-global.
+        prog_id: u16,
+        /// Observed value in the SLO's integer unit (ppm for rates,
+        /// nanoseconds for latencies, a plain count otherwise).
+        observed: u64,
+        /// The armed threshold in the same unit.
+        threshold: u64,
+    },
+}
+
+/// Which service-level objective a [`TraceEventKind::SloViolation`]
+/// records. Units are integers so watchdog evaluation — and therefore
+/// the trace fingerprint — is bit-for-bit deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// TM drop rate over all processed passes, parts-per-million.
+    DropRate,
+    /// Cumulative fault-aborted deploys (a plain count).
+    DeployFailure,
+    /// p99 of the control-channel write latency, nanoseconds.
+    P99Latency,
+}
+
+impl SloKind {
+    /// Short stable name (render rows, Prometheus labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            SloKind::DropRate => "drop_rate",
+            SloKind::DeployFailure => "deploy_failure",
+            SloKind::P99Latency => "p99_latency",
+        }
+    }
 }
 
 /// Which lifecycle event a [`TraceEventKind::Lifecycle`] records.
@@ -310,6 +348,7 @@ impl TraceEventKind {
             TraceEventKind::RollbackEnd { .. } => "rollback_end",
             TraceEventKind::ReconcileBegin { .. } => "reconcile_begin",
             TraceEventKind::ReconcileEnd { .. } => "reconcile_end",
+            TraceEventKind::SloViolation { .. } => "slo_violation",
         }
     }
 }
@@ -406,6 +445,10 @@ impl TraceEvent {
             TraceEventKind::ReconcileEnd { reinstalled, deleted } => {
                 format!("ctl reconcile end   (+{reinstalled} reinstalled, -{deleted} gc'd)")
             }
+            TraceEventKind::SloViolation { slo, prog_id, observed, threshold } => format!(
+                "ctl slo {} prog {prog_id} ({observed} > {threshold})",
+                slo.name()
+            ),
         };
         format!("{head}  {body}")
     }
@@ -853,6 +896,11 @@ impl TraceBuffer {
     /// The reconciliation pass finished.
     pub fn reconcile_end(&mut self, reinstalled: u32, deleted: u32) {
         self.record(TraceEventKind::ReconcileEnd { reinstalled, deleted });
+    }
+
+    /// The SLO watchdog crossed into breach on one objective.
+    pub fn slo_violation(&mut self, slo: SloKind, prog_id: u16, observed: u64, threshold: u64) {
+        self.record(TraceEventKind::SloViolation { slo, prog_id, observed, threshold });
     }
 
     // ---- post-mortem ---------------------------------------------------
@@ -1491,6 +1539,23 @@ pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> ser
                     epoch,
                     ("reinstalled", serde::Value::U64(u64::from(reinstalled))),
                     ("deleted", serde::Value::U64(u64::from(deleted))),
+                ],
+            ),
+            TraceEventKind::SloViolation { slo, prog_id, observed, threshold } => chrome_event(
+                "slo_violation",
+                "slo",
+                "i",
+                ts,
+                CONTROL_PID,
+                0,
+                vec![("s", serde::Value::Str("t".into()))],
+                vec![
+                    seq,
+                    epoch,
+                    ("slo", serde::Value::Str(slo.name().into())),
+                    ("prog_id", serde::Value::U64(u64::from(prog_id))),
+                    ("observed", serde::Value::U64(observed)),
+                    ("threshold", serde::Value::U64(threshold)),
                 ],
             ),
             kind => {

@@ -294,6 +294,7 @@ proptest! {
             faults: FaultPlan::random(seed ^ 0x9e3779b9, nfaults, horizon),
             packets_per_burst: 3,
             workers: 1,
+            watchdog: None,
         };
         let out = chaos::run(&cfg).map_err(|e| {
             proptest::test_runner::TestCaseError::Fail(format!("seed {seed}: campaign error {e}"))

@@ -215,6 +215,86 @@ fn churn_under_parallel_replay_keeps_snapshots_atomic() {
     }
 }
 
+/// Attribution merge survives idle shards: a single-destination mix
+/// leaves most of a 4-worker pool with zero packets, yet the merged
+/// per-program rows still reproduce the globals exactly and agree
+/// across worker counts — zero-packet recorders must merge as identity
+/// elements, not as resets.
+#[test]
+fn attribution_merge_is_exact_with_zero_packet_workers() {
+    let mut baseline = None;
+    for workers in [0usize, 1, 2, 4] {
+        let mut ctl = Controller::with_defaults().unwrap();
+        ctl.enable_attribution();
+        ctl.deploy(SENTINEL).unwrap();
+        if workers > 0 {
+            ctl.enable_workers(workers);
+        }
+        // One flow: the shard hash maps it to exactly one worker, so at
+        // 4 workers at least three recorders stay at zero packets.
+        let sentinel = frame_to(SENTINEL_DST);
+        for _ in 0..40 {
+            ctl.inject_sharded(0, &sentinel).unwrap();
+        }
+
+        let report = ctl.telemetry_report();
+        let dp = report.dataplane.as_ref().unwrap();
+        let terminal = dp.tm.forwarded.get()
+            + dp.tm.returned.get()
+            + dp.tm.multicast.get()
+            + dp.tm.dropped.get();
+        assert_eq!(terminal, 40, "{workers} workers: every frame has one verdict");
+        assert_eq!(
+            report.programs.iter().map(|p| p.packets).sum::<u64>(),
+            40,
+            "{workers} workers: attribution accounts for every packet"
+        );
+        let row = report
+            .programs
+            .iter()
+            .find(|p| p.name == "sentinel")
+            .expect("sentinel attribution row");
+        assert_eq!(row.packets, 40, "{workers} workers");
+        assert_eq!(row.forwarded, 40, "{workers} workers");
+
+        // Every engine configuration reports byte-identical rows.
+        let rows: Vec<String> = report.programs.iter().map(|p| p.render()).collect();
+        match &baseline {
+            None => baseline = Some(rows),
+            Some(b) => assert_eq!(&rows, b, "{workers} workers diverged"),
+        }
+    }
+}
+
+/// Merging trace rings and recorders that never saw an event is safe:
+/// a freshly forked pool with zero traffic yields an empty merged ring
+/// (no phantom events, no drops) and a merged recorder equal to the
+/// master's, and the telemetry report still renders.
+#[test]
+fn empty_worker_rings_and_recorders_merge_cleanly() {
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.enable_attribution();
+    ctl.enable_trace(TraceConfig { capacity: 128, postmortem_dir: None, ..Default::default() });
+    ctl.enable_workers(4);
+
+    // No packets at all: worker rings and recorders are pristine.
+    let merged = ctl.merged_trace().unwrap();
+    let stats = merged.stats();
+    assert_eq!(stats.dropped, 0, "nothing to drop from empty rings");
+    let master_events = ctl.trace().unwrap().stats().retained;
+    assert_eq!(stats.retained, master_events, "merge adds no phantom events");
+
+    let report = ctl.telemetry_report();
+    let dp = report.dataplane.as_ref().unwrap();
+    assert_eq!(
+        dp.tm.forwarded.get() + dp.tm.returned.get() + dp.tm.multicast.get() + dp.tm.dropped.get(),
+        0
+    );
+    assert!(report.programs.iter().all(|p| p.packets == 0));
+    // The summary renderer tolerates the all-zero state.
+    assert!(report.summary().contains("dataplane"));
+}
+
 /// The merged trace ring is causally ordered with contiguous sequence
 /// numbers, and its drop accounting is exact: retained + dropped events
 /// equal the sum over the master and worker source rings.

@@ -96,6 +96,89 @@ fn deploy_replay_revoke_counters_are_consistent() {
     assert_eq!(back, report);
 }
 
+/// Single-program attribution round-trip: with exactly one resident
+/// program owning all traffic, its row accounts for every global
+/// counter (the unattributed slot stays empty save for pre-binding
+/// stage-0 lookups), the report carries the schema version, program
+/// rows, watchdog status, and series, and the whole document survives
+/// the `status --json` round trip.
+#[test]
+fn single_program_attribution_accounts_for_all_traffic() {
+    use p4runpro::p4rp_ctl::{SloThresholds, SCHEMA_VERSION};
+
+    let mut ctl = Controller::with_defaults().unwrap();
+    ctl.enable_attribution();
+    ctl.enable_series(16);
+    ctl.arm_watchdog(SloThresholds {
+        max_drop_ppm: Some(1_000_000),
+        ..Default::default()
+    });
+    ctl.deploy("program solo(<hdr.ipv4.src, 0.0.0.0, 0x00000000>) { FORWARD(1); }")
+        .unwrap();
+
+    let flows = p4runpro::traffic::make_flows(3, 8, 0.0);
+    for i in 0..200 {
+        let frame = p4runpro::traffic::frame_for(&flows[i % flows.len()].tuple, 64);
+        ctl.inject(0, &frame).unwrap();
+    }
+
+    let report = ctl.telemetry_report();
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+    let dp = report.dataplane.as_ref().expect("attribution implies telemetry");
+
+    // The solo program's row owns every packet.
+    let solo = report
+        .programs
+        .iter()
+        .find(|p| p.name == "solo")
+        .expect("attribution row for solo");
+    assert_eq!(solo.packets, 200);
+    assert_eq!(solo.forwarded, 200);
+    assert_eq!(solo.drops, 0);
+    assert!(solo.entries > 0, "resource columns come from the installed image");
+    assert!(solo.resource_share > 0.0);
+
+    // Summed over every row (unattributed slot included), the per-program
+    // counters reproduce the globals exactly.
+    let terminal = dp.tm.forwarded.get() + dp.tm.returned.get() + dp.tm.multicast.get();
+    assert_eq!(report.programs.iter().map(|p| p.packets).sum::<u64>(), 200);
+    assert_eq!(report.programs.iter().map(|p| p.forwarded).sum::<u64>(), terminal);
+    assert_eq!(
+        report.programs.iter().map(|p| p.drops).sum::<u64>(),
+        dp.tm.dropped.get()
+    );
+    assert_eq!(
+        report.programs.iter().map(|p| p.recirc_passes).sum::<u64>(),
+        dp.tm.recirculated.get()
+    );
+    assert_eq!(
+        report.programs.iter().map(|p| p.hits).sum::<u64>(),
+        dp.ingress.total().hits.get() + dp.egress.total().hits.get()
+    );
+    assert_eq!(
+        report.programs.iter().map(|p| p.salu_rmws).sum::<u64>(),
+        dp.ingress.total().salu_reads.get() + dp.egress.total().salu_reads.get()
+    );
+
+    // Watchdog: armed with a permissive threshold, no violations; the
+    // series collected at least the deploy-epoch bucket.
+    let slo = report.slo.as_ref().expect("watchdog armed");
+    assert_eq!(slo.violations, 0);
+    assert!(slo.breached.is_empty());
+    assert!(report.series.as_ref().is_some_and(|s| !s.points.is_empty()));
+
+    // The human summary surfaces the new sections.
+    let text = report.summary();
+    assert!(text.contains("per-program:"), "summary lists program rows:\n{text}");
+    assert!(text.contains("solo"), "summary names the program:\n{text}");
+    assert!(text.contains("slo watchdog: armed"), "summary shows the watchdog:\n{text}");
+    assert!(text.contains("series:"), "summary shows series retention:\n{text}");
+
+    // Full round trip, new sections included.
+    let back = TelemetryReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(back, report);
+}
+
 /// Disabling telemetry detaches the recorder and returns the snapshot;
 /// subsequent traffic must not touch it.
 #[test]
