@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the data plane substrate: packet
 //! processing, table lookup scaling, and the hash engines.
 
-use bench::fixtures::{cache_controller, exact_fixture, ternary_fixture};
+use bench::fixtures::{cache_controller, exact_fixture, ternary_fixture, tss_fixture};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rmt_sim::hash::{CRC16_BUYPASS, CRC32};
 use rmt_sim::switch::ProcessOutcome;
@@ -53,7 +53,34 @@ fn bench_lookup_scaling(c: &mut Criterion) {
         });
         let (mut tbl, probes) = ternary_fixture(n);
         let mut i = 0;
+        group.bench_function(BenchmarkId::new("ternary_tss", n), |b| {
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                tbl.lookup(black_box(&probes[i])).is_some()
+            })
+        });
+        tbl.set_indexed(false);
+        let mut i = 0;
         group.bench_function(BenchmarkId::new("ternary_scan", n), |b| {
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                tbl.lookup(black_box(&probes[i])).is_some()
+            })
+        });
+        // The multi-mask-group stress shape (64 groups at 4096 entries),
+        // with and without the megaflow result cache memoizing probes.
+        let groups = (n / 64).clamp(1, 64);
+        let (mut tbl, probes) = tss_fixture(n, groups);
+        let mut i = 0;
+        group.bench_function(BenchmarkId::new("ternary_grouped_tss", n), |b| {
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                tbl.lookup(black_box(&probes[i])).is_some()
+            })
+        });
+        tbl.set_result_cache(true);
+        let mut i = 0;
+        group.bench_function(BenchmarkId::new("ternary_grouped_cached", n), |b| {
             b.iter(|| {
                 i = (i + 1) % probes.len();
                 tbl.lookup(black_box(&probes[i])).is_some()

@@ -658,6 +658,31 @@ impl Controller {
             programs,
             slo: self.watchdog.as_ref().map(Watchdog::status),
             series: self.series.clone(),
+            tables: self.switch.table_index_stats(),
+        }
+    }
+
+    /// Arm or drop the megaflow result cache on every table of the master
+    /// switch and any live workers (forked workers inherit the master's
+    /// setting). See `rmt_sim::table::Table::set_result_cache`.
+    pub fn set_result_cache(&mut self, on: bool) {
+        self.switch.set_result_cache_all(on);
+        if let Some(pool) = self.workers.as_mut() {
+            for w in pool.workers_mut() {
+                w.switch_mut().set_result_cache_all(on);
+            }
+        }
+    }
+
+    /// Force every table (master and workers) onto the priority-ordered
+    /// scan (`false`) or its maintained index (`true`) — the scan-authority
+    /// toggle for bit-identical replay comparisons.
+    pub fn set_indexed(&mut self, on: bool) {
+        self.switch.set_indexed_all(on);
+        if let Some(pool) = self.workers.as_mut() {
+            for w in pool.workers_mut() {
+                w.switch_mut().set_indexed_all(on);
+            }
         }
     }
 

@@ -408,6 +408,7 @@ mod tests {
                 breached: vec!["drop_rate".into()],
             }),
             series: None,
+            tables: Vec::new(),
         }
     }
 

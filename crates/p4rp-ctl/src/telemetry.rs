@@ -16,6 +16,7 @@
 use crate::resman::ResourceManager;
 use p4rp_dataplane::{INIT_TABLE_SIZE, RECIRC_TABLE_SIZE};
 use rmt_sim::parallel::WorkerStats;
+use rmt_sim::switch::TableIndexStats;
 use rmt_sim::telemetry::{Histogram, MetricsRecorder};
 use rmt_sim::trace::TraceStats;
 use std::collections::BTreeMap;
@@ -25,8 +26,9 @@ use std::collections::BTreeMap;
 /// step. Version 1 retroactively names the document as it stood before
 /// explicit versioning; version 2 added `schema_version` itself plus the
 /// per-program (`programs`), SLO (`slo`), and time-series (`series`)
-/// sections.
-pub const SCHEMA_VERSION: u64 = 2;
+/// sections; version 3 added the per-table lookup-structure section
+/// (`tables`).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One program lifecycle event as the controller executed it.
 ///
@@ -519,6 +521,9 @@ pub struct TelemetryReport {
     pub slo: Option<SloStatus>,
     /// Windowed time series; `None` when series collection is off.
     pub series: Option<SeriesRing>,
+    /// Per-table lookup-structure rows (index mode, tuple-space groups,
+    /// result-cache effectiveness), in pipeline order.
+    pub tables: Vec<TableIndexStats>,
 }
 
 serde::impl_serde_struct!(TelemetryReport {
@@ -535,6 +540,7 @@ serde::impl_serde_struct!(TelemetryReport {
     programs,
     slo,
     series,
+    tables,
 });
 
 impl TelemetryReport {
@@ -687,6 +693,33 @@ impl TelemetryReport {
                 s.evicted
             ));
         }
+        let occupied: Vec<&TableIndexStats> = self
+            .tables
+            .iter()
+            .filter(|t| t.entries > 0 || t.hits + t.misses > 0)
+            .collect();
+        if !occupied.is_empty() {
+            out.push_str("table indexes:\n");
+            for t in occupied {
+                out.push_str(&format!(
+                    "  {}[{}].{}: {} entries, {}{}, {} hits / {} misses",
+                    t.gress, t.stage, t.name, t.entries,
+                    if t.indexed { "" } else { "scan-forced " },
+                    t.mode,
+                    t.hits, t.misses
+                ));
+                if t.tss_groups > 0 {
+                    out.push_str(&format!(", {} mask group(s)", t.tss_groups));
+                }
+                if t.cache {
+                    out.push_str(&format!(
+                        ", cache {} line(s) {} hits / {} misses",
+                        t.cache_entries, t.cache_hits, t.cache_misses
+                    ));
+                }
+                out.push('\n');
+            }
+        }
         if let Some(p) = &self.parallel {
             out.push_str(&format!(
                 "parallel engine: {} workers | snapshot generation {}\n",
@@ -809,6 +842,22 @@ mod tests {
                 breached: vec!["drop_rate".into()],
             }),
             series: Some(ring),
+            tables: vec![TableIndexStats {
+                gress: "ingress".into(),
+                stage: 1,
+                table: 0,
+                name: "rpb1".into(),
+                mode: "tss".into(),
+                indexed: true,
+                entries: 12,
+                tss_groups: 3,
+                hits: 100,
+                misses: 4,
+                cache: true,
+                cache_entries: 7,
+                cache_hits: 90,
+                cache_misses: 14,
+            }],
         };
         let text = report.to_json();
         let back = TelemetryReport::from_json(&text).unwrap();
@@ -820,6 +869,7 @@ mod tests {
             slo: None,
             series: None,
             programs: Vec::new(),
+            tables: Vec::new(),
             ..report
         };
         let back = TelemetryReport::from_json(&disabled.to_json()).unwrap();
@@ -842,6 +892,7 @@ mod tests {
             programs: Vec::new(),
             slo: None,
             series: None,
+            tables: Vec::new(),
         };
         let s = report.summary();
         assert!(s.contains("telemetry epoch 2"), "{s}");
@@ -889,6 +940,7 @@ mod tests {
                 breached: vec!["drop_rate".into()],
             }),
             series: Some(ring),
+            tables: Vec::new(),
         };
         let s = report.summary();
         assert!(s.contains("per-program:"), "{s}");
@@ -957,6 +1009,7 @@ mod tests {
             programs: Vec::new(),
             slo: None,
             series: None,
+            tables: Vec::new(),
         };
         let s = report.summary();
         assert!(s.contains("4 injected"), "{s}");

@@ -130,7 +130,7 @@ pub mod prelude {
     };
     pub use crate::switch::{
         ArrayRef, ControlOp, OpResult, PortCounters, ProcessOutcome, Switch, SwitchConfig,
-        TableRef,
+        TableIndexStats, TableRef,
     };
     pub use crate::table::{
         EntryHandle, KeySpec, MatchKind, MatchValue, Table, TableEntry,

@@ -115,6 +115,59 @@ pub struct TableRef {
     pub table: usize,
 }
 
+/// Per-table lookup-structure statistics: which index serves the table
+/// (`exact` / `lpm` / `tss` / `scan`), tuple-space mask-group counts, and
+/// megaflow result-cache effectiveness. Surfaced through the telemetry
+/// report's `tables` section (`status --json`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableIndexStats {
+    /// `"ingress"` or `"egress"`.
+    pub gress: String,
+    /// Stage index.
+    pub stage: u64,
+    /// Table index within the stage.
+    pub table: u64,
+    /// Table name.
+    pub name: String,
+    /// `"exact"`, `"lpm"`, `"tss"`, or `"scan"`.
+    pub mode: String,
+    /// False when `set_indexed(false)` forces the authoritative scan.
+    pub indexed: bool,
+    /// Live entries.
+    pub entries: u64,
+    /// Tuple-space mask groups (0 unless `mode == "tss"`).
+    pub tss_groups: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Megaflow result cache armed.
+    pub cache: bool,
+    /// Valid memoized probes in the result cache.
+    pub cache_entries: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+}
+
+serde::impl_serde_struct!(TableIndexStats {
+    gress,
+    stage,
+    table,
+    name,
+    mode,
+    indexed,
+    entries,
+    tss_groups,
+    hits,
+    misses,
+    cache,
+    cache_entries,
+    cache_hits,
+    cache_misses,
+});
+
 /// Addresses a register array inside the switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ArrayRef {
@@ -456,6 +509,60 @@ impl Switch {
             }
         }
         refs
+    }
+
+    /// Force every table onto the priority-ordered scan (`false`) or its
+    /// maintained index (`true`) — the device-wide scan-authority toggle
+    /// the benches and the bit-identical replay tests use.
+    pub fn set_indexed_all(&mut self, on: bool) {
+        for pipe in [&mut self.ingress, &mut self.egress] {
+            for stage in &mut pipe.stages {
+                for table in &mut stage.tables {
+                    table.set_indexed(on);
+                }
+            }
+        }
+    }
+
+    /// Arm or drop the megaflow result cache on every table (see
+    /// [`Table::set_result_cache`]).
+    pub fn set_result_cache_all(&mut self, on: bool) {
+        for pipe in [&mut self.ingress, &mut self.egress] {
+            for stage in &mut pipe.stages {
+                for table in &mut stage.tables {
+                    table.set_result_cache(on);
+                }
+            }
+        }
+    }
+
+    /// Lookup-structure statistics for every table, in the same
+    /// deterministic order as [`Switch::table_refs`].
+    pub fn table_index_stats(&self) -> Vec<TableIndexStats> {
+        let mut stats = Vec::new();
+        for pipe in [&self.ingress, &self.egress] {
+            for (si, stage) in pipe.stages.iter().enumerate() {
+                for (ti, t) in stage.tables.iter().enumerate() {
+                    stats.push(TableIndexStats {
+                        gress: stage.gress.to_string(),
+                        stage: si as u64,
+                        table: ti as u64,
+                        name: t.name.clone(),
+                        mode: t.index_mode().to_string(),
+                        indexed: t.is_indexed(),
+                        entries: t.len() as u64,
+                        tss_groups: t.tss_groups() as u64,
+                        hits: t.hits,
+                        misses: t.misses,
+                        cache: t.result_cache_enabled(),
+                        cache_entries: t.result_cache_len() as u64,
+                        cache_hits: t.cache_hits,
+                        cache_misses: t.cache_misses,
+                    });
+                }
+            }
+        }
+        stats
     }
 
     fn pipeline(&self, gress: Gress) -> &Pipeline {

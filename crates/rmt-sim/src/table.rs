@@ -16,16 +16,29 @@
 //!   entry, the software analogue of hash-addressed exact-match SRAM;
 //! * **single-field LPM** — per-prefix-length hash buckets probed longest
 //!   prefix first, the classic algorithmic-LPM decomposition;
-//! * **ternary / range / mixed keys** — the priority-ordered scan, standing
-//!   in for the TCAM's combinational priority resolution.
+//! * **ternary / range / mixed keys** — tuple-space search: entries are
+//!   grouped by their effective per-field mask tuple, each group hashes
+//!   the masked key, and lookup probes groups in best-possible-precedence
+//!   order with early exit — the software analogue of an algorithmic TCAM
+//!   (see `docs/PERF.md`, "Algorithmic TCAM"). Groups whose key contains a
+//!   single range field keep a per-bucket sorted interval list probed by
+//!   binary search; tables below [`TSS_SCAN_CUTOFF`] entries take the
+//!   short scan, which beats any per-group hashing at that size.
 //!
-//! Both indexes are maintained incrementally by `insert`/`delete`, so RMT's
+//! All indexes are maintained incrementally by `insert`/`delete`, so RMT's
 //! per-entry update atomicity is untouched: every control-plane operation
 //! leaves the index consistent with the entry store. Entries whose match
 //! values do not conform to the declared key spec (or exotic shapes such as
-//! mixed LPM widths or mixed LPM priorities) permanently degrade the table
-//! to the ordered scan, which is always semantically authoritative — the
-//! indexes are pure accelerations of it.
+//! mixed LPM widths or mixed LPM priorities) rebuild the table's index as
+//! tuple-space search, which represents every match-value shape; only keys
+//! wider than [`MAX_INDEX_KEY_FIELDS`] fall back to the bare ordered scan.
+//! The priority-ordered scan remains the semantic authority — force it with
+//! [`Table::set_indexed`]`(false)`; the indexes are pure accelerations of
+//! it.
+//!
+//! An optional megaflow-style result cache ([`Table::set_result_cache`])
+//! memoizes whole lookups under the union of all entry masks, invalidated
+//! wholesale by a table-generation stamp on any entry mutation.
 
 use crate::action::ActionDef;
 use crate::error::{SimError, SimResult};
@@ -155,10 +168,14 @@ struct StoredEntry {
     entry: TableEntry,
 }
 
+/// First-match precedence rank (see [`StoredEntry::rank`]). Lower is
+/// better; `seq` is unique per entry, so the order is strict.
+type Rank = (i64, i64, u64);
+
 impl StoredEntry {
     /// Total order of first-match precedence: priority desc, LPM length
     /// desc, insertion order asc. `seq` is unique, so the order is strict.
-    fn rank(&self) -> (i64, i64, u64) {
+    fn rank(&self) -> Rank {
         (
             -i64::from(self.entry.priority),
             -i64::from(self.entry.lpm_sum()),
@@ -167,9 +184,152 @@ impl StoredEntry {
     }
 }
 
-/// Exact-index keys wider than this fall back to the ordered scan (the
-/// probe tuple lives on the stack during lookup).
-const MAX_EXACT_KEY_FIELDS: usize = 16;
+/// Indexed keys wider than this fall back to the ordered scan: the exact
+/// index, the tuple-space groups, and the result cache all build their
+/// masked probe tuples in a fixed stack array of this size.
+const MAX_INDEX_KEY_FIELDS: usize = 16;
+
+/// Below this entry count the tuple-space index falls through to the
+/// ordered scan: the RPB dispatch tables hold a handful of entries each,
+/// and a few linear compares beat even one group-hash probe there (the
+/// "when the scan still wins" case in `docs/PERF.md`).
+const TSS_SCAN_CUTOFF: usize = 8;
+
+/// Memoized probes the result cache holds before a wholesale flush.
+const RESULT_CACHE_CAP: usize = 4096;
+
+/// The effective per-field mask of one match value: the set of key bits
+/// that decide the match. `Exact` is a full mask, `Ternary` carries its
+/// own, `Lpm` is the top-`prefix_len` prefix mask; `Range` has none —
+/// interval containment is not a masked-equality predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EffMask {
+    Mask(u64),
+    Range,
+}
+
+/// The masked-equality mask equivalent to an LPM match: `v` matches iff
+/// `v & mask == value & mask` (the shift compare in
+/// [`MatchValue::matches`] keeps every bit from `bits - prefix_len` up).
+fn lpm_eff_mask(prefix_len: u8, bits: u8) -> u64 {
+    if prefix_len == 0 {
+        0
+    } else {
+        u64::MAX << u32::from(bits - prefix_len.min(bits))
+    }
+}
+
+fn eff_mask(mv: &MatchValue) -> EffMask {
+    match *mv {
+        MatchValue::Exact(_) => EffMask::Mask(u64::MAX),
+        MatchValue::Ternary { mask, .. } => EffMask::Mask(mask),
+        MatchValue::Lpm { prefix_len, bits, .. } => EffMask::Mask(lpm_eff_mask(prefix_len, bits)),
+        MatchValue::Range { .. } => EffMask::Range,
+    }
+}
+
+/// The effective mask as a plain word for union-mask accumulation: a
+/// range field constrains the whole word, so the cache must key on all of
+/// it.
+fn eff_mask_word(mv: &MatchValue) -> u64 {
+    match eff_mask(mv) {
+        EffMask::Mask(m) => m,
+        EffMask::Range => u64::MAX,
+    }
+}
+
+/// The representative value word the group mask applies to; ranges carry
+/// no maskable word.
+fn value_word(mv: &MatchValue) -> u64 {
+    match *mv {
+        MatchValue::Exact(v) => v,
+        MatchValue::Ternary { value, .. } => value,
+        MatchValue::Lpm { value, .. } => value,
+        MatchValue::Range { .. } => 0,
+    }
+}
+
+/// One member of a bucket's sorted interval list (single-range-field
+/// groups): `max_hi` is the running maximum of `hi` over this and every
+/// earlier interval, bounding the backward probe scan.
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    lo: u64,
+    hi: u64,
+    max_hi: u64,
+    rank: Rank,
+    slot: u32,
+}
+
+/// Recompute the `max_hi` prefix maxima after an interval insert/delete.
+fn fix_max_hi(intervals: &mut [Interval]) {
+    let mut m = 0u64;
+    for it in intervals.iter_mut() {
+        m = m.max(it.hi);
+        it.max_hi = m;
+    }
+}
+
+/// The entries of one tuple-space group that share a masked key.
+#[derive(Debug, Clone, Default)]
+struct TssBucket {
+    /// `(rank, slot)` in rank order — the first member whose range fields
+    /// also match the probe is the bucket's winner.
+    members: Vec<(Rank, u32)>,
+    /// Single-range-field groups only: the members re-sorted by `lo` for
+    /// the binary-search interval probe. Maintained on insert/delete
+    /// (control-plane cost), read-only during lookup.
+    intervals: Vec<Interval>,
+}
+
+/// One tuple-space group: every entry whose per-field effective masks are
+/// identical. Within the group a masked probe is an exact-match hash
+/// lookup.
+#[derive(Debug, Clone)]
+struct TssGroup {
+    /// Group identity: one effective mask per key field.
+    id: Box<[EffMask]>,
+    /// AND-masks for probe construction (`Range` fields contribute 0).
+    key_masks: Box<[u64]>,
+    /// Index of the single range field when exactly one exists (arming
+    /// the interval probe); `None` for zero or two-plus range fields.
+    single_range: Option<usize>,
+    /// Number of range fields in the group's key.
+    range_fields: usize,
+    /// Best (minimum) rank over every member — the probe-order key.
+    /// Ranks are unique per live entry, so group keys never tie.
+    best_rank: Rank,
+    /// Masked key tuple → members.
+    buckets: FxHashMap<Box<[u64]>, TssBucket>,
+    /// Member count.
+    len: usize,
+}
+
+/// Tuple-space search over ternary/range/mixed keys: groups sorted by
+/// `best_rank` ascending, so lookup can stop as soon as its current best
+/// match outranks every remaining group's best possible member.
+#[derive(Debug, Clone, Default)]
+struct TssIndex {
+    groups: Vec<TssGroup>,
+}
+
+/// Megaflow-style result cache: memoizes [`Table::find_slot`] keyed by
+/// the probe masked with the union of every entry's effective mask. Any
+/// two probes equal under the union mask match exactly the same entry
+/// set, so they share one winner — one cache line covers a whole flow
+/// aggregate, OVS-megaflow style.
+#[derive(Debug, Clone)]
+struct ResultCache {
+    /// Per-field OR of every inserted entry's effective mask (`Range` ⇒
+    /// full word). Only ever widens between wholesale flushes — a
+    /// superset mask is always correct, merely less aggregating.
+    union_mask: Vec<u64>,
+    /// Masked probe tuple → the winning slot (`None` memoizes a miss).
+    map: FxHashMap<Box<[u64]>, Option<u32>>,
+    /// Table generation the map was filled at; a mismatch on lookup
+    /// flushes the whole map — the wholesale megaflow invalidation.
+    stamp: u64,
+}
 
 /// The per-prefix-length buckets of the single-field LPM index, sorted by
 /// `prefix_len` descending so the first probe hit is the longest match.
@@ -190,7 +350,10 @@ enum Index {
     Exact(FxHashMap<Box<[u64]>, u32>),
     /// Single-field longest-prefix match.
     Lpm(LpmIndex),
-    /// Priority-ordered scan only (TCAM/range/mixed keys, or degraded).
+    /// Tuple-space search (ternary/range/mixed keys, and any entry shape
+    /// the Exact/Lpm indexes cannot represent).
+    Tss(TssIndex),
+    /// Priority-ordered scan only (keys too wide to probe on the stack).
     Scan,
 }
 
@@ -222,12 +385,23 @@ pub struct Table {
     index: Index,
     /// When false, lookups take the ordered scan even if an index is
     /// maintained — the measurement baseline for the indexed fast path.
+    /// Also bypasses the result cache: scan mode is the pure semantic
+    /// authority.
     indexed: bool,
+    /// Optional megaflow-style result cache ([`Table::set_result_cache`]).
+    cache: Option<Box<ResultCache>>,
+    /// Mutation generation: bumped by every insert/delete/clear; stamps
+    /// (and thereby invalidates) the result cache.
+    generation: u64,
     next_seq: u64,
     /// Lookup counter for utilization statistics.
     pub hits: u64,
     /// Misses.
     pub misses: u64,
+    /// Result-cache hits (probe answered without running a lookup).
+    pub cache_hits: u64,
+    /// Result-cache misses (lookup ran, result memoized).
+    pub cache_misses: u64,
 }
 
 /// Outcome of a table lookup.
@@ -281,9 +455,13 @@ impl Table {
             by_handle: FxHashMap::default(),
             index,
             indexed: true,
+            cache: None,
+            generation: 0,
             next_seq: 0,
             hits: 0,
             misses: 0,
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -311,6 +489,66 @@ impl Table {
         self.indexed && !matches!(self.index, Index::Scan)
     }
 
+    /// Which structure serves indexed lookups: `"exact"`, `"lpm"`,
+    /// `"tss"`, or `"scan"`.
+    pub fn index_mode(&self) -> &'static str {
+        match self.index {
+            Index::Exact(_) => "exact",
+            Index::Lpm(_) => "lpm",
+            Index::Tss(_) => "tss",
+            Index::Scan => "scan",
+        }
+    }
+
+    /// Tuple-space mask-group count (0 unless the TSS index is active).
+    pub fn tss_groups(&self) -> usize {
+        match &self.index {
+            Index::Tss(tss) => tss.groups.len(),
+            _ => 0,
+        }
+    }
+
+    /// Arm (`true`) or drop (`false`) the megaflow-style result cache.
+    /// Arming computes the union mask from the live entries. The cache is
+    /// bypassed whenever `set_indexed(false)` forces the authoritative
+    /// scan; keys wider than [`MAX_INDEX_KEY_FIELDS`] cannot build their
+    /// masked probe on the stack and the call is a no-op.
+    pub fn set_result_cache(&mut self, on: bool) {
+        if !on {
+            self.cache = None;
+            return;
+        }
+        if self.key.fields.len() > MAX_INDEX_KEY_FIELDS || self.cache.is_some() {
+            return;
+        }
+        let mut union_mask = vec![0u64; self.key.fields.len()];
+        for &slot in &self.order {
+            let entry = &self.slots[slot as usize].as_ref().expect("live slot").entry;
+            for (um, mv) in union_mask.iter_mut().zip(&entry.matches) {
+                *um |= eff_mask_word(mv);
+            }
+        }
+        self.cache = Some(Box::new(ResultCache {
+            union_mask,
+            map: FxHashMap::default(),
+            stamp: self.generation,
+        }));
+    }
+
+    /// Whether the megaflow result cache is armed.
+    pub fn result_cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Memoized probes currently valid in the result cache (0 when the
+    /// map is stale and pending its wholesale flush).
+    pub fn result_cache_len(&self) -> usize {
+        match &self.cache {
+            Some(c) if c.stamp == self.generation => c.map.len(),
+            _ => 0,
+        }
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.order.len()
@@ -330,21 +568,33 @@ impl Table {
         self.slots[slot as usize].as_ref().expect("live slot")
     }
 
-    /// Drop the index permanently: the ordered scan remains authoritative.
+    /// The chosen index cannot represent this table's entries: rebuild it
+    /// as tuple-space search, which indexes every match-value shape, or
+    /// drop to the bare scan for keys too wide to probe on the stack. The
+    /// ordered scan remains authoritative either way.
     fn degrade(&mut self) {
-        self.index = Index::Scan;
+        if self.key.fields.len() > MAX_INDEX_KEY_FIELDS {
+            self.index = Index::Scan;
+            return;
+        }
+        let mut tss = TssIndex::default();
+        for &slot in &self.order {
+            let stored = self.slots[slot as usize].as_ref().expect("live slot");
+            Self::tss_insert(&mut tss, &stored.entry, stored.rank(), slot);
+        }
+        self.index = Index::Tss(tss);
     }
 
     /// The empty index a fresh table of this key spec starts with.
     fn fresh_index(key: &KeySpec) -> Index {
         if key.fields.len() == 1 && key.fields[0].1 == MatchKind::Lpm {
             Index::Lpm(LpmIndex::default())
-        } else if key.fields.len() <= MAX_EXACT_KEY_FIELDS
-            && key.fields.iter().all(|(_, k)| *k == MatchKind::Exact)
-        {
+        } else if key.fields.len() > MAX_INDEX_KEY_FIELDS {
+            Index::Scan
+        } else if key.fields.iter().all(|(_, k)| *k == MatchKind::Exact) {
             Index::Exact(FxHashMap::default())
         } else {
-            Index::Scan
+            Index::Tss(TssIndex::default())
         }
     }
 
@@ -361,12 +611,124 @@ impl Table {
             .collect()
     }
 
+    /// The masked key an entry hashes to within its tuple-space group.
+    fn tss_key(entry: &TableEntry, key_masks: &[u64]) -> Box<[u64]> {
+        entry
+            .matches
+            .iter()
+            .zip(key_masks)
+            .map(|(mv, m)| value_word(mv) & m)
+            .collect()
+    }
+
+    /// Hook an entry into the tuple-space index, creating its mask group
+    /// on first sight and keeping the group list sorted by best rank.
+    /// Never fails: every match-value shape has an effective mask tuple.
+    fn tss_insert(tss: &mut TssIndex, entry: &TableEntry, rank: Rank, slot: u32) {
+        let id: Box<[EffMask]> = entry.matches.iter().map(eff_mask).collect();
+        let gi = match tss.groups.iter().position(|g| g.id == id) {
+            Some(gi) => gi,
+            None => {
+                let key_masks: Box<[u64]> = id
+                    .iter()
+                    .map(|em| match *em {
+                        EffMask::Mask(m) => m,
+                        EffMask::Range => 0,
+                    })
+                    .collect();
+                let range_fields = id.iter().filter(|em| matches!(em, EffMask::Range)).count();
+                let single_range = (range_fields == 1)
+                    .then(|| id.iter().position(|em| matches!(em, EffMask::Range)))
+                    .flatten();
+                // Pushed with a sentinel worst rank; the reposition below
+                // sorts it into place before this call returns.
+                tss.groups.push(TssGroup {
+                    id,
+                    key_masks,
+                    single_range,
+                    range_fields,
+                    best_rank: (i64::MAX, i64::MAX, u64::MAX),
+                    buckets: FxHashMap::default(),
+                    len: 0,
+                });
+                tss.groups.len() - 1
+            }
+        };
+        let g = &mut tss.groups[gi];
+        let key = Self::tss_key(entry, &g.key_masks);
+        let bucket = g.buckets.entry(key).or_default();
+        let pos = match bucket.members.binary_search(&(rank, slot)) {
+            Ok(p) | Err(p) => p,
+        };
+        bucket.members.insert(pos, (rank, slot));
+        if let Some(rf) = g.single_range {
+            let MatchValue::Range { lo, hi } = entry.matches[rf] else {
+                unreachable!("range effective mask implies a Range value");
+            };
+            let pos = bucket.intervals.partition_point(|it| (it.lo, it.rank) < (lo, rank));
+            bucket.intervals.insert(pos, Interval { lo, hi, max_hi: 0, rank, slot });
+            fix_max_hi(&mut bucket.intervals);
+        }
+        g.len += 1;
+        if rank < g.best_rank {
+            let mut g = tss.groups.remove(gi);
+            g.best_rank = rank;
+            let pos = tss.groups.partition_point(|o| o.best_rank < rank);
+            tss.groups.insert(pos, g);
+        }
+    }
+
+    /// Unhook a removed entry from the tuple-space index, dropping empty
+    /// buckets/groups and re-sorting the group list if the group's best
+    /// member left.
+    fn tss_remove(tss: &mut TssIndex, stored: &StoredEntry, slot: u32) {
+        let entry = &stored.entry;
+        let rank = stored.rank();
+        let id: Box<[EffMask]> = entry.matches.iter().map(eff_mask).collect();
+        let Some(gi) = tss.groups.iter().position(|g| g.id == id) else {
+            return;
+        };
+        let g = &mut tss.groups[gi];
+        let key = Self::tss_key(entry, &g.key_masks);
+        let Some(bucket) = g.buckets.get_mut(&key) else {
+            return;
+        };
+        bucket.members.retain(|&(_, s)| s != slot);
+        if g.single_range.is_some() {
+            bucket.intervals.retain(|it| it.slot != slot);
+            fix_max_hi(&mut bucket.intervals);
+        }
+        if bucket.members.is_empty() {
+            g.buckets.remove(&key);
+        }
+        g.len -= 1;
+        if g.len == 0 {
+            tss.groups.remove(gi);
+            return;
+        }
+        if rank == g.best_rank {
+            let mut g = tss.groups.remove(gi);
+            g.best_rank = g
+                .buckets
+                .values()
+                .map(|b| b.members[0].0)
+                .min()
+                .expect("non-empty group has a best member");
+            let pos = tss.groups.partition_point(|o| o.best_rank < g.best_rank);
+            tss.groups.insert(pos, g);
+        }
+    }
+
     /// Hook an already-stored entry into the index. Returns `false` if the
     /// entry cannot be indexed (the caller degrades).
     fn index_insert(&mut self, slot: u32) -> bool {
         let stored = self.slots[slot as usize].as_ref().expect("live slot");
         match &mut self.index {
             Index::Scan => true,
+            Index::Tss(tss) => {
+                Self::tss_insert(tss, &stored.entry, stored.rank(), slot);
+                true
+            }
             Index::Exact(map) => {
                 let Some(key) = Self::exact_key_of(&stored.entry) else {
                     return false;
@@ -419,9 +781,14 @@ impl Table {
 
     /// Unhook a just-removed entry from the index, promoting the next
     /// first-match winner for its key if one exists.
-    fn index_remove(&mut self, slot: u32, entry: &TableEntry) {
+    fn index_remove(&mut self, slot: u32, stored: &StoredEntry) {
+        let entry = &stored.entry;
         match &self.index {
             Index::Scan => {}
+            Index::Tss(_) => {
+                let Index::Tss(tss) = &mut self.index else { unreachable!() };
+                Self::tss_remove(tss, stored, slot);
+            }
             Index::Exact(map) => {
                 let Some(key) = Self::exact_key_of(entry) else {
                     return;
@@ -502,6 +869,15 @@ impl Table {
         if entry.action >= self.actions.len() {
             return Err(SimError::NoSuchAction { table: self.name.clone(), action: entry.action });
         }
+        // Any mutation invalidates the result cache (generation stamp);
+        // the union mask only ever widens between flushes, which is
+        // always correct — see [`ResultCache`].
+        self.generation += 1;
+        if let Some(cache) = self.cache.as_mut() {
+            for (um, mv) in cache.union_mask.iter_mut().zip(&entry.matches) {
+                *um |= eff_mask_word(mv);
+            }
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         let stored = StoredEntry { handle, seq, entry };
@@ -535,6 +911,7 @@ impl Table {
         let Some(slot) = self.by_handle.remove(&handle) else {
             return Err(SimError::NoSuchEntry(handle.0));
         };
+        self.generation += 1;
         let stored = self.slots[slot as usize].take().expect("live slot");
         let pos = self
             .order
@@ -542,7 +919,7 @@ impl Table {
             .position(|&s| s == slot)
             .expect("slot in order");
         self.order.remove(pos);
-        self.index_remove(slot, &stored.entry);
+        self.index_remove(slot, &stored);
         self.free_slots.push(slot);
         Ok(stored.entry)
     }
@@ -561,6 +938,14 @@ impl Table {
         self.order.clear();
         self.by_handle.clear();
         self.index = Self::fresh_index(&self.key);
+        self.generation += 1;
+        if let Some(cache) = self.cache.as_mut() {
+            // The only point the union mask may narrow again — the map is
+            // flushed with it.
+            cache.map.clear();
+            cache.union_mask.fill(0);
+            cache.stamp = self.generation;
+        }
     }
 
     /// The slot the indexed or scanned lookup selects, if any. Does not
@@ -573,7 +958,7 @@ impl Table {
                         return None;
                     }
                     let n = self.key.fields.len();
-                    let mut probe = [0u64; MAX_EXACT_KEY_FIELDS];
+                    let mut probe = [0u64; MAX_INDEX_KEY_FIELDS];
                     for (i, (field, _)) in self.key.fields.iter().enumerate() {
                         probe[i] = phv.get(*field);
                     }
@@ -586,6 +971,13 @@ impl Table {
                         .buckets
                         .iter()
                         .find_map(|(len, map)| map.get(&lpm_bucket_key(v, *len, bits)).copied());
+                }
+                Index::Tss(tss) => {
+                    // Tiny tables fall through to the short scan — see
+                    // [`TSS_SCAN_CUTOFF`].
+                    if self.order.len() > TSS_SCAN_CUTOFF {
+                        return self.tss_find(tss, phv);
+                    }
                 }
                 Index::Scan => {}
             }
@@ -602,11 +994,114 @@ impl Table {
         None
     }
 
+    /// Tuple-space probe: groups in best-rank order, early exit once the
+    /// current best match outranks every remaining group's best possible
+    /// member, masked-key hash within each group, interval binary search
+    /// where a single range field participates.
+    fn tss_find(&self, tss: &TssIndex, phv: &Phv) -> Option<u32> {
+        let n = self.key.fields.len();
+        let mut vals = [0u64; MAX_INDEX_KEY_FIELDS];
+        for (i, (field, _)) in self.key.fields.iter().enumerate() {
+            vals[i] = phv.get(*field);
+        }
+        let mut probe = [0u64; MAX_INDEX_KEY_FIELDS];
+        let mut best: Option<(Rank, u32)> = None;
+        for g in &tss.groups {
+            if let Some((rank, _)) = best {
+                if rank < g.best_rank {
+                    // Every remaining group's best member ranks worse.
+                    break;
+                }
+            }
+            for i in 0..n {
+                probe[i] = vals[i] & g.key_masks[i];
+            }
+            let Some(bucket) = g.buckets.get(&probe[..n]) else {
+                continue;
+            };
+            let found = if let Some(rf) = g.single_range {
+                Self::probe_intervals(bucket, vals[rf])
+            } else if g.range_fields == 0 {
+                // Masked equality decided the match completely; members
+                // are rank-sorted and buckets are never empty.
+                Some(bucket.members[0])
+            } else {
+                // Two-plus range fields: rank-ordered bucket scan checking
+                // the fields the masked key ignores.
+                bucket.members.iter().copied().find(|&(_, slot)| {
+                    let e = &self.stored(slot).entry;
+                    g.id.iter().zip(&e.matches).enumerate().all(|(i, (em, mv))| {
+                        !matches!(em, EffMask::Range) || mv.matches(vals[i])
+                    })
+                })
+            };
+            if let Some((rank, slot)) = found {
+                if best.is_none() || rank < best.expect("checked").0 {
+                    best = Some((rank, slot));
+                }
+            }
+        }
+        best.map(|(_, slot)| slot)
+    }
+
+    /// Best-ranked interval containing `v`: binary search to the last
+    /// interval with `lo <= v`, then walk back while the prefix maxima
+    /// say an enclosing interval can still exist.
+    fn probe_intervals(bucket: &TssBucket, v: u64) -> Option<(Rank, u32)> {
+        let end = bucket.intervals.partition_point(|it| it.lo <= v);
+        let mut best: Option<(Rank, u32)> = None;
+        for it in bucket.intervals[..end].iter().rev() {
+            if it.max_hi < v {
+                break;
+            }
+            if it.hi >= v && (best.is_none() || it.rank < best.expect("checked").0) {
+                best = Some((it.rank, it.slot));
+            }
+        }
+        best
+    }
+
+    /// [`Table::find_slot`] through the megaflow result cache: flush on a
+    /// stale generation stamp, then answer repeat masked probes from the
+    /// memo without touching the index or the scan.
+    fn cached_find_slot(&mut self, phv: &Phv) -> Option<u32> {
+        let n = self.key.fields.len();
+        let mut probe = [0u64; MAX_INDEX_KEY_FIELDS];
+        let cache = self.cache.as_mut().expect("cache armed");
+        if cache.stamp != self.generation {
+            cache.map.clear();
+            cache.stamp = self.generation;
+        }
+        for (i, (field, _)) in self.key.fields.iter().enumerate() {
+            probe[i] = phv.get(*field) & cache.union_mask[i];
+        }
+        if let Some(&memo) = cache.map.get(&probe[..n]) {
+            self.cache_hits += 1;
+            return memo;
+        }
+        let found = self.find_slot(phv);
+        self.cache_misses += 1;
+        let cache = self.cache.as_mut().expect("cache armed");
+        if cache.map.len() >= RESULT_CACHE_CAP {
+            cache.map.clear();
+        }
+        cache.map.insert(probe[..n].into(), found);
+        found
+    }
+
     /// Look up the PHV, returning plain indices into the table instead of
     /// borrows — the allocation-free dispatch interface. Bumps hit/miss
     /// counters exactly as [`Table::lookup`] does.
     pub fn lookup_slot(&mut self, phv: &Phv) -> Option<SlotLookup> {
-        match self.find_slot(phv) {
+        // The memo probe (union-mask + hash) only pays for itself past the
+        // scan cutoff — below it the direct scan is already cheaper than a
+        // hash, so tiny dispatch tables skip the cache even when armed.
+        let found = if self.indexed && self.cache.is_some() && self.order.len() > TSS_SCAN_CUTOFF {
+            self.cached_find_slot(phv)
+        } else {
+            self.find_slot(phv)
+        };
+        match found {
             Some(slot) => {
                 self.hits += 1;
                 Some(SlotLookup {
@@ -705,7 +1200,8 @@ mod tests {
         let (ft, a, _) = setup();
         let key = KeySpec::new(vec![(a, MatchKind::Ternary)]);
         let mut tbl = Table::new("t", key, noop_actions(2), 8);
-        assert!(!tbl.is_indexed());
+        assert!(tbl.is_indexed());
+        assert_eq!(tbl.index_mode(), "tss");
         // Low-priority catch-all inserted first.
         tbl.insert(
             EntryHandle(1),
@@ -943,10 +1439,10 @@ mod tests {
     }
 
     #[test]
-    fn mixed_priority_lpm_degrades_to_scan() {
+    fn mixed_priority_lpm_degrades_to_tss() {
         // Priority outranks prefix length in first-match order, so a
-        // mixed-priority LPM table cannot probe longest-first: it must
-        // degrade — and still answer correctly via the scan.
+        // mixed-priority LPM table cannot probe longest-first: it rebuilds
+        // as tuple-space search — and still answers correctly.
         let (ft, a, _) = setup();
         let key = KeySpec::new(vec![(a, MatchKind::Lpm)]);
         let mut tbl = Table::new("t", key, noop_actions(2), 8);
@@ -970,7 +1466,9 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(!tbl.is_indexed());
+        assert!(tbl.is_indexed());
+        assert_eq!(tbl.index_mode(), "tss");
+        assert_eq!(tbl.tss_groups(), 2);
         let mut phv = Phv::new(&ft);
         phv.set(&ft, a, 0x0a010203);
         // Priority 10 /8 beats priority 0 /16.
@@ -979,8 +1477,9 @@ mod tests {
 
     #[test]
     fn nonconforming_entry_degrades_exact_index() {
-        // A ternary match value slipped into an exact-key table: the index
-        // cannot represent it, so the table degrades and the scan answers.
+        // A ternary match value slipped into an exact-key table: the exact
+        // index cannot represent it, so the table rebuilds as tuple-space
+        // search and keeps answering correctly.
         let (ft, a, _) = setup();
         let key = KeySpec::new(vec![(a, MatchKind::Exact)]);
         let mut tbl = Table::new("t", key, noop_actions(2), 8);
@@ -999,7 +1498,8 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(!tbl.is_indexed());
+        assert!(tbl.is_indexed());
+        assert_eq!(tbl.index_mode(), "tss");
         let mut phv = Phv::new(&ft);
         phv.set(&ft, a, 5);
         assert_eq!(tbl.lookup(&phv).unwrap().action.name, "act0");
@@ -1039,5 +1539,199 @@ mod tests {
                 assert_eq!(indexed, scanned, "probe ({va},{vb})");
             }
         }
+    }
+
+    /// Look up `phv` indexed and scanned and assert both agree; returns
+    /// the matched entry data.
+    fn both_ways(tbl: &mut Table, phv: &Phv, what: &str) -> Option<Vec<u64>> {
+        let indexed = tbl.lookup(phv).map(|r| r.data.to_vec());
+        tbl.set_indexed(false);
+        let scanned = tbl.lookup(phv).map(|r| r.data.to_vec());
+        tbl.set_indexed(true);
+        assert_eq!(indexed, scanned, "{what}");
+        indexed
+    }
+
+    #[test]
+    fn tss_matches_scan_across_mask_groups() {
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Ternary)]);
+        let mut tbl = Table::new("t", key, noop_actions(4), 64);
+        // Four mask groups, six entries each — comfortably past the scan
+        // cutoff, so lookups really take the tuple-space probe. Values
+        // overlap across groups to exercise priority resolution.
+        let masks = [0xffff_ff00u64, 0xffff_0000, 0xff00_0000, 0xffff_fff0];
+        let shifts = [8u32, 16, 24, 4];
+        for g in 0..4usize {
+            for i in 0..6u64 {
+                tbl.insert(
+                    EntryHandle(g as u64 * 16 + i),
+                    TableEntry {
+                        matches: vec![MatchValue::Ternary { value: i << shifts[g], mask: masks[g] }],
+                        priority: g as i32 * 2 + (i % 2) as i32,
+                        action: g,
+                        data: vec![g as u64, i],
+                    },
+                )
+                .unwrap();
+            }
+        }
+        assert_eq!(tbl.index_mode(), "tss");
+        assert_eq!(tbl.tss_groups(), 4);
+        let mut phv = Phv::new(&ft);
+        for p in 0..200u64 {
+            let v = p.wrapping_mul(0x9e37_79b9) & 0xffff_ffff;
+            phv.set(&ft, a, v);
+            both_ways(&mut tbl, &phv, &format!("probe {v:#x}"));
+        }
+        // Every entry's own value, with noise in unmasked low bits.
+        for g in 0..4usize {
+            for i in 0..6u64 {
+                let v = (i << shifts[g]) | (masks[g] ^ u64::MAX) & 0x5;
+                phv.set(&ft, a, v);
+                assert!(both_ways(&mut tbl, &phv, &format!("group {g} entry {i}")).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn tss_single_range_field_uses_interval_probe() {
+        let (ft, a, b) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Ternary), (b, MatchKind::Range)]);
+        let mut tbl = Table::new("t", key, noop_actions(1), 64);
+        // One mask group (shared ternary mask), overlapping port ranges —
+        // the bucket keeps a lo-sorted interval list probed by binary
+        // search.
+        for i in 0..12u64 {
+            tbl.insert(
+                EntryHandle(i),
+                TableEntry {
+                    matches: vec![
+                        MatchValue::Ternary { value: 0x10, mask: 0xff },
+                        MatchValue::Range { lo: i * 50, hi: i * 50 + 120 },
+                    ],
+                    priority: (i % 3) as i32,
+                    action: 0,
+                    data: vec![i],
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(tbl.tss_groups(), 1);
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 0x3210); // 0x10 under the 0xff mask
+        for v in (0..800u64).step_by(7) {
+            phv.set(&ft, b, v);
+            both_ways(&mut tbl, &phv, &format!("port {v}"));
+        }
+        // A non-matching ternary part misses regardless of the range.
+        phv.set(&ft, a, 0x11);
+        phv.set(&ft, b, 60);
+        assert!(both_ways(&mut tbl, &phv, "wrong ternary part").is_none());
+    }
+
+    #[test]
+    fn tss_delete_and_reinsert_keeps_first_match_order() {
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Ternary)]);
+        let mut tbl = Table::new("t", key, noop_actions(3), 32);
+        // Filler group keeps the table above the scan cutoff.
+        for i in 0..9u64 {
+            tbl.insert(
+                EntryHandle(100 + i),
+                TableEntry {
+                    matches: vec![MatchValue::Ternary { value: (i + 1) << 16, mask: 0xffff_0000 }],
+                    priority: 0,
+                    action: 0,
+                    data: vec![100 + i],
+                },
+            )
+            .unwrap();
+        }
+        // Three entries sharing one masked key in a second group:
+        // duplicate priorities tie-break on insertion order.
+        let shadow = MatchValue::Ternary { value: 0xab00, mask: 0xff00 };
+        for (h, pri, act) in [(1u64, 5, 0usize), (2, 5, 1), (3, 9, 2)] {
+            tbl.insert(
+                EntryHandle(h),
+                TableEntry { matches: vec![shadow], priority: pri, action: act, data: vec![h] },
+            )
+            .unwrap();
+        }
+        assert_eq!(tbl.tss_groups(), 2);
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 0xab12);
+        assert_eq!(both_ways(&mut tbl, &phv, "initial"), Some(vec![3]));
+        // Deleting the group's best member recomputes its probe order.
+        tbl.delete(EntryHandle(3)).unwrap();
+        assert_eq!(both_ways(&mut tbl, &phv, "after delete best"), Some(vec![1]));
+        tbl.delete(EntryHandle(1)).unwrap();
+        assert_eq!(both_ways(&mut tbl, &phv, "after delete tie winner"), Some(vec![2]));
+        // Delete-then-reinsert inside the same mask group.
+        tbl.insert(
+            EntryHandle(3),
+            TableEntry { matches: vec![shadow], priority: 9, action: 2, data: vec![3] },
+        )
+        .unwrap();
+        assert_eq!(both_ways(&mut tbl, &phv, "after reinsert"), Some(vec![3]));
+        assert_eq!(tbl.tss_groups(), 2);
+    }
+
+    #[test]
+    fn result_cache_memoizes_and_invalidates_on_mutation() {
+        let (ft, a, _) = setup();
+        let key = KeySpec::new(vec![(a, MatchKind::Ternary)]);
+        let mut tbl = Table::new("t", key, noop_actions(2), 32);
+        for i in 0..12u64 {
+            tbl.insert(
+                EntryHandle(i),
+                TableEntry {
+                    matches: vec![MatchValue::Ternary { value: i << 8, mask: 0xff00 }],
+                    priority: 0,
+                    action: 0,
+                    data: vec![i],
+                },
+            )
+            .unwrap();
+        }
+        tbl.set_result_cache(true);
+        assert!(tbl.result_cache_enabled());
+        let mut phv = Phv::new(&ft);
+        phv.set(&ft, a, 0x0305);
+        assert_eq!(tbl.lookup(&phv).unwrap().data, &[3]);
+        assert_eq!((tbl.cache_hits, tbl.cache_misses), (0, 1));
+        // Different noise bits, same masked probe: one megaflow line.
+        phv.set(&ft, a, 0x03ff);
+        assert_eq!(tbl.lookup(&phv).unwrap().data, &[3]);
+        assert_eq!((tbl.cache_hits, tbl.cache_misses), (1, 1));
+        assert_eq!(tbl.result_cache_len(), 1);
+        // A higher-priority shadow entry takes effect immediately: the
+        // generation stamp flushes the memo wholesale.
+        tbl.insert(
+            EntryHandle(99),
+            TableEntry {
+                matches: vec![MatchValue::Ternary { value: 0x0300, mask: 0xff00 }],
+                priority: 7,
+                action: 1,
+                data: vec![99],
+            },
+        )
+        .unwrap();
+        assert_eq!(tbl.result_cache_len(), 0);
+        assert_eq!(tbl.lookup(&phv).unwrap().data, &[99]);
+        tbl.delete(EntryHandle(99)).unwrap();
+        assert_eq!(tbl.lookup(&phv).unwrap().data, &[3]);
+        // Misses are memoized too.
+        phv.set(&ft, a, 0xdd05);
+        assert!(tbl.lookup(&phv).is_none());
+        let misses = tbl.cache_misses;
+        assert!(tbl.lookup(&phv).is_none());
+        assert_eq!(tbl.cache_misses, misses);
+        // Scan mode bypasses the cache entirely: the authority stays pure.
+        tbl.set_indexed(false);
+        let (h, m) = (tbl.cache_hits, tbl.cache_misses);
+        phv.set(&ft, a, 0x0305);
+        assert_eq!(tbl.lookup(&phv).unwrap().data, &[3]);
+        assert_eq!((tbl.cache_hits, tbl.cache_misses), (h, m));
     }
 }

@@ -215,6 +215,66 @@ fn churn_under_parallel_replay_keeps_snapshots_atomic() {
     }
 }
 
+/// The algorithmic TCAM fast path is invisible to the data plane: with
+/// the tuple-space index and the megaflow result cache armed, every
+/// packet's fate under deploy/revoke churn — sequential or sharded across
+/// a 2-worker pool — is bit-identical to the sequential engine in forced
+/// scan mode (the semantic authority), and no invariant fires on any
+/// ring. Cache invalidation rides the table generation stamp, so worker
+/// snapshots adopted mid-churn can never serve a stale memo.
+#[test]
+fn tss_and_result_cache_keep_fates_identical_under_churn() {
+    let run = |indexed: bool, cached: bool, workers: usize| -> Vec<Fate> {
+        let mut ctl = Controller::with_defaults().unwrap();
+        ctl.enable_trace(TraceConfig {
+            capacity: 16384,
+            postmortem_dir: None,
+            ..Default::default()
+        });
+        ctl.deploy(SENTINEL).unwrap();
+        let mix = make_flows(21, 12, 0.5);
+        deploy_forwarders(&mut ctl, &mix);
+        if workers > 0 {
+            ctl.enable_workers(workers);
+        }
+        ctl.set_indexed(indexed);
+        ctl.set_result_cache(cached);
+
+        let mut fates = Vec::new();
+        let mut record = |ctl: &mut Controller, frame: &[u8]| {
+            let out = ctl.inject_sharded(0, frame).unwrap();
+            fates.push((out.emitted, out.reports, out.dropped, out.passes));
+        };
+        for step in 0..16usize {
+            for i in 0..8 {
+                record(&mut ctl, &frame_for(&mix[(step * 8 + i) % mix.len()].tuple, 64));
+            }
+            record(&mut ctl, &frame_to(SENTINEL_DST));
+            let dst = Ipv4Addr::new(10, 60, step as u8, 1);
+            ctl.deploy(&format!(
+                "program churn{step}(<hdr.ipv4.dst, {dst}, 0xffffffff>) {{ FORWARD({}); }}",
+                1 + step % 4
+            ))
+            .unwrap();
+            record(&mut ctl, &frame_to(dst));
+            if step >= 2 {
+                let old = step - 2;
+                ctl.revoke(&format!("churn{old}")).unwrap();
+                record(&mut ctl, &frame_to(Ipv4Addr::new(10, 60, old as u8, 1)));
+            }
+        }
+        assert_eq!(total_violations(&ctl), 0, "invariant fired (indexed={indexed})");
+        assert!(ctl.audit().unwrap().clean(), "audit failed (indexed={indexed})");
+        fates
+    };
+
+    let scan_authority = run(false, false, 0);
+    let tss_sequential = run(true, true, 0);
+    let tss_parallel = run(true, true, 2);
+    assert_eq!(tss_sequential, scan_authority, "sequential TSS+cache diverged from scan");
+    assert_eq!(tss_parallel, scan_authority, "2-worker TSS+cache diverged from scan");
+}
+
 /// Attribution merge survives idle shards: a single-destination mix
 /// leaves most of a 4-worker pool with zero packets, yet the merged
 /// per-program rows still reproduce the globals exactly and agree

@@ -3,12 +3,17 @@
 //!
 //! The table's ordered scan is the semantic definition of first-match
 //! precedence (priority desc → LPM prefix-length sum desc → insertion
-//! order asc); the exact-key hash index and the per-prefix-length LPM
-//! buckets are pure accelerations of it. These properties rebuild that
-//! definition *independently* — a naive filter-then-minimize over a shadow
-//! entry list — and check the real table against it for random key specs,
-//! entries, priorities, churn, and probes, in both indexed and forced-scan
-//! modes.
+//! order asc); the exact-key hash index, the per-prefix-length LPM
+//! buckets, and the tuple-space search over ternary/range/mixed keys are
+//! pure accelerations of it. These properties rebuild that definition
+//! *independently* — a naive filter-then-minimize over a shadow entry
+//! list — and check the real table against it for random key specs,
+//! entries, priorities, churn, and probes, in four modes per probe:
+//! indexed, indexed with the megaflow result cache armed (both the miss
+//! that fills the memo and the hit that reads it back), and forced scan.
+//!
+//! The case count obeys `P4RP_PROPTEST_CASES` (CI's `tcam-equivalence`
+//! step sets it low for a fast smoke; the default is the full campaign).
 
 use proptest::prelude::*;
 use rmt_sim::action::ActionDef;
@@ -243,26 +248,135 @@ fn check_equivalence(
     let field_ids: Vec<FieldId> = sc.fields.iter().map(|(f, _)| *f).collect();
     for raw_probe in probes {
         let phv = probe_phv(&sc, *raw_probe, &live);
-        // Compare on (action name, data, hit): the reference stores the
-        // action index, the table hands back the ActionDef borrow.
-        let expected = sc
-            .reference
-            .lookup(&field_ids, &phv)
-            .map(|(a, d, h)| (format!("act{a}"), d, h));
-        let indexed =
-            sc.tbl.lookup(&phv).map(|r| (r.action.name.clone(), r.data.to_vec(), r.hit));
-        sc.tbl.set_indexed(false);
-        let scanned =
-            sc.tbl.lookup(&phv).map(|r| (r.action.name.clone(), r.data.to_vec(), r.hit));
-        sc.tbl.set_indexed(true);
-        prop_assert_eq!(&indexed, &expected, "indexed vs reference");
-        prop_assert_eq!(&scanned, &expected, "scan vs reference");
+        assert_modes_agree(&mut sc.tbl, &sc.reference, &field_ids, &phv)?;
+    }
+    Ok(())
+}
+
+/// One probe, four ways: indexed, cache-armed miss, cache-armed hit
+/// (re-probe of the fresh memo), and forced scan — all against the
+/// reference model. Compares on (action name, data, hit): the reference
+/// stores the action index, the table hands back the ActionDef borrow.
+fn assert_modes_agree(
+    tbl: &mut Table,
+    reference: &RefTable,
+    field_ids: &[FieldId],
+    phv: &Phv,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let expected = reference.lookup(field_ids, phv).map(|(a, d, h)| (format!("act{a}"), d, h));
+    let indexed = tbl.lookup(phv).map(|r| (r.action.name.clone(), r.data.to_vec(), r.hit));
+    tbl.set_result_cache(true);
+    let cached_miss = tbl.lookup(phv).map(|r| (r.action.name.clone(), r.data.to_vec(), r.hit));
+    let cached_hit = tbl.lookup(phv).map(|r| (r.action.name.clone(), r.data.to_vec(), r.hit));
+    tbl.set_result_cache(false);
+    tbl.set_indexed(false);
+    let scanned = tbl.lookup(phv).map(|r| (r.action.name.clone(), r.data.to_vec(), r.hit));
+    tbl.set_indexed(true);
+    prop_assert_eq!(&indexed, &expected, "indexed vs reference");
+    prop_assert_eq!(&cached_miss, &expected, "cache-armed miss vs reference");
+    prop_assert_eq!(&cached_hit, &expected, "cache-armed hit vs reference");
+    prop_assert_eq!(&scanned, &expected, "scan vs reference");
+    Ok(())
+}
+
+/// The tuple-space-search stress shape: one ternary field whose masks come
+/// from a tiny pool (so groups run deep instead of wide), optionally a
+/// second range field, duplicate-heavy priorities, and explicit
+/// delete-then-reinsert churn *inside* a mask group — the reinserted entry
+/// gets a fresh sequence number, so the insertion-order tie-break must
+/// move it to the back of its priority class.
+fn check_tss_churn(
+    masks: &[u16],
+    raw_entries: &[(u8, u16, u8, u8, u8, u64)],
+    ops: &[(bool, u8)],
+    probes: &[(u16, u8, u8, u8)],
+    with_range: bool,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut ft = FieldTable::new();
+    let t = ft.register("meta.t", 16).unwrap();
+    let r = ft.register("meta.r", 8).unwrap();
+    let mut fields = vec![(t, MatchKind::Ternary)];
+    if with_range {
+        fields.push((r, MatchKind::Range));
+    }
+    let mut tbl = Table::new("tss_churn", KeySpec::new(fields.clone()), noop_actions(4), 4096);
+    let mut reference = RefTable::default();
+    let mut live: Vec<(u64, TableEntry)> = Vec::new();
+    let mut graveyard: Vec<TableEntry> = Vec::new();
+    let mut next_handle = 0u64;
+
+    for &(mi, v, pri, lo, hi, data) in raw_entries {
+        let mut matches = vec![MatchValue::Ternary {
+            value: u64::from(v),
+            mask: u64::from(masks[usize::from(mi) % masks.len()]),
+        }];
+        if with_range {
+            let (lo, hi) = (u64::from(lo.min(hi)), u64::from(lo.max(hi)));
+            matches.push(MatchValue::Range { lo, hi });
+        }
+        let entry = TableEntry {
+            matches,
+            priority: i32::from(pri % 3),
+            action: usize::from(pri % 3),
+            data: vec![data],
+        };
+        let h = next_handle;
+        next_handle += 1;
+        tbl.insert(EntryHandle(h), entry.clone()).unwrap();
+        reference.insert(h, &entry);
+        live.push((h, entry));
+    }
+    for &(delete, idx) in ops {
+        if delete {
+            if live.is_empty() {
+                continue;
+            }
+            let (h, e) = live.remove(usize::from(idx) % live.len());
+            tbl.delete(EntryHandle(h)).unwrap();
+            assert!(reference.delete(h));
+            graveyard.push(e);
+        } else {
+            if graveyard.is_empty() {
+                continue;
+            }
+            let e = graveyard.remove(usize::from(idx) % graveyard.len());
+            let h = next_handle;
+            next_handle += 1;
+            tbl.insert(EntryHandle(h), e.clone()).unwrap();
+            reference.insert(h, &e);
+            live.push((h, e));
+        }
+    }
+    prop_assert_eq!(tbl.len(), live.len());
+
+    let field_ids: Vec<FieldId> = fields.iter().map(|(f, _)| *f).collect();
+    for &(rand_v, pick, tweak, rv) in probes {
+        // Mostly probe at/near a live entry's own value so hits and
+        // same-group collisions dominate; sometimes fully random.
+        let mut phv = Phv::new(&ft);
+        let base = if !live.is_empty() && usize::from(pick) % 4 != 0 {
+            match live[usize::from(pick) % live.len()].1.matches[0] {
+                MatchValue::Ternary { value, .. } => value,
+                _ => unreachable!("field 0 is ternary"),
+            }
+        } else {
+            u64::from(rand_v)
+        };
+        phv.set(&ft, t, base ^ u64::from(tweak % 4));
+        if with_range {
+            phv.set(&ft, r, u64::from(rv));
+        }
+        assert_modes_agree(&mut tbl, &reference, &field_ids, &phv)?;
     }
     Ok(())
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("P4RP_PROPTEST_CASES")
+            .ok().and_then(|s| s.parse().ok()).unwrap_or(64),
+        .. ProptestConfig::default()
+    })]
 
     /// Mixed key kinds, duplicate-heavy values, interleaved deletes: the
     /// indexed lookup (whatever path the table chose — exact index, LPM
@@ -329,5 +443,44 @@ proptest! {
         probes in prop::collection::vec((any::<u64>(), any::<u8>(), any::<u8>()), 1..16),
     ) {
         check_equivalence(&[(0, 2)], &raw_entries, &[], &probes, 3, false, true)?;
+    }
+
+    /// Deep mask groups: every ternary mask drawn from a pool of at most
+    /// three, so the tuple-space groups hold many entries and duplicate
+    /// priorities force the insertion-order tie-break, under
+    /// delete-then-reinsert churn inside the groups.
+    #[test]
+    fn tss_deep_groups_survive_reinsert_churn(
+        masks in prop::collection::vec(any::<u16>(), 1..4),
+        raw_entries in prop::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()),
+            1..24,
+        ),
+        ops in prop::collection::vec((any::<bool>(), any::<u8>()), 0..24),
+        probes in prop::collection::vec(
+            (any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            1..16,
+        ),
+    ) {
+        check_tss_churn(&masks, &raw_entries, &ops, &probes, false)?;
+    }
+
+    /// Same shape with a range field appended to the key: the single-range
+    /// interval probe inside each bucket must agree with the reference,
+    /// including overlapping ranges resolved by priority and seq.
+    #[test]
+    fn tss_ternary_range_mixed_equivalence(
+        masks in prop::collection::vec(any::<u16>(), 1..3),
+        raw_entries in prop::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()),
+            1..20,
+        ),
+        ops in prop::collection::vec((any::<bool>(), any::<u8>()), 0..16),
+        probes in prop::collection::vec(
+            (any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            1..16,
+        ),
+    ) {
+        check_tss_churn(&masks, &raw_entries, &ops, &probes, true)?;
     }
 }
