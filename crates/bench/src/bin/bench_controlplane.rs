@@ -18,7 +18,11 @@
 //! speculative-allocate → validate-commit pipeline) against the same
 //! programs deployed sequentially, and a `fault_guard` section pins the
 //! cost of an armed-but-idle `FaultPlan` (see `docs/CHAOS.md`) to within
-//! noise of the plan-free fast path.
+//! noise of the plan-free fast path. A `server_overhead` section drives
+//! the same deploy/revoke cycle through a loopback `p4rp serve` session
+//! (docs/SERVER.md) and pins the line-protocol + batching overhead to
+//! < 1.5x the direct in-process calls, using the interleaved same-run
+//! A/B scheme (`measure::ab_min`) so wall-clock drift cancels.
 //!
 //! Run from the workspace root (`cargo run --release -p bench --bin
 //! bench_controlplane`); `P4RP_SCALE=quick` trims the sample counts.
@@ -227,6 +231,70 @@ fn main() {
          ({apply_ratio:.2}x)"
     );
 
+    // Server overhead: one deploy+revoke cycle through a loopback
+    // runtime-control session vs the same cycle as direct calls on an
+    // identically configured controller. Interleaved A/B windows with
+    // per-side minima (the PR-8 de-drift scheme): slow machine drift
+    // lands on both sides, so the ratio needs no hardcoded anchor.
+    println!("measuring server overhead (loopback session vs direct calls) ...");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = std::thread::spawn(move || {
+        let mut ctl = Controller::with_defaults().expect("provision server controller");
+        p4rp_ctl::server::serve(&mut ctl, listener, &p4rp_ctl::server::ServerConfig::default())
+            .expect("serve");
+    });
+    let mut client = loop {
+        match p4rp_ctl::server::Client::connect(&addr) {
+            Ok(c) => break c,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    };
+    let mut direct = Controller::with_defaults().expect("provision");
+    // A heavier probe than the latency sections: the session tax (two loopback
+    // round trips plus thread handoffs, ~100 µs) should be judged against a
+    // realistic deploy, not a minimal one.
+    let probe = instance(Family::Cache, 3_000_000, WorkloadParams { mem: 512, elastic: 8 });
+    let ok = |reply: &str| {
+        let doc = json::parse(reply).expect("reply parses");
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{reply}");
+    };
+    let cycles = scaled(8).max(2);
+    let (server_ns, direct_ns) = bench::measure::ab_min(scaled(6).max(3), |via_server| {
+        let t = std::time::Instant::now();
+        for _ in 0..cycles {
+            if via_server {
+                ok(&client.deploy(&probe).expect("server deploy"));
+                ok(&client.revoke("cache_3000000").expect("server revoke"));
+            } else {
+                direct.deploy(&probe).expect("direct deploy");
+                direct.revoke("cache_3000000").expect("direct revoke");
+            }
+        }
+        t.elapsed().as_nanos() as f64 / cycles as f64
+    });
+    ok(&client.shutdown().expect("shutdown"));
+    server.join().expect("server thread");
+    let server_ratio = server_ns / direct_ns;
+    assert!(
+        server_ratio < 1.5,
+        "loopback control session cost {server_ratio:.2}x per deploy+revoke cycle \
+         ({:.1} µs vs {:.1} µs direct) — the line protocol must stay cheap",
+        server_ns / 1e3,
+        direct_ns / 1e3
+    );
+    let server_overhead = obj(vec![
+        ("cycles_per_window", Value::U64(cycles as u64)),
+        ("direct_cycle_us", Value::F64(round1(direct_ns / 1e3))),
+        ("server_cycle_us", Value::F64(round1(server_ns / 1e3))),
+        ("ratio", Value::F64((server_ratio * 100.0).round() / 100.0)),
+    ]);
+    println!(
+        "  direct {:.1} µs/cycle, via server {:.1} µs/cycle ({server_ratio:.2}x)",
+        direct_ns / 1e3,
+        server_ns / 1e3
+    );
+
     let doc = obj(vec![
         ("bench", Value::Str("controlplane".into())),
         ("units", Value::Str("us_per_deploy".into())),
@@ -234,6 +302,7 @@ fn main() {
         ("deploy_latency", Value::Array(rows)),
         ("concurrency", concurrency),
         ("fault_guard", fault_guard),
+        ("server_overhead", server_overhead),
         (
             "acceptance",
             obj(vec![

@@ -51,6 +51,14 @@
 //!                              `--workers > 1` runs traffic on the sharded
 //!                              multi-worker engine under deploy churn;
 //!                              `--slo-*` arms the campaign watchdog
+//! serve <addr> [--max-clients <n>] [--queue <n>] [--rate <r>] [--timeout-ns <n>]
+//!                              run the persistent multi-client runtime-
+//!                              control server (line-framed JSON over TCP,
+//!                              batching, backpressure; blocks until a
+//!                              client sends `shutdown`; docs/SERVER.md)
+//! client <addr> <op> [...]     one-shot loopback client for `serve`:
+//!                              ping | status | metrics | trace | shutdown
+//!                              | deploy <src…> | revoke <name> | raw <json>
 //! help                         this text
 //! ```
 //!
@@ -104,6 +112,8 @@ impl Cli {
             "watchdog" => Ok(self.watchdog_cmd(rest)),
             "series" => Ok(self.series_cmd(rest)),
             "chaos" => Ok(chaos_cmd(rest)),
+            "serve" => Ok(self.serve_cmd(rest)),
+            "client" => Ok(client_cmd(rest)),
             other => Ok(format!("unknown command `{other}` — try `help`")),
         };
         result.unwrap_or_else(|e| format!("error: {e}"))
@@ -333,12 +343,18 @@ impl Cli {
         let Some(t) = self.ctl.trace() else {
             return "tracing off".to_string();
         };
+        const USAGE: &str = "usage: trace dump [last <n>] [<filter>]";
         let mut args = args;
         let mut last = None;
         if args.first() == Some(&"last") {
-            last = args.get(1).and_then(|n| n.parse::<usize>().ok());
-            if last.is_none() {
-                return "usage: trace dump [last <n>] [<filter>]".to_string();
+            // `and_then(.. parse().ok())` used to fold "missing" and
+            // "unparseable" into one silent None; say which it was.
+            let Some(v) = args.get(1) else {
+                return USAGE.to_string();
+            };
+            match v.parse::<usize>() {
+                Ok(n) => last = Some(n),
+                Err(_) => return format!("bad count `{v}` for `last`\n{USAGE}"),
             }
             args = &args[2..];
         }
@@ -597,11 +613,109 @@ impl Cli {
         if parts.len() != 4 {
             return Ok("usage: memwrite <program> <memory> <addr> <value>".into());
         }
-        let addr: u32 = parts[2].parse().unwrap_or(u32::MAX);
-        let value: u32 = parts[3].parse().unwrap_or(0);
+        // A bad address used to collapse to `u32::MAX` (guaranteed
+        // out-of-range error) and a bad value to `0` (a silent write of
+        // the wrong data) — both must be loud instead.
+        let addr: u32 = match parts[2].parse() {
+            Ok(a) => a,
+            Err(_) => return Ok(format!("bad address `{}` for memwrite", parts[2])),
+        };
+        let value: u32 = match parts[3].parse() {
+            Ok(v) => v,
+            Err(_) => return Ok(format!("bad value `{}` for memwrite", parts[3])),
+        };
         self.ctl.write_memory(parts[0], parts[1], addr, value)?;
         Ok(format!("{}:{}[{addr}] = {value}", parts[0], parts[1]))
     }
+
+    /// `serve <addr> [--max-clients <n>] [--queue <n>] [--rate <r>]
+    /// [--timeout-ns <n>]`: run the persistent runtime-control server.
+    /// Blocks the calling thread until a client sends `shutdown`.
+    fn serve_cmd(&mut self, rest: &str) -> String {
+        const USAGE: &str = "usage: serve <addr> [--max-clients <n>] [--queue <n>] \
+                             [--rate <r>] [--timeout-ns <n>]";
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let Some(addr) = parts.first().copied() else {
+            return USAGE.to_string();
+        };
+        let mut cfg = crate::server::ServerConfig::default();
+        let mut it = parts[1..].iter();
+        while let Some(flag) = it.next() {
+            let Some(value) = it.next() else {
+                return format!("missing value for `{flag}`\n{USAGE}");
+            };
+            match *flag {
+                "--max-clients" => match value.parse::<usize>() {
+                    Ok(n) if n > 0 => cfg.max_clients = n,
+                    _ => return format!("bad client limit `{value}` for `--max-clients`"),
+                },
+                "--queue" => match value.parse::<usize>() {
+                    Ok(n) if n > 0 => cfg.queue_depth = n,
+                    _ => return format!("bad queue depth `{value}` for `--queue`"),
+                },
+                "--rate" => match value.parse::<u64>() {
+                    Ok(n) if n > 0 => cfg.rate = Some(n),
+                    _ => return format!("bad rate `{value}` for `--rate`"),
+                },
+                "--timeout-ns" => match value.parse::<u64>() {
+                    Ok(n) if n > 0 => cfg.request_timeout_ns = Some(n),
+                    _ => return format!("bad timeout `{value}` for `--timeout-ns`"),
+                },
+                other => return format!("unknown flag `{other}`\n{USAGE}"),
+            }
+        }
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => return format!("error binding {addr}: {e}"),
+        };
+        let local = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string());
+        match crate::server::serve(&mut self.ctl, listener, &cfg) {
+            Ok(stats) => format!(
+                "server on {local} drained: {} session(s) accepted, {} request(s), \
+                 {} ok / {} err / {} rejected",
+                stats.accepted,
+                stats.requests,
+                stats.responses_ok,
+                stats.responses_err,
+                stats.rejected()
+            ),
+            Err(e) => format!("error serving on {local}: {e}"),
+        }
+    }
+}
+
+/// `client <addr> <op> [...]`: a one-shot loopback client for `serve`.
+/// Connects, issues one request, and prints the raw JSON reply line.
+fn client_cmd(rest: &str) -> String {
+    const USAGE: &str = "usage: client <addr> <ping|status|metrics|trace|shutdown\
+                         |deploy <src…>|revoke <name>|raw <json>>";
+    let Some((addr, rest)) = rest.split_once(char::is_whitespace) else {
+        return USAGE.to_string();
+    };
+    let rest = rest.trim();
+    let mut c = match crate::server::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return format!("error connecting to {addr}: {e}"),
+    };
+    let (op, arg) = match rest.split_once(char::is_whitespace) {
+        Some((o, a)) => (o, a.trim()),
+        None => (rest, ""),
+    };
+    let result = match op {
+        "ping" => c.ping(),
+        "status" => c.status(),
+        "metrics" => c.metrics(),
+        "trace" => c.trace(),
+        "shutdown" => c.shutdown(),
+        "deploy" if !arg.is_empty() => c.deploy(&arg.replace("\\n", "\n")),
+        "revoke" if !arg.is_empty() => c.revoke(arg),
+        "raw" if !arg.is_empty() => c.request_line(arg),
+        _ => return USAGE.to_string(),
+    };
+    result.unwrap_or_else(|e| format!("error: {e}"))
 }
 
 /// Render the watchdog's status line.
@@ -749,25 +863,41 @@ fn parse_filter(args: &[&str]) -> Result<TraceFilter, String> {
             let gress = match args.get(1).copied() {
                 Some("ingress") => Gress::Ingress,
                 Some("egress") => Gress::Egress,
-                _ => return Err(USAGE.to_string()),
+                Some(other) => {
+                    return Err(format!("bad gress `{other}` (expected ingress|egress)\n{USAGE}"))
+                }
+                None => return Err(USAGE.to_string()),
             };
-            let (Some(stage), Some(table)) = (
-                args.get(2).and_then(|s| s.parse::<u16>().ok()),
-                args.get(3).and_then(|s| s.parse::<u16>().ok()),
-            ) else {
-                return Err(USAGE.to_string());
+            // The old `and_then(.. parse().ok())` swallowed unparseable
+            // stage/table numbers into the generic usage line.
+            let stage = match args.get(2) {
+                Some(v) => match v.parse::<u16>() {
+                    Ok(n) => n,
+                    Err(_) => return Err(format!("bad stage `{v}`\n{USAGE}")),
+                },
+                None => return Err(USAGE.to_string()),
+            };
+            let table = match args.get(3) {
+                Some(v) => match v.parse::<u16>() {
+                    Ok(n) => n,
+                    Err(_) => return Err(format!("bad table `{v}`\n{USAGE}")),
+                },
+                None => return Err(USAGE.to_string()),
             };
             Ok(TraceFilter::Table { gress, stage, table })
         }
         Some("flow") => {
-            let Some(addr) = args.get(1).and_then(|s| parse_ipv4(s)) else {
+            let Some(a) = args.get(1) else {
                 return Err(USAGE.to_string());
+            };
+            let Some(addr) = parse_ipv4(a) else {
+                return Err(format!("bad address `{a}` (expected a.b.c.d)\n{USAGE}"));
             };
             let port = match args.get(2) {
                 None => None,
                 Some(p) => match p.parse::<u16>() {
                     Ok(p) => Some(p),
-                    Err(_) => return Err(USAGE.to_string()),
+                    Err(_) => return Err(format!("bad port `{p}`\n{USAGE}")),
                 },
             };
             Ok(TraceFilter::Flow { addr, port })
@@ -789,7 +919,7 @@ fn parse_ipv4(s: &str) -> Option<u32> {
     Some(u32::from_be_bytes(octets))
 }
 
-const HELP: &str = "commands: deploy <src> | deploy-many <file...> | revoke <name> | revoke-many <name...> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | replay [--packets <n>] [--flows <n>] [--workers <n>] [--seed <n>] | top [--once] | metrics <export [path|-]|serve <addr>> | watchdog <arm [--drop-ppm <n>] [--deploy-faults <n>] [--p99-ns <n>]|status|disarm> | series <on [cap]|status> | chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>] [--workers <n>] [--slo-drop-ppm <n>] [--slo-deploy-faults <n>] [--slo-p99-ns <n>] | help";
+const HELP: &str = "commands: deploy <src> | deploy-many <file...> | revoke <name> | revoke-many <name...> | update <name> <src> | programs | status [--metrics|--json] | mem <prog> <mem> | memwrite <prog> <mem> <addr> <val> | trace <on [cap]|off|status|dump|journeys|export [path]> | replay [--packets <n>] [--flows <n>] [--workers <n>] [--seed <n>] | top [--once] | metrics <export [path|-]|serve <addr>> | watchdog <arm [--drop-ppm <n>] [--deploy-faults <n>] [--p99-ns <n>]|status|disarm> | series <on [cap]|status> | chaos run [--seed <n>] [--faults <spec>] [--steps <n>] [--programs <n>] [--workers <n>] [--slo-drop-ppm <n>] [--slo-deploy-faults <n>] [--slo-p99-ns <n>] | serve <addr> [--max-clients <n>] [--queue <n>] [--rate <r>] [--timeout-ns <n>] | client <addr> <op> [...] | help";
 
 #[cfg(test)]
 mod tests {
@@ -930,10 +1060,110 @@ mod tests {
     fn trace_dump_rejects_bad_filters() {
         let mut cli = cli();
         cli.exec("trace on 64");
-        assert!(cli.exec("trace dump table sideways 0 0").starts_with("filters:"));
-        assert!(cli.exec("trace dump flow not-an-ip").starts_with("filters:"));
+        assert!(cli.exec("trace dump table sideways 0 0").starts_with("bad gress `sideways`"));
+        assert!(cli.exec("trace dump table ingress 0").starts_with("filters:"));
+        assert!(cli.exec("trace dump flow not-an-ip").starts_with("bad address `not-an-ip`"));
         assert!(cli.exec("trace bogus").contains("unknown trace subcommand"));
         assert!(cli.exec("trace on zero").starts_with("bad capacity"));
+    }
+
+    #[test]
+    fn trace_dump_numeric_args_fail_loudly() {
+        let mut cli = cli();
+        cli.exec("trace on 64");
+        // Each numeric slot gets its own message — none may collapse into
+        // the generic usage line (the old silent-`None` behavior).
+        assert!(cli.exec("trace dump last ten").starts_with("bad count `ten`"));
+        assert!(cli.exec("trace dump last").starts_with("usage: trace dump"));
+        assert!(cli.exec("trace dump table ingress x 0").starts_with("bad stage `x`"));
+        assert!(cli.exec("trace dump table ingress 0 70000").starts_with("bad table `70000`"));
+        assert!(cli.exec("trace dump flow 10.0.0.1 notaport").starts_with("bad port `notaport`"));
+        assert!(cli.exec("trace dump flow 10.0.0.1 65536").starts_with("bad port `65536`"));
+    }
+
+    #[test]
+    fn memwrite_rejects_bad_numeric_args_without_writing() {
+        let mut cli = cli();
+        cli.exec(
+            "deploy @ m 64\\nprogram q(<hdr.ipv4.dst, 10.0.0.1, 0xffffffff>) \
+             { LOADI(mar, 5); MEMREAD(m); }",
+        );
+        // A bad address used to become u32::MAX, a bad value used to
+        // write 0 — both silently. Now they refuse before touching state.
+        let out = cli.exec("memwrite q m five 42");
+        assert!(out.starts_with("bad address `five`"), "{out}");
+        let out = cli.exec("memwrite q m 5 fortytwo");
+        assert!(out.starts_with("bad value `fortytwo`"), "{out}");
+        let out = cli.exec("mem q m");
+        assert!(out.starts_with("0/"), "nothing may have been written: {out}");
+        assert!(cli.exec("memwrite q m 5").starts_with("usage: memwrite"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_numeric_flags_before_binding() {
+        let mut cli = cli();
+        assert!(cli.exec("serve").starts_with("usage: serve"));
+        assert!(cli.exec("serve 127.0.0.1:0 --max-clients x").starts_with("bad client limit `x`"));
+        assert!(cli.exec("serve 127.0.0.1:0 --max-clients 0").starts_with("bad client limit `0`"));
+        assert!(cli.exec("serve 127.0.0.1:0 --queue nope").starts_with("bad queue depth `nope`"));
+        assert!(cli.exec("serve 127.0.0.1:0 --rate -1").starts_with("bad rate `-1`"));
+        assert!(cli.exec("serve 127.0.0.1:0 --timeout-ns x").starts_with("bad timeout `x`"));
+        assert!(cli.exec("serve 127.0.0.1:0 --rate").contains("missing value"));
+        assert!(cli.exec("serve 127.0.0.1:0 --sideways 1").contains("unknown flag"));
+    }
+
+    #[test]
+    fn client_reports_usage_and_connect_errors() {
+        let mut cli = cli();
+        assert!(cli.exec("client").starts_with("usage: client"));
+        assert!(cli.exec("client 127.0.0.1:1").starts_with("usage: client"));
+        // Port 1 on loopback is essentially never listening.
+        assert!(cli.exec("client 127.0.0.1:1 ping").starts_with("error connecting"));
+    }
+
+    #[test]
+    fn serve_and_client_loopback_roundtrip() {
+        // Pick a free port, release it, and race to rebind — fine for a
+        // single-process test.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let mut srv = cli();
+        let serve_line = format!("serve {addr}");
+        let handle = std::thread::spawn(move || {
+            let out = srv.exec(&serve_line);
+            (out, srv)
+        });
+        // Wait for the listener to come up.
+        let mut driver = cli();
+        let mut attempts = 0;
+        let ping = loop {
+            let out = driver.exec(&format!("client {addr} ping"));
+            if !out.starts_with("error connecting") {
+                break out;
+            }
+            attempts += 1;
+            assert!(attempts < 500, "server never came up: {out}");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let doc = serde::json::parse(&ping).expect("ping reply is JSON");
+        assert_eq!(doc.get("ok"), Some(&serde::Value::Bool(true)), "{ping}");
+        let out = driver.exec(&format!("client {addr} deploy {SRC}"));
+        let doc = serde::json::parse(&out).unwrap();
+        assert_eq!(doc.get("ok"), Some(&serde::Value::Bool(true)), "{out}");
+        let out = driver.exec(&format!("client {addr} raw not json"));
+        assert!(out.contains("\"error\""), "{out}");
+        assert!(out.contains("line 1"), "{out}");
+        let out = driver.exec(&format!("client {addr} revoke p"));
+        assert!(out.contains("\"ok\""), "{out}");
+        let out = driver.exec(&format!("client {addr} shutdown"));
+        let doc = serde::json::parse(&out).unwrap();
+        assert_eq!(doc.get("ok"), Some(&serde::Value::Bool(true)), "{out}");
+        let (summary, srv) = handle.join().unwrap();
+        assert!(summary.contains("drained"), "{summary}");
+        assert!(srv.ctl.audit().unwrap().clean());
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 use crate::resman::ResourceManager;
 use crate::telemetry::{
-    FaultStats, LifecycleSpan, ParallelStats, ProgramUsage, ResourceGauges, SeriesRing, SloStatus,
-    SloThresholds, TelemetryReport, SCHEMA_VERSION,
+    FaultStats, LifecycleSpan, ParallelStats, ProgramUsage, ResourceGauges, SeriesRing,
+    ServerStats, SloStatus, SloThresholds, TelemetryReport, SCHEMA_VERSION,
 };
 use p4rp_compiler::alloc::{allocate, AllocConfig, AllocView, Allocation};
 use p4rp_compiler::consistency::{plan_install, plan_remove, InstalledHandles};
@@ -264,6 +264,9 @@ pub struct Controller {
     series: Option<SeriesRing>,
     /// The armed SLO watchdog ([`Controller::arm_watchdog`]).
     watchdog: Option<Watchdog>,
+    /// Counters from the most recent / live `p4rp-ctl::server` run on
+    /// this controller; `None` until a server has served it.
+    server_stats: Option<ServerStats>,
 }
 
 /// The armed SLO watchdog: thresholds plus per-kind breach latches, so a
@@ -321,6 +324,7 @@ impl Controller {
             workers: None,
             series: None,
             watchdog: None,
+            server_stats: None,
         })
     }
 
@@ -591,6 +595,19 @@ impl Controller {
         fresh
     }
 
+    /// Runtime-control server counters, `None` until a server has served
+    /// this controller.
+    pub fn server_stats(&self) -> Option<&ServerStats> {
+        self.server_stats.as_ref()
+    }
+
+    /// Install/replace the runtime-control server counters (called by
+    /// `server::serve` at every service tick so `status --json` reads
+    /// fresh numbers even while the server is live).
+    pub fn set_server_stats(&mut self, stats: ServerStats) {
+        self.server_stats = Some(stats);
+    }
+
     /// Current telemetry epoch (number of lifecycle events so far).
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -659,6 +676,7 @@ impl Controller {
             slo: self.watchdog.as_ref().map(Watchdog::status),
             series: self.series.clone(),
             tables: self.switch.table_index_stats(),
+            server: self.server_stats.clone(),
         }
     }
 

@@ -9,13 +9,17 @@
 //!   manager, and the `bfrt`-calibrated control channel;
 //! * [`telemetry`] — lifecycle spans, resource gauges, and the unified
 //!   [`TelemetryReport`] joining control-side and packet-side series
-//!   (rendered by `status --metrics`, documented in `docs/TELEMETRY.md`).
+//!   (rendered by `status --metrics`, documented in `docs/TELEMETRY.md`);
+//! * [`server`] — the persistent multi-client runtime-control server
+//!   (line-framed JSON over TCP, batching into `deploy_many` /
+//!   `revoke_many`, explicit backpressure; `docs/SERVER.md`).
 
 pub mod chaos;
 pub mod cli;
 pub mod controller;
 pub mod metrics;
 pub mod resman;
+pub mod server;
 pub mod telemetry;
 
 pub use chaos::{ChaosConfig, ChaosOutcome};
@@ -24,9 +28,10 @@ pub use controller::{
     AuditReport, Controller, CtlError, CtlResult, DeployReport, InstalledProgram, ReconcileReport,
     RevokeReport,
 };
-pub use metrics::{parse_prometheus, render_prometheus, render_top, serve_once, Sample};
+pub use metrics::{http_response, parse_prometheus, render_prometheus, render_top, serve_once, Sample};
 pub use resman::ResourceManager;
+pub use server::{serve, Client, ServerConfig};
 pub use telemetry::{
-    FaultStats, LifecycleSpan, ProgramUsage, ResourceGauges, SeriesPoint, SeriesRing, SloStatus,
-    SloThresholds, TelemetryReport, SCHEMA_VERSION,
+    FaultStats, LifecycleSpan, ProgramUsage, ResourceGauges, SeriesPoint, SeriesRing, ServerStats,
+    SloStatus, SloThresholds, TelemetryReport, SCHEMA_VERSION,
 };

@@ -9,10 +9,12 @@
 //! strict parser — CI uses it to assert every exported line is
 //! well-formed and that counter values survive a round trip.
 //!
-//! [`serve_once`] answers exactly one HTTP GET on an already-bound
+//! [`serve_once`] answers exactly one HTTP request on an already-bound
 //! `std::net::TcpListener` — enough for `p4rp metrics serve` to expose
 //! the live report to a scraper on loopback without pulling in an HTTP
-//! stack.
+//! stack. Routing (405 for non-GET, 404 off `/metrics`) lives in
+//! [`http_response`], shared with the persistent `server` module; the
+//! always-on multi-client endpoint is `p4rp serve` (`docs/SERVER.md`).
 
 use crate::telemetry::TelemetryReport;
 use std::fmt::Write as _;
@@ -39,7 +41,12 @@ impl Sample {
 }
 
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    // Backslash first so the escapes it introduces aren't re-escaped.
+    // `\r` must be escaped too: a raw CR inside a label value survives an
+    // in-memory round trip (`str::lines` only splits on `\n`), but the
+    // exposition travels over HTTP where proxies and scrapers split on
+    // `\r\n` — a bare CR silently truncates the label value on the wire.
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n").replace('\r', "\\r")
 }
 
 fn header(out: &mut String, name: &str, help: &str, kind: &str) {
@@ -130,17 +137,12 @@ pub fn render_prometheus(report: &TelemetryReport) -> String {
     }
 
     // Control-channel write latency as a cumulative Prometheus histogram.
-    let h = &report.control_write_latency;
-    let base = "p4rp_control_write_latency_ns";
-    header(&mut out, base, "Mutating control-channel operation latency.", "histogram");
-    let mut cum = 0u64;
-    for (edge, c) in h.bounds().iter().zip(h.bucket_counts()) {
-        cum += c;
-        sample(&mut out, &format!("{base}_bucket"), &[("le", edge.to_string())], cum as f64);
-    }
-    sample(&mut out, &format!("{base}_bucket"), &[("le", "+Inf".into())], h.count() as f64);
-    sample(&mut out, &format!("{base}_sum"), &[], h.sum() as f64);
-    sample(&mut out, &format!("{base}_count"), &[], h.count() as f64);
+    histogram_rows(
+        &mut out,
+        "p4rp_control_write_latency_ns",
+        "Mutating control-channel operation latency.",
+        &report.control_write_latency,
+    );
 
     let fs = &report.faults;
     header(&mut out, "p4rp_faults_injected_total", "Control-channel faults fired.", "counter");
@@ -164,7 +166,62 @@ pub fn render_prometheus(report: &TelemetryReport) -> String {
             );
         }
     }
+
+    if let Some(sv) = &report.server {
+        header(&mut out, "p4rp_server_sessions_total", "Client connections, by accept outcome.", "counter");
+        sample(&mut out, "p4rp_server_sessions_total", &[("outcome", "accepted".into())], sv.accepted as f64);
+        sample(
+            &mut out,
+            "p4rp_server_sessions_total",
+            &[("outcome", "rejected".into())],
+            sv.rejected_max_clients as f64,
+        );
+        header(&mut out, "p4rp_server_requests_total", "Requests admitted to the service queue.", "counter");
+        sample(&mut out, "p4rp_server_requests_total", &[], sv.requests as f64);
+        header(&mut out, "p4rp_server_responses_total", "Executed requests, by outcome.", "counter");
+        sample(&mut out, "p4rp_server_responses_total", &[("outcome", "ok".into())], sv.responses_ok as f64);
+        sample(&mut out, "p4rp_server_responses_total", &[("outcome", "error".into())], sv.responses_err as f64);
+        header(&mut out, "p4rp_server_rejected_total", "Requests refused unexecuted, by reason.", "counter");
+        for (reason, v) in [
+            ("busy", sv.rejected_busy),
+            ("rate_limited", sv.rejected_rate_limited),
+            ("timeout", sv.rejected_timeout),
+            ("draining", sv.rejected_draining),
+        ] {
+            sample(&mut out, "p4rp_server_rejected_total", &[("reason", reason.into())], v as f64);
+        }
+        header(&mut out, "p4rp_server_parse_errors_total", "Malformed request lines.", "counter");
+        sample(&mut out, "p4rp_server_parse_errors_total", &[], sv.parse_errors as f64);
+        header(&mut out, "p4rp_server_batches_total", "Service ticks that executed operations.", "counter");
+        sample(&mut out, "p4rp_server_batches_total", &[], sv.batches as f64);
+        header(&mut out, "p4rp_server_batched_ops_total", "Operations coalesced into vectored batches.", "counter");
+        sample(&mut out, "p4rp_server_batched_ops_total", &[("op", "deploy".into())], sv.batched_deploys as f64);
+        sample(&mut out, "p4rp_server_batched_ops_total", &[("op", "revoke".into())], sv.batched_revokes as f64);
+        header(&mut out, "p4rp_server_http_total", "One-shot HTTP scrape requests, by outcome.", "counter");
+        sample(&mut out, "p4rp_server_http_total", &[("outcome", "scraped".into())], sv.http_gets as f64);
+        sample(&mut out, "p4rp_server_http_total", &[("outcome", "rejected".into())], sv.http_rejected as f64);
+        histogram_rows(
+            &mut out,
+            "p4rp_server_request_latency_ns",
+            "Sim-clock submit-to-response request latency.",
+            &sv.request_latency,
+        );
+    }
     out
+}
+
+/// One cumulative Prometheus histogram: `_bucket{le=…}` rows ending at
+/// `+Inf`, plus `_sum` and `_count`.
+fn histogram_rows(out: &mut String, base: &str, help: &str, h: &rmt_sim::telemetry::Histogram) {
+    header(out, base, help, "histogram");
+    let mut cum = 0u64;
+    for (edge, c) in h.bounds().iter().zip(h.bucket_counts()) {
+        cum += c;
+        sample(out, &format!("{base}_bucket"), &[("le", edge.to_string())], cum as f64);
+    }
+    sample(out, &format!("{base}_bucket"), &[("le", "+Inf".into())], h.count() as f64);
+    sample(out, &format!("{base}_sum"), &[], h.sum() as f64);
+    sample(out, &format!("{base}_count"), &[], h.count() as f64);
 }
 
 fn valid_metric_name(s: &str) -> bool {
@@ -240,6 +297,7 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
                             Some('\\') => val.push('\\'),
                             Some('"') => val.push('"'),
                             Some('n') => val.push('\n'),
+                            Some('r') => val.push('\r'),
                             other => {
                                 return Err(format!(
                                     "line {}: bad escape `\\{}`",
@@ -341,8 +399,47 @@ pub fn render_top(report: &TelemetryReport) -> String {
     out
 }
 
+/// Route one raw HTTP request head against the single `/metrics`
+/// endpoint and build the full response document. Returns the status
+/// code alongside the wire bytes so callers can count outcomes:
+///
+/// * `GET /metrics` → `200` with `body` as `text/plain; version=0.0.4`,
+/// * any other method → `405 Method Not Allowed` (with `Allow: GET`),
+/// * any other path → `404 Not Found`,
+/// * anything that isn't an HTTP request line → `400 Bad Request`.
+///
+/// Used by both [`serve_once`] and the persistent `server` module, which
+/// answers scrapers on the same port as the line-framed JSON protocol.
+pub fn http_response(request_head: &str, body: &str) -> (u16, String) {
+    let request_line = request_head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) =
+        (parts.next().unwrap_or(""), parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let respond = |status: u16, reason: &str, extra: &str, content_type: &str, payload: &str| {
+        (
+            status,
+            format!(
+                "HTTP/1.1 {status} {reason}\r\n{extra}Content-Type: {content_type}\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+                payload.len()
+            ),
+        )
+    };
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/") {
+        return respond(400, "Bad Request", "", "text/plain", "bad request\n");
+    }
+    if method != "GET" {
+        return respond(405, "Method Not Allowed", "Allow: GET\r\n", "text/plain", "method not allowed\n");
+    }
+    if path != "/metrics" {
+        return respond(404, "Not Found", "", "text/plain", "not found; scrape /metrics\n");
+    }
+    respond(200, "OK", "", "text/plain; version=0.0.4", body)
+}
+
 /// Answer exactly one HTTP request on an already-bound listener with the
-/// given body as `text/plain; version=0.0.4`. Blocks until a client
+/// given body as `text/plain; version=0.0.4` (routing — 405 for non-GET,
+/// 404 off `/metrics` — per [`http_response`]). Blocks until a client
 /// connects. The caller binds (so it can report the ephemeral port) and
 /// decides whether to loop.
 pub fn serve_once(listener: &TcpListener, body: &str) -> std::io::Result<()> {
@@ -350,12 +447,9 @@ pub fn serve_once(listener: &TcpListener, body: &str) -> std::io::Result<()> {
     // Drain the request line + headers; a scraper always sends a small
     // GET so one read is enough for our purposes.
     let mut buf = [0u8; 4096];
-    let _ = stream.read(&mut buf)?;
-    let response = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        body.len(),
-        body
-    );
+    let n = stream.read(&mut buf)?;
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let (_, response) = http_response(&head, body);
     stream.write_all(response.as_bytes())?;
     stream.flush()
 }
@@ -365,7 +459,8 @@ mod tests {
     use super::*;
     use crate::resman::ResourceManager;
     use crate::telemetry::{
-        FaultStats, ProgramUsage, ResourceGauges, SloStatus, SloThresholds, SCHEMA_VERSION,
+        FaultStats, ProgramUsage, ResourceGauges, ServerStats, SloStatus, SloThresholds,
+        SCHEMA_VERSION,
     };
     use rmt_sim::telemetry::{Histogram, MetricsRecorder};
     use rmt_sim::trace::TraceStats;
@@ -409,6 +504,7 @@ mod tests {
             }),
             series: None,
             tables: Vec::new(),
+            server: None,
         }
     }
 
@@ -450,6 +546,92 @@ mod tests {
         assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "buckets must be monotone: {buckets:?}");
         assert_eq!(find("p4rp_slo_breached", "slo", "drop_rate"), 1.0);
         assert_eq!(find("p4rp_slo_breached", "slo", "p99_latency"), 0.0);
+    }
+
+    #[test]
+    fn carriage_returns_in_label_values_are_escaped() {
+        // Regression: a raw CR inside a label value used to pass through
+        // `escape_label` untouched — wire-safe framing (and symmetry with
+        // the `\n` escape) requires it rendered as `\r`.
+        let mut r = report();
+        r.programs[0].name = "cr\rlf\nmix \"q\" \\ end".into();
+        let text = render_prometheus(&r);
+        assert!(!text.contains('\r'), "raw CR leaked into the exposition");
+        let samples = parse_prometheus(&text).expect("well-formed exposition");
+        let name = samples
+            .iter()
+            .find(|s| s.name == "p4rp_program_packets_total")
+            .and_then(|s| s.label("program"))
+            .expect("program label");
+        assert_eq!(name, "cr\rlf\nmix \"q\" \\ end");
+    }
+
+    #[test]
+    fn server_rows_render_and_round_trip() {
+        let mut r = report();
+        let mut sv = ServerStats::new();
+        sv.accepted = 5;
+        sv.rejected_max_clients = 2;
+        sv.requests = 40;
+        sv.responses_ok = 30;
+        sv.responses_err = 4;
+        sv.rejected_busy = 3;
+        sv.rejected_rate_limited = 2;
+        sv.rejected_timeout = 1;
+        sv.parse_errors = 6;
+        sv.batches = 9;
+        sv.batched_deploys = 12;
+        sv.batched_revokes = 7;
+        sv.http_gets = 2;
+        sv.http_rejected = 1;
+        sv.request_latency.observe(55_000);
+        sv.request_latency.observe(90_000);
+        r.server = Some(sv);
+        let text = render_prometheus(&r);
+        let samples = parse_prometheus(&text).expect("well-formed exposition");
+        let find = |name: &str, key: &str, val: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.label(key) == Some(val))
+                .unwrap_or_else(|| panic!("missing {name}{{{key}={val}}}"))
+                .value
+        };
+        assert_eq!(find("p4rp_server_sessions_total", "outcome", "accepted"), 5.0);
+        assert_eq!(find("p4rp_server_sessions_total", "outcome", "rejected"), 2.0);
+        assert_eq!(find("p4rp_server_responses_total", "outcome", "ok"), 30.0);
+        assert_eq!(find("p4rp_server_rejected_total", "reason", "busy"), 3.0);
+        assert_eq!(find("p4rp_server_rejected_total", "reason", "rate_limited"), 2.0);
+        assert_eq!(find("p4rp_server_batched_ops_total", "op", "deploy"), 12.0);
+        assert_eq!(find("p4rp_server_http_total", "outcome", "scraped"), 2.0);
+        assert_eq!(find("p4rp_server_request_latency_ns_bucket", "le", "+Inf"), 2.0);
+        // A report without server stats renders none of the rows.
+        let bare = render_prometheus(&report());
+        assert!(!bare.contains("p4rp_server_"), "{bare}");
+    }
+
+    #[test]
+    fn http_response_routes_by_method_and_path() {
+        // Regression: the old endpoint answered 200 OK to *any* bytes.
+        let body = "p4rp_epoch 3\n";
+        let (status, resp) = http_response("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", body);
+        assert_eq!(status, 200);
+        assert!(resp.contains("text/plain; version=0.0.4"), "{resp}");
+        assert!(resp.ends_with(body), "{resp}");
+        let (status, resp) = http_response("POST /metrics HTTP/1.1\r\n\r\n", body);
+        assert_eq!(status, 405);
+        assert!(resp.contains("Allow: GET"), "{resp}");
+        assert!(!resp.contains("p4rp_epoch"), "{resp}");
+        let (status, resp) = http_response("DELETE /metrics HTTP/1.1\r\n\r\n", body);
+        assert_eq!(status, 405, "{resp}");
+        let (status, resp) = http_response("GET /other HTTP/1.1\r\n\r\n", body);
+        assert_eq!(status, 404);
+        assert!(!resp.contains("p4rp_epoch"), "{resp}");
+        let (status, _) = http_response("GET / HTTP/1.1\r\n\r\n", body);
+        assert_eq!(status, 404);
+        let (status, _) = http_response("garbage bytes\r\n\r\n", body);
+        assert_eq!(status, 400);
+        let (status, _) = http_response("", body);
+        assert_eq!(status, 400);
     }
 
     #[test]
@@ -503,5 +685,23 @@ mod tests {
         assert!(resp.contains("text/plain; version=0.0.4"), "{resp}");
         let body = resp.split("\r\n\r\n").nth(1).unwrap();
         assert!(parse_prometheus(body).is_ok(), "{body}");
+    }
+
+    #[test]
+    fn serve_once_refuses_posts_on_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            let mut s = std::net::TcpStream::connect(addr).expect("connect");
+            s.write_all(b"POST /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            resp
+        });
+        serve_once(&listener, "p4rp_epoch 3\n").expect("serve");
+        let resp = handle.join().expect("client thread");
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        assert!(!resp.contains("p4rp_epoch"), "{resp}");
     }
 }

@@ -27,8 +27,9 @@ use std::collections::BTreeMap;
 /// explicit versioning; version 2 added `schema_version` itself plus the
 /// per-program (`programs`), SLO (`slo`), and time-series (`series`)
 /// sections; version 3 added the per-table lookup-structure section
-/// (`tables`).
-pub const SCHEMA_VERSION: u64 = 3;
+/// (`tables`); version 4 added the runtime-control server section
+/// (`server`, see `docs/SERVER.md`).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One program lifecycle event as the controller executed it.
 ///
@@ -233,6 +234,108 @@ serde::impl_serde_struct!(ParallelStats {
     snapshot_generation,
     per_worker,
 });
+
+/// Runtime-control server counters (see `docs/SERVER.md`): connection
+/// accept/refuse totals, per-request outcome counters split by rejection
+/// reason, batching effectiveness, HTTP scrape handling, and the
+/// sim-clock submit→response latency histogram. `None` in the enclosing
+/// report when no server has run on this controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Connections accepted into client sessions.
+    pub accepted: u64,
+    /// Connections refused at accept because `max_clients` sessions were
+    /// already live.
+    pub rejected_max_clients: u64,
+    /// Requests admitted to the service queue.
+    pub requests: u64,
+    /// Responses whose operation executed successfully.
+    pub responses_ok: u64,
+    /// Responses whose operation executed and failed (e.g. a deploy the
+    /// allocator refused) — distinct from rejections, which never execute.
+    pub responses_err: u64,
+    /// Requests refused by backpressure (bounded in-flight queue full).
+    pub rejected_busy: u64,
+    /// Requests refused by the per-client token-bucket rate limit.
+    pub rejected_rate_limited: u64,
+    /// Requests that sat queued past their timeout before execution.
+    pub rejected_timeout: u64,
+    /// Requests refused because the server was draining.
+    pub rejected_draining: u64,
+    /// Request lines that failed to parse (malformed JSON, unknown op,
+    /// bad field types).
+    pub parse_errors: u64,
+    /// Service ticks that executed at least one operation.
+    pub batches: u64,
+    /// Deploys coalesced into `deploy_many` batches.
+    pub batched_deploys: u64,
+    /// Revokes coalesced into `revoke_many` batches.
+    pub batched_revokes: u64,
+    /// One-shot HTTP `GET /metrics` scrapes answered `200 OK`.
+    pub http_gets: u64,
+    /// One-shot HTTP requests refused (`405` non-GET, `404` other path).
+    pub http_rejected: u64,
+    /// Sim-clock submit→response latency over executed requests, ns.
+    pub request_latency: Histogram,
+}
+
+serde::impl_serde_struct!(ServerStats {
+    accepted,
+    rejected_max_clients,
+    requests,
+    responses_ok,
+    responses_err,
+    rejected_busy,
+    rejected_rate_limited,
+    rejected_timeout,
+    rejected_draining,
+    parse_errors,
+    batches,
+    batched_deploys,
+    batched_revokes,
+    http_gets,
+    http_rejected,
+    request_latency,
+});
+
+impl ServerStats {
+    /// Zeroed counters with the same latency-bucket shape as the control
+    /// channel's write histogram.
+    pub fn new() -> ServerStats {
+        ServerStats {
+            accepted: 0,
+            rejected_max_clients: 0,
+            requests: 0,
+            responses_ok: 0,
+            responses_err: 0,
+            rejected_busy: 0,
+            rejected_rate_limited: 0,
+            rejected_timeout: 0,
+            rejected_draining: 0,
+            parse_errors: 0,
+            batches: 0,
+            batched_deploys: 0,
+            batched_revokes: 0,
+            http_gets: 0,
+            http_rejected: 0,
+            request_latency: Histogram::exponential(10_000, 2, 12),
+        }
+    }
+
+    /// Total requests refused without executing.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_busy
+            + self.rejected_rate_limited
+            + self.rejected_timeout
+            + self.rejected_draining
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> ServerStats {
+        ServerStats::new()
+    }
+}
 
 /// One resident program's resource footprint joined with its attributed
 /// packet-side counters — the row type behind `p4rp top` and the
@@ -524,6 +627,9 @@ pub struct TelemetryReport {
     /// Per-table lookup-structure rows (index mode, tuple-space groups,
     /// result-cache effectiveness), in pipeline order.
     pub tables: Vec<TableIndexStats>,
+    /// Runtime-control server counters; `None` when no server has run on
+    /// this controller (`docs/SERVER.md`).
+    pub server: Option<ServerStats>,
 }
 
 serde::impl_serde_struct!(TelemetryReport {
@@ -541,6 +647,7 @@ serde::impl_serde_struct!(TelemetryReport {
     slo,
     series,
     tables,
+    server,
 });
 
 impl TelemetryReport {
@@ -692,6 +799,38 @@ impl TelemetryReport {
                 s.capacity,
                 s.evicted
             ));
+        }
+        if let Some(sv) = &self.server {
+            out.push_str(&format!(
+                "server: {} session(s) accepted ({} refused) | {} requests, \
+                 {} ok / {} err / {} rejected ({} busy, {} rate-limited, \
+                 {} timed out, {} draining) | {} parse error(s) | \
+                 {} batch(es): {} deploys + {} revokes | http {} scraped / {} refused\n",
+                sv.accepted,
+                sv.rejected_max_clients,
+                sv.requests,
+                sv.responses_ok,
+                sv.responses_err,
+                sv.rejected(),
+                sv.rejected_busy,
+                sv.rejected_rate_limited,
+                sv.rejected_timeout,
+                sv.rejected_draining,
+                sv.parse_errors,
+                sv.batches,
+                sv.batched_deploys,
+                sv.batched_revokes,
+                sv.http_gets,
+                sv.http_rejected
+            ));
+            if let Some(mean) = sv.request_latency.mean() {
+                out.push_str(&format!(
+                    "server latency: mean {:.1} µs, p99 ≤ {:.0} µs, max {:.0} µs\n",
+                    mean / 1e3,
+                    sv.request_latency.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+                    sv.request_latency.max().unwrap_or(0) as f64 / 1e3
+                ));
+            }
         }
         let occupied: Vec<&TableIndexStats> = self
             .tables
@@ -858,6 +997,19 @@ mod tests {
                 cache_hits: 90,
                 cache_misses: 14,
             }],
+            server: Some({
+                let mut sv = ServerStats::new();
+                sv.accepted = 4;
+                sv.requests = 20;
+                sv.responses_ok = 17;
+                sv.responses_err = 1;
+                sv.rejected_busy = 2;
+                sv.batches = 6;
+                sv.batched_deploys = 5;
+                sv.batched_revokes = 3;
+                sv.request_latency.observe(80_000);
+                sv
+            }),
         };
         let text = report.to_json();
         let back = TelemetryReport::from_json(&text).unwrap();
@@ -870,6 +1022,7 @@ mod tests {
             series: None,
             programs: Vec::new(),
             tables: Vec::new(),
+            server: None,
             ..report
         };
         let back = TelemetryReport::from_json(&disabled.to_json()).unwrap();
@@ -893,6 +1046,7 @@ mod tests {
             slo: None,
             series: None,
             tables: Vec::new(),
+            server: None,
         };
         let s = report.summary();
         assert!(s.contains("telemetry epoch 2"), "{s}");
@@ -941,6 +1095,16 @@ mod tests {
             }),
             series: Some(ring),
             tables: Vec::new(),
+            server: Some({
+                let mut sv = ServerStats::new();
+                sv.accepted = 3;
+                sv.requests = 12;
+                sv.responses_ok = 9;
+                sv.rejected_busy = 2;
+                sv.rejected_rate_limited = 1;
+                sv.request_latency.observe(40_000);
+                sv
+            }),
         };
         let s = report.summary();
         assert!(s.contains("per-program:"), "{s}");
@@ -951,6 +1115,10 @@ mod tests {
         assert!(s.contains("3 violation(s)"), "{s}");
         assert!(s.contains("in breach: drop_rate"), "{s}");
         assert!(s.contains("series: 2 point(s) retained (capacity 2, 1 evicted)"), "{s}");
+        assert!(s.contains("server: 3 session(s) accepted"), "{s}");
+        assert!(s.contains("12 requests"), "{s}");
+        assert!(s.contains("2 busy, 1 rate-limited"), "{s}");
+        assert!(s.contains("server latency:"), "{s}");
     }
 
     #[test]
@@ -1010,6 +1178,7 @@ mod tests {
             slo: None,
             series: None,
             tables: Vec::new(),
+            server: None,
         };
         let s = report.summary();
         assert!(s.contains("4 injected"), "{s}");

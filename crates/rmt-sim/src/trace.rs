@@ -263,6 +263,103 @@ pub enum TraceEventKind {
         /// The armed threshold in the same unit.
         threshold: u64,
     },
+    /// The runtime-control server dequeued a client request for
+    /// execution (the `p4rp-ctl::server` service thread picked it up).
+    RequestBegin {
+        /// Server-assigned client session id.
+        client: u32,
+        /// Client-chosen request id.
+        request: u64,
+        /// What the request asked for.
+        op: RequestOp,
+    },
+    /// The server produced the request's response.
+    RequestEnd {
+        /// Server-assigned client session id.
+        client: u32,
+        /// Client-chosen request id.
+        request: u64,
+        /// What the request asked for.
+        op: RequestOp,
+        /// The request executed without error.
+        ok: bool,
+        /// Sim-clock time from submission to response, nanoseconds.
+        dur_ns: u64,
+    },
+    /// The server refused a request without executing it (backpressure,
+    /// rate limit, queued past its timeout, or drain).
+    RequestRejected {
+        /// Server-assigned client session id.
+        client: u32,
+        /// Client-chosen request id (0 when rejected before parsing).
+        request: u64,
+        /// Why the request was refused.
+        reason: RejectReason,
+    },
+}
+
+/// What a [`TraceEventKind::RequestBegin`] asked the control plane for —
+/// the verb set of the `p4rp-ctl::server` line protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOp {
+    /// Link a program.
+    Deploy,
+    /// Unlink a program.
+    Revoke,
+    /// Telemetry report snapshot.
+    Status,
+    /// Prometheus exposition snapshot.
+    Metrics,
+    /// Flight-recorder statistics.
+    Trace,
+    /// Liveness probe.
+    Ping,
+    /// Graceful drain.
+    Shutdown,
+}
+
+impl RequestOp {
+    /// Short stable name (dump rows, Chrome trace `name`, protocol verb).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestOp::Deploy => "deploy",
+            RequestOp::Revoke => "revoke",
+            RequestOp::Status => "status",
+            RequestOp::Metrics => "metrics",
+            RequestOp::Trace => "trace",
+            RequestOp::Ping => "ping",
+            RequestOp::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Why a [`TraceEventKind::RequestRejected`] refused its request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The client's bounded in-flight queue was full (backpressure).
+    Busy,
+    /// The client's token bucket was empty (rate limit).
+    RateLimited,
+    /// The request sat queued past its timeout before execution.
+    Timeout,
+    /// The server is draining; new work is refused.
+    Draining,
+    /// The request line failed to parse (malformed JSON, unknown op,
+    /// bad field types).
+    Parse,
+}
+
+impl RejectReason {
+    /// Short stable name (dump rows, protocol `error` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::Busy => "busy",
+            RejectReason::RateLimited => "rate_limited",
+            RejectReason::Timeout => "timeout",
+            RejectReason::Draining => "draining",
+            RejectReason::Parse => "parse",
+        }
+    }
 }
 
 /// Which service-level objective a [`TraceEventKind::SloViolation`]
@@ -349,6 +446,9 @@ impl TraceEventKind {
             TraceEventKind::ReconcileBegin { .. } => "reconcile_begin",
             TraceEventKind::ReconcileEnd { .. } => "reconcile_end",
             TraceEventKind::SloViolation { .. } => "slo_violation",
+            TraceEventKind::RequestBegin { .. } => "request_begin",
+            TraceEventKind::RequestEnd { .. } => "request_end",
+            TraceEventKind::RequestRejected { .. } => "request_rejected",
         }
     }
 }
@@ -449,6 +549,17 @@ impl TraceEvent {
                 "ctl slo {} prog {prog_id} ({observed} > {threshold})",
                 slo.name()
             ),
+            TraceEventKind::RequestBegin { client, request, op } => {
+                format!("srv req c{client}#{request} {} begin", op.name())
+            }
+            TraceEventKind::RequestEnd { client, request, op, ok, dur_ns } => format!(
+                "srv req c{client}#{request} {} end   ({}, {dur_ns} ns)",
+                op.name(),
+                if ok { "ok" } else { "err" }
+            ),
+            TraceEventKind::RequestRejected { client, request, reason } => {
+                format!("srv req c{client}#{request} rejected ({})", reason.name())
+            }
         };
         format!("{head}  {body}")
     }
@@ -901,6 +1012,21 @@ impl TraceBuffer {
     /// The SLO watchdog crossed into breach on one objective.
     pub fn slo_violation(&mut self, slo: SloKind, prog_id: u16, observed: u64, threshold: u64) {
         self.record(TraceEventKind::SloViolation { slo, prog_id, observed, threshold });
+    }
+
+    /// The runtime-control server dequeued a client request.
+    pub fn request_begin(&mut self, client: u32, request: u64, op: RequestOp) {
+        self.record(TraceEventKind::RequestBegin { client, request, op });
+    }
+
+    /// The runtime-control server finished a client request.
+    pub fn request_end(&mut self, client: u32, request: u64, op: RequestOp, ok: bool, dur_ns: u64) {
+        self.record(TraceEventKind::RequestEnd { client, request, op, ok, dur_ns });
+    }
+
+    /// The runtime-control server refused a client request unexecuted.
+    pub fn request_rejected(&mut self, client: u32, request: u64, reason: RejectReason) {
+        self.record(TraceEventKind::RequestRejected { client, request, reason });
     }
 
     // ---- post-mortem ---------------------------------------------------
@@ -1556,6 +1682,53 @@ pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> ser
                     ("prog_id", serde::Value::U64(u64::from(prog_id))),
                     ("observed", serde::Value::U64(observed)),
                     ("threshold", serde::Value::U64(threshold)),
+                ],
+            ),
+            TraceEventKind::RequestBegin { client, request, op } => chrome_event(
+                op.name(),
+                "server",
+                "i",
+                ts,
+                CONTROL_PID,
+                2,
+                vec![("s", serde::Value::Str("t".into()))],
+                vec![
+                    seq,
+                    epoch,
+                    ("client", serde::Value::U64(u64::from(client))),
+                    ("request", serde::Value::U64(request)),
+                ],
+            ),
+            TraceEventKind::RequestEnd { client, request, op, ok, dur_ns } => chrome_event(
+                op.name(),
+                "server",
+                "X",
+                ts,
+                CONTROL_PID,
+                2,
+                vec![("dur", serde::Value::F64(dur_ns as f64 / 1e3))],
+                vec![
+                    seq,
+                    epoch,
+                    ("client", serde::Value::U64(u64::from(client))),
+                    ("request", serde::Value::U64(request)),
+                    ("ok", serde::Value::Bool(ok)),
+                ],
+            ),
+            TraceEventKind::RequestRejected { client, request, reason } => chrome_event(
+                "request_rejected",
+                "server",
+                "i",
+                ts,
+                CONTROL_PID,
+                2,
+                vec![("s", serde::Value::Str("t".into()))],
+                vec![
+                    seq,
+                    epoch,
+                    ("client", serde::Value::U64(u64::from(client))),
+                    ("request", serde::Value::U64(request)),
+                    ("reason", serde::Value::Str(reason.name().into())),
                 ],
             ),
             kind => {

@@ -47,7 +47,7 @@ pub use traffic;
 
 pub use p4rp_ctl::{
     AuditReport, ChaosConfig, ChaosOutcome, Controller, CtlError, DeployReport, FaultStats,
-    ReconcileReport, RevokeReport, TelemetryReport,
+    ReconcileReport, RevokeReport, ServerConfig, ServerStats, TelemetryReport,
 };
 pub use rmt_sim::fault::{FaultKind, FaultPlan, FaultTrigger};
 pub use p4rp_lang::{count_loc, parse};

@@ -15,7 +15,9 @@
 //! surfaces end to end: deploy two programs, replay traffic, render
 //! `top --once`, export the exposition, and re-parse it.
 
-use p4runpro::p4rp_ctl::{parse_prometheus, render_prometheus, Cli, Sample, TelemetryReport};
+use p4runpro::p4rp_ctl::{
+    parse_prometheus, render_prometheus, Cli, ProgramUsage, Sample, TelemetryReport,
+};
 use p4runpro::traffic::gen::{frame_for, make_flows, Flow};
 use p4runpro::Controller;
 use proptest::prelude::*;
@@ -233,4 +235,84 @@ fn cli_top_and_export_smoke() {
     let text = std::fs::read_to_string(&path).unwrap();
     parse_prometheus(&text).unwrap();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Characters that have broken (or could break) the exposition at some
+/// point: the escape triggers themselves (`\`, `"`, `\n`, `\r`), the
+/// label-syntax metacharacters, and multi-byte UTF-8 of 2, 3, and 4
+/// bytes. Random draws from this set compose into hostile label values.
+const TRICKY_CHARS: &[char] = &[
+    'a', 'B', '0', '"', '\\', '\n', '\r', '\t', ' ', '=', ',', '{', '}', 'λ', 'й', '日', '🦀',
+];
+
+fn label_value() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..TRICKY_CHARS.len(), 0..10)
+        .prop_map(|ix| ix.into_iter().map(|i| TRICKY_CHARS[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("P4RP_PROPTEST_CASES")
+            .ok().and_then(|s| s.parse().ok()).unwrap_or(32),
+        .. ProptestConfig::default()
+    })]
+
+    /// For arbitrary label values — including carriage returns,
+    /// backslashes, quotes, and multi-byte UTF-8 — and arbitrary series
+    /// of program rows, `render_prometheus` → `parse_prometheus` is the
+    /// identity on both label values and counter values, and the wire
+    /// text never carries a raw CR or a label-internal raw LF that would
+    /// break HTTP framing. (This property caught the unescaped `\r`:
+    /// a raw CR round-trips in memory because `str::lines` only splits
+    /// on `\n`, but corrupts the exposition once it crosses a socket.)
+    #[test]
+    fn arbitrary_label_values_round_trip_through_exposition(
+        names in prop::collection::vec(label_value(), 1..5),
+        counts in prop::collection::vec(1u64..1_000_000, 5..6),
+    ) {
+        let ctl = Controller::with_defaults().unwrap();
+        let mut report = ctl.telemetry_report();
+        report.programs = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                ProgramUsage {
+                    name: name.clone(),
+                    prog_id: i as u64,
+                    packets: counts[i % counts.len()],
+                    drops: counts[(i + 1) % counts.len()],
+                    hits: counts[(i + 2) % counts.len()],
+                    ..Default::default()
+                }
+            })
+            .collect();
+        let text = render_prometheus(&report);
+        prop_assert!(!text.contains('\r'), "raw CR reached the wire:\n{:?}", text);
+        let samples = match parse_prometheus(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(proptest::test_runner::TestCaseError::Fail(format!(
+                    "exposition failed to re-parse: {e}\n{text:?}"
+                )))
+            }
+        };
+        for (i, name) in names.iter().enumerate() {
+            let id = i.to_string();
+            for (metric, want) in [
+                ("p4rp_program_packets_total", counts[i % counts.len()]),
+                ("p4rp_program_drops_total", counts[(i + 1) % counts.len()]),
+                ("p4rp_program_hits_total", counts[(i + 2) % counts.len()]),
+            ] {
+                let s = samples
+                    .iter()
+                    .find(|s| s.name == metric && s.label("prog_id") == Some(id.as_str()))
+                    .unwrap_or_else(|| panic!("missing {metric} row for prog {id}"));
+                prop_assert_eq!(
+                    s.label("program"), Some(name.as_str()),
+                    "label value mangled on {} ({:?})", metric, name
+                );
+                prop_assert_eq!(s.value, want as f64, "counter value drifted on {}", metric);
+            }
+        }
+    }
 }

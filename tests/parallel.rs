@@ -18,6 +18,7 @@ use std::net::Ipv4Addr;
 
 use p4runpro::p4rp_ctl::chaos::{frame_to, total_violations, SENTINEL_DST, SENTINEL_PORT};
 use p4runpro::rmt_sim::clock::Nanos;
+use p4runpro::rmt_sim::parallel::shard_for_frame;
 use p4runpro::rmt_sim::trace::TraceConfig;
 use p4runpro::traffic::gen::{frame_for, make_flows, Flow};
 use p4runpro::traffic::replay::{ParallelReplay, Replay, TimedPacket};
@@ -96,6 +97,44 @@ proptest! {
                 "fates diverged at {} worker(s), seed {}", workers, seed
             );
         }
+    }
+
+    /// `shard_for_frame` is total: any byte soup — empty, shorter than
+    /// any header, or random garbage — shards without panicking, the
+    /// answer is stable across calls, and it always lands in `0..n`,
+    /// including non-power-of-two worker counts.
+    #[test]
+    fn shard_for_frame_is_total_stable_and_in_range(
+        frame in prop::collection::vec(any::<u8>(), 0..64),
+        n in 0usize..=9,
+    ) {
+        let shard = shard_for_frame(&frame, n);
+        prop_assert_eq!(shard, shard_for_frame(&frame, n), "sharding is unstable");
+        if n <= 1 {
+            prop_assert_eq!(shard, 0, "n <= 1 must collapse to shard 0");
+        } else {
+            prop_assert!(shard < n, "shard {} out of range 0..{}", shard, n);
+        }
+    }
+}
+
+/// Every truncation of a real generated frame shards in range, and a
+/// flow keeps its worker whatever the frame size — the five-tuple, not
+/// the payload, decides placement.
+#[test]
+fn shard_for_frame_handles_truncated_real_frames() {
+    let mix = make_flows(7, 8, 0.5);
+    for f in &mix {
+        let frame = frame_for(&f.tuple, 64);
+        for len in 0..=frame.len() {
+            for n in [1usize, 2, 3, 5, 7, 8] {
+                let shard = shard_for_frame(&frame[..len], n);
+                assert!(shard < n, "shard {shard} out of 0..{n} at prefix {len}");
+            }
+        }
+        let small = shard_for_frame(&frame_for(&f.tuple, 64), 3);
+        let large = shard_for_frame(&frame_for(&f.tuple, 128), 3);
+        assert_eq!(small, large, "flow affinity broke across frame sizes");
     }
 }
 

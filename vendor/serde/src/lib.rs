@@ -563,13 +563,19 @@ pub mod json {
                     *pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so
-                    // boundaries are valid).
-                    let s = std::str::from_utf8(&bytes[*pos..])
+                    // Bulk-copy the run up to the next quote or escape;
+                    // validating from `pos` per character would make
+                    // string parsing quadratic in the input length.
+                    let start = *pos;
+                    while let Some(&b) = bytes.get(*pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        *pos += 1;
+                    }
+                    let s = std::str::from_utf8(&bytes[start..*pos])
                         .map_err(|_| Error::msg("bad utf-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    *pos += c.len_utf8();
+                    out.push_str(s);
                 }
                 None => return Err(Error::msg("unterminated string")),
             }
